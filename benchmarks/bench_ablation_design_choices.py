@@ -1,0 +1,91 @@
+"""Ablations of design choices beyond the paper's figures.
+
+* balancing on/off — the paper argues imbalance wrecks the minority class;
+* methodology embedding on/off — how much does filing text add;
+* GBDT vs a single depth-limited tree — does boosting matter.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core import NBMIntegrityModel
+from repro.core import build_dataset
+from repro.dataset import state_holdout_split
+from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier
+from repro.ml.metrics import f1_score, roc_auc_score
+from repro.utils import format_table
+
+
+def test_ablation_balancing(benchmark, world, builder, record):
+    def run():
+        rows = []
+        for name, balance in (("balanced (paper)", True), ("unbalanced", False)):
+            ds = build_dataset(world, balance=balance)
+            split = state_holdout_split(ds)
+            model = NBMIntegrityModel(builder, params=world.config.model).fit(
+                ds, split.train_idx
+            )
+            result = model.evaluate(ds, split)
+            rows.append([name, len(ds), ds.class_balance(), result.auc, result.f1])
+        return rows
+
+    rows = once(benchmark, run)
+    record(
+        "ablation_balancing",
+        format_table(
+            ["dataset", "n", "unserved frac", "AUC", "F1"],
+            rows,
+            floatfmt=".3f",
+            title="Ablation — per-provider/state balancing (paper §4.3)",
+        ),
+    )
+    balanced_f1 = rows[0][4]
+    unbalanced_f1 = rows[1][4]
+    assert balanced_f1 >= unbalanced_f1 - 0.05
+
+
+def test_ablation_embedding_and_single_tree(benchmark, world, dataset, builder, record):
+    split = state_holdout_split(dataset)
+    train = split.train(dataset)
+    test = split.test(dataset)
+    X_train, y_train = builder.vectorize(train), builder.labels(train)
+    X_test, y_test = builder.vectorize(test), builder.labels(test)
+    n_embed = builder.embedder.dim
+
+    def run():
+        rows = []
+        for name, Xtr, Xte, params in (
+            ("full model", X_train, X_test, world.config.model),
+            (
+                "no methodology embedding",
+                X_train[:, :-n_embed],
+                X_test[:, :-n_embed],
+                world.config.model,
+            ),
+            (
+                "single tree (depth 6)",
+                X_train,
+                X_test,
+                GBDTParams(n_estimators=1, learning_rate=1.0, max_depth=6),
+            ),
+        ):
+            clf = GradientBoostedClassifier(params).fit(Xtr, y_train)
+            scores = clf.predict_proba(Xte)
+            rows.append(
+                [name, roc_auc_score(y_test, scores), f1_score(y_test, (scores >= 0.5).astype(int))]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    record(
+        "ablation_embedding_and_single_tree",
+        format_table(
+            ["variant", "AUC", "F1"],
+            rows,
+            floatfmt=".3f",
+            title="Ablation — methodology embedding and boosting depth",
+        ),
+    )
+    full_auc = rows[0][1]
+    single_tree_auc = rows[2][1]
+    assert full_auc >= single_tree_auc - 0.01

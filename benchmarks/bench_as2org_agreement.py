@@ -1,0 +1,27 @@
+"""Section 6.1: crosswalk groupings vs as2org+ (mean Jaccard ~0.9)."""
+
+from conftest import once
+
+from repro.asn import build_as2org, compare_groupings
+from repro.utils import format_kv
+
+
+def test_as2org_agreement(benchmark, world, record):
+    comparison = once(
+        benchmark,
+        lambda: compare_groupings(world.crosswalk, build_as2org(world.registry)),
+    )
+    record(
+        "as2org_agreement",
+        "Section 6.1 — agreement with as2org+-style groupings\n"
+        + format_kv(
+            [
+                ("mean Jaccard (paper ~0.9)", comparison.mean_jaccard),
+                ("exact groupings", comparison.exact_matches),
+                ("total groupings", comparison.total_groupings),
+                ("exact rate (paper 1243/1562 = 0.80)", comparison.exact_match_rate),
+            ]
+        ),
+    )
+    assert comparison.mean_jaccard > 0.75
+    assert comparison.exact_match_rate > 0.5

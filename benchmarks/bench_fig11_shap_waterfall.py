@@ -1,0 +1,38 @@
+"""Figure 11: SHAP waterfall for one randomly selected prediction."""
+
+import numpy as np
+from conftest import once
+
+from repro.ml.shap import waterfall
+from repro.utils import format_table
+
+
+def test_fig11_shap_waterfall(benchmark, dataset, model_random, record):
+    model, split = model_random
+    test = split.test(dataset)
+    # The paper walks through a single positive (suspicious) prediction.
+    scores = model.predict_proba(test[:200])
+    row = int(np.argmax(scores))
+    sample = test[: row + 1]
+
+    def build():
+        expl = model.explain([sample[row]])
+        return expl, waterfall(expl, 0, top_k=10)
+
+    expl, rows = once(benchmark, build)
+    margin = expl.margin(0)
+    record(
+        "fig11_shap_waterfall",
+        format_table(
+            ["Feature", "contribution (margin)"],
+            rows,
+            floatfmt="+.3f",
+            title=(
+                "Figure 11 — SHAP waterfall for one prediction\n"
+                f"E[f(x)] = {expl.expected_value:+.3f}; f(x) = {margin:+.3f} "
+                f"(P(suspicious) = {1 / (1 + np.exp(-margin)):.3f})"
+            ),
+        ),
+    )
+    total = expl.expected_value + sum(v for _, v in rows)
+    assert abs(total - margin) < 1e-6

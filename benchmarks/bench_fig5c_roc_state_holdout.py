@@ -1,0 +1,22 @@
+"""Figure 5c: ROC on the stratified state holdout (paper AUC 0.98)."""
+
+import numpy as np
+from conftest import once
+
+from repro.dataset import PAPER_HOLDOUT_STATES
+from repro.utils import format_series
+
+
+def test_fig5c_roc_state_holdout(benchmark, dataset, model_state, record):
+    model, split = model_state
+    result = once(benchmark, lambda: model.evaluate(dataset, split))
+    grid = np.linspace(0.0, 1.0, 11)
+    tpr_at = np.interp(grid, result.fpr, result.tpr)
+    record(
+        "fig5c_roc_state_holdout",
+        f"Figure 5c — held-out states {PAPER_HOLDOUT_STATES} (n={result.n_test})\n"
+        f"AUC: measured {result.auc:.3f}   paper 0.98\n"
+        f"F1 : measured {result.f1:.3f}\n\n"
+        + format_series(np.round(grid, 2), tpr_at, "FPR", "TPR"),
+    )
+    assert result.auc > 0.85

@@ -1,0 +1,26 @@
+"""Figure 9: distribution of BSLs per resolution-8 hex cell (median 4)."""
+
+import numpy as np
+from conftest import once
+
+from repro.utils import format_table
+
+
+def test_fig9_bsl_density(benchmark, world, record):
+    dist = once(benchmark, world.fabric.bsls_per_cell_distribution)
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    rows = [[f"p{int(q * 100)}", float(np.quantile(dist, q))] for q in quantiles]
+    median = float(np.median(dist))
+    record(
+        "fig9_bsl_density",
+        format_table(
+            ["quantile", "BSLs per hex"],
+            rows,
+            floatfmt=".0f",
+            title=(
+                "Figure 9 — BSLs per occupied res-8 hex cell\n"
+                f"median: measured {median:.0f}  (paper 4)"
+            ),
+        ),
+    )
+    assert 2 <= median <= 6

@@ -1,0 +1,34 @@
+"""Table 2: distribution of challenge outcomes on the initial NBM."""
+
+from conftest import once
+
+from repro.fcc import outcome_distribution
+from repro.utils import format_table
+
+PAPER = {
+    "Successful": 69.0,
+    "Provider Conceded": 39.0,
+    "Service Changed": 22.0,
+    "FCC Upheld": 8.0,
+    "Failed": 31.0,
+    "Challenge Withdrawn": 15.0,
+    "FCC Overturned": 16.0,
+}
+
+
+def test_table2_challenge_outcomes(benchmark, world, record):
+    dist = once(benchmark, lambda: outcome_distribution(world.challenges))
+    rows = [
+        [name, n, pct, PAPER[name], pct - PAPER[name]]
+        for name, (n, pct) in dist.items()
+    ]
+    record(
+        "table2_challenge_outcomes",
+        format_table(
+            ["Challenge Outcome", "# BSLs", "measured %", "paper %", "delta"],
+            rows,
+            floatfmt=".1f",
+            title="Table 2 — challenge outcome distribution",
+        ),
+    )
+    assert 55.0 <= dist["Successful"][1] <= 80.0

@@ -1,0 +1,37 @@
+"""Table 3: distribution of reasons for challenges."""
+
+from conftest import once
+
+from repro.fcc import reason_distribution
+from repro.utils import format_table
+
+PAPER = {
+    "Technology Unavailable": 55.0,
+    "Speed(s) Unavailable": 43.0,
+    "Service Request Denied": 1.0,
+    "No Signal": 1.0,
+    "Asked Higher than Standard Connection Fee": 0.01,
+    "Failed to Provide Service within 10 Biz-days": 0.01,
+    "Provider not Ready (dependency on new equipment)": 0.003,
+    "Failed to Install Service within Timeline": 0.002,
+}
+
+
+def test_table3_challenge_reasons(benchmark, world, record):
+    dist = once(benchmark, lambda: reason_distribution(world.challenges))
+    rows = [
+        [name, n, pct, PAPER.get(name, 0.0)]
+        for name, (n, pct) in dist.items()
+    ]
+    record(
+        "table3_challenge_reasons",
+        format_table(
+            ["Reason for Challenge", "count", "measured %", "paper %"],
+            rows,
+            floatfmt=".2f",
+            title="Table 3 — challenge reason distribution",
+        ),
+    )
+    ordered = list(dist)
+    assert ordered[0] == "Technology Unavailable"
+    assert ordered[1] == "Speed(s) Unavailable"

@@ -1,0 +1,44 @@
+"""Table 8: per-state classification report with class-average features."""
+
+from conftest import once
+
+from repro.core import state_reports
+from repro.utils import format_table
+
+
+def test_table8_state_report(benchmark, world, dataset, model_random, record):
+    model, split = model_random
+    reports = once(
+        benchmark, lambda: state_reports(model, dataset, split, min_slice=60)
+    )
+    rows = []
+    for report in reports[:10]:
+        for cls in ("TN", "TP", "FN", "FP"):
+            means = report.class_feature_means[cls]
+            rows.append(
+                [
+                    report.slice_name,
+                    cls,
+                    report.class_pct[cls],
+                    means["Ookla (Dev/Loc)"],
+                    means["MLab Test Counts"],
+                    means["Max Adv. DL Speed (Mbps)"],
+                    means["Max Adv. UL Speed (Mbps)"],
+                ]
+            )
+    record(
+        "table8_state_report",
+        format_table(
+            ["State", "Class", "%", "Ookla", "MLab", "DL Mbps", "UL Mbps"],
+            rows,
+            floatfmt=".2f",
+            title=(
+                "Table 8 — per-state classification report\n"
+                "(paper pattern: accuracy varies by state; Ookla density drives verdicts)"
+            ),
+        ),
+    )
+    assert reports
+    accuracies = [r.accuracy for r in reports]
+    # Accuracy should vary across states (the paper reports 100% .. ~80%).
+    assert max(accuracies) - min(accuracies) > 0.02

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure in the paper has one bench module; they share one
+simulated world and its trained models (session-scoped — building the
+world dominates runtime).  Each bench prints its reproduced rows next to
+the paper's reported values and also writes them to
+``benchmarks/output/<name>.txt`` so results survive pytest's capture.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    NBMIntegrityModel,
+    build_dataset,
+    build_world,
+    make_feature_builder,
+    tiny,
+)
+from repro.dataset import (
+    fcc_adjudicated_split,
+    random_observation_split,
+    state_holdout_split,
+)
+
+SEED = 7
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(tiny(seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    return build_dataset(world)
+
+
+@pytest.fixture(scope="session")
+def builder(world):
+    return make_feature_builder(world)
+
+
+@pytest.fixture(scope="session")
+def model_random(world, dataset, builder):
+    split = random_observation_split(dataset, seed=1)
+    model = NBMIntegrityModel(builder, params=world.config.model).fit(
+        dataset, split.train_idx
+    )
+    return model, split
+
+
+@pytest.fixture(scope="session")
+def model_state(world, dataset, builder):
+    split = state_holdout_split(dataset)
+    model = NBMIntegrityModel(builder, params=world.config.model).fit(
+        dataset, split.train_idx
+    )
+    return model, split
+
+
+@pytest.fixture(scope="session")
+def model_fcc(world, dataset, builder):
+    split = fcc_adjudicated_split(dataset, seed=1)
+    model = NBMIntegrityModel(builder, params=world.config.model).fit(
+        dataset, split.train_idx
+    )
+    return model, split
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a bench's rendered output and persist it to a text file."""
+
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        with open(os.path.join(_OUTPUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run an expensive callable exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Build the provider <-> ASN crosswalk and audit its quality (paper §6.1).
+
+Shows the Appendix-C matching pipeline on its own: canonicalize FRN
+registration data and WHOIS contacts, run the four matching methods,
+report per-method yields (Table 5), inter-method agreement (Fig. 3), and
+agreement with as2org+-style groupings:
+
+    python examples/asn_crosswalk.py
+"""
+
+import numpy as np
+
+from repro.asn import build_as2org, build_whois_registry, compare_groupings, match_providers_to_asns
+from repro.fcc import FabricConfig, ProviderConfig, build_provider_id_table, generate_fabric, generate_providers
+from repro.utils import format_kv, format_table
+
+
+def main() -> None:
+    fabric = generate_fabric(FabricConfig(locations_per_million=100), seed=11)
+    universe = generate_providers(fabric, ProviderConfig(n_providers=150), seed=11)
+    frn_table = build_provider_id_table(universe, seed=11)
+    registry = build_whois_registry(universe, seed=11)
+    crosswalk = match_providers_to_asns(frn_table, registry)
+
+    n = len(universe)
+    matched = len(crosswalk.matched_providers)
+    print(f"{n} providers; {matched} matched to >=1 ASN "
+          f"({100 * matched / n:.1f}%; paper 72.4%)\n")
+
+    rows = [[m.value, c] for m, c in crosswalk.method_counts().items()]
+    print(format_table(["Matching methodology", "# providers"], rows,
+                       title="Per-method yields (paper Table 5 shape)"))
+
+    methods, matrix = crosswalk.jaccard_matrix()
+    print("\nInter-method mean Jaccard (paper Fig. 3):")
+    header = ["method"] + [m.value[:10] for m in methods]
+    jrows = []
+    for i, m in enumerate(methods):
+        jrows.append([m.value[:18]] + [
+            "-" if np.isnan(matrix[i, j]) else f"{matrix[i, j]:.2f}"
+            for j in range(len(methods))
+        ])
+    print(format_table(header, jrows))
+
+    strengths = {}
+    for pid in crosswalk.union:
+        strengths[crosswalk.match_strength(pid)] = strengths.get(crosswalk.match_strength(pid), 0) + 1
+    comparison = compare_groupings(crosswalk, build_as2org(registry))
+    print("\n" + format_kv([
+        ("strong matches (multi-method, Jaccard 1)", strengths.get("strong", 0)),
+        ("partial matches", strengths.get("partial", 0)),
+        ("single-method matches", strengths.get("single", 0)),
+        ("unmatched", strengths.get("none", 0)),
+        ("shared ASNs (multi-provider)", len(crosswalk.shared_asns)),
+        ("as2org+ mean Jaccard (paper ~0.9)", comparison.mean_jaccard),
+        ("as2org+ exact-group rate (paper 0.80)", comparison.exact_match_rate),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

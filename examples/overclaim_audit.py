@@ -1,0 +1,31 @@
+"""Overclaim audit: the Jefferson County Cable case study (paper §6.3).
+
+Injects a provider that deliberately overclaims a contiguous unserved
+region (as Jefferson County Cable did to block BEAD funding for a market
+it wanted for itself), trains the model with the provider's entire
+neighbourhood of states held out, and shows that the fabricated region
+lights up while the genuine service area stays mostly clean:
+
+    python examples/overclaim_audit.py
+"""
+
+from repro.core import run_jcc_case_study, tiny
+
+
+def main() -> None:
+    print("Running the Jefferson County Cable case study "
+          "(builds its own world; ~2 minutes)...\n")
+    result = run_jcc_case_study(tiny(seed=7))
+    print(f"States held out of training: {', '.join(result.holdout_states)}")
+    print(f"Fabricated-region cells flagged: {100 * result.detection_rate:.0f}%")
+    print(f"Genuine-area cells flagged:      {100 * result.false_alarm_rate:.0f}%")
+    print(f"Fabricated-vs-genuine separation AUC: {result.separation_auc:.3f}")
+    print("\n" + result.render_map())
+    print(
+        "\nPaper Fig. 8: 'Our model identifies the red region in the west "
+        "where this provider falsely claimed to provide service.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` requires the ``wheel`` package to build an editable
+wheel (PEP 660); on fully offline machines without ``wheel`` installed,
+``python setup.py develop --no-deps`` provides the same editable install
+through the legacy path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

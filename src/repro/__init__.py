@@ -1,0 +1,14 @@
+"""repro — a reproduction of "Red is Sus" (IMC 2024).
+
+Automated identification of low-quality service availability claims in the
+US National Broadband Map: a full pipeline from (simulated) FCC Broadband
+Data Collection filings and crowdsourced speed tests to a gradient-boosted
+integrity classifier with SHAP interpretation.
+
+Top-level convenience imports expose the main public entry points; see
+``repro.core`` for the end-to-end pipeline.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""ASN substrate: the ARIN-style WHOIS registry simulator, canonicalization
+rules (USPS Pub 28 et al.), the 4-method provider<->ASN matcher, and the
+as2org+ grouping comparison."""
+
+from repro.asn.as2org import As2OrgDataset, build_as2org, compare_groupings
+from repro.asn.canonicalize import (
+    PUBLIC_EMAIL_DOMAINS,
+    canonical_address,
+    canonical_company_name,
+    canonical_email,
+    canonical_email_domain,
+)
+from repro.asn.matching import CrosswalkResult, MatchMethod, match_providers_to_asns
+from repro.asn.whois import (
+    ASNRecord,
+    OrgRecord,
+    POCRecord,
+    WhoisConfig,
+    WhoisRegistry,
+    build_whois_registry,
+)
+
+__all__ = [
+    "As2OrgDataset",
+    "build_as2org",
+    "compare_groupings",
+    "PUBLIC_EMAIL_DOMAINS",
+    "canonical_address",
+    "canonical_company_name",
+    "canonical_email",
+    "canonical_email_domain",
+    "CrosswalkResult",
+    "MatchMethod",
+    "match_providers_to_asns",
+    "ASNRecord",
+    "OrgRecord",
+    "POCRecord",
+    "WhoisConfig",
+    "WhoisRegistry",
+    "build_whois_registry",
+]

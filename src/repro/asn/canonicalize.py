@@ -1,0 +1,134 @@
+"""Canonicalization rules for registration-data matching (paper Appendix C).
+
+The four matching methods each standardize their field before comparison:
+
+* **Email** — strip whitespace, lowercase.
+* **Contact email domain** — the part after ``@``, with domains open for
+  public registration (gmail, yahoo, ...) filtered out.
+* **Company name** — strip corporate suffixes ("Inc", "LLC", ...), drop
+  all non-alphanumeric/non-whitespace characters, lowercase.
+* **Physical address** — abbreviate street designators per USPS
+  Publication 28, drop punctuation, lowercase.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "canonical_email",
+    "canonical_email_domain",
+    "canonical_company_name",
+    "canonical_address",
+    "PUBLIC_EMAIL_DOMAINS",
+]
+
+#: Domains anyone can register a mailbox on; matching on them is spurious.
+PUBLIC_EMAIL_DOMAINS = frozenset(
+    {
+        "gmail.com",
+        "yahoo.com",
+        "hotmail.com",
+        "outlook.com",
+        "aol.com",
+        "icloud.com",
+        "msn.com",
+        "protonmail.com",
+    }
+)
+
+#: USPS Publication 28 street-designator abbreviations (the subset that
+#: appears in registration data; keys and replacements compared lowercase).
+_USPS_PUB28 = {
+    "street": "st",
+    "avenue": "ave",
+    "boulevard": "blvd",
+    "drive": "dr",
+    "lane": "ln",
+    "road": "rd",
+    "court": "ct",
+    "circle": "cir",
+    "highway": "hwy",
+    "parkway": "pkwy",
+    "place": "pl",
+    "square": "sq",
+    "terrace": "ter",
+    "trail": "trl",
+    "turnpike": "tpke",
+    "expressway": "expy",
+    "north": "n",
+    "south": "s",
+    "east": "e",
+    "west": "w",
+    "suite": "ste",
+    "apartment": "apt",
+    "building": "bldg",
+    "floor": "fl",
+    "room": "rm",
+    "post office box": "po box",
+}
+
+_CORPORATE_SUFFIXES = ("incorporated", "inc", "llc", "l l c", "corp", "corporation", "co", "company", "ltd")
+
+
+def canonical_email(email: str) -> str:
+    """Canonical form of a full email address.
+
+    >>> canonical_email("  NOC@Example.COM ")
+    'noc@example.com'
+    """
+    return email.strip().lower()
+
+
+def canonical_email_domain(email: str) -> str | None:
+    """Canonical email domain, or None for public/unusable domains.
+
+    >>> canonical_email_domain("noc@ValleyTel.com")
+    'valleytel.com'
+    >>> canonical_email_domain("bob@gmail.com") is None
+    True
+    """
+    email = canonical_email(email)
+    if "@" not in email:
+        return None
+    domain = email.rsplit("@", 1)[1].strip()
+    if not domain or domain in PUBLIC_EMAIL_DOMAINS:
+        return None
+    return domain
+
+
+def canonical_company_name(name: str) -> str:
+    """Canonical company name: suffixes and punctuation removed, lowercase.
+
+    >>> canonical_company_name("Valley Telecom, L.L.C.")
+    'valley telecom'
+    >>> canonical_company_name("ACME FIBER INC") == canonical_company_name("Acme Fiber")
+    True
+    """
+    out = re.sub(r"[^0-9a-zA-Z\s]", " ", name.lower())
+    out = re.sub(r"\s+", " ", out).strip()
+    changed = True
+    while changed:
+        changed = False
+        for suffix in _CORPORATE_SUFFIXES:
+            if out.endswith(" " + suffix):
+                out = out[: -len(suffix) - 1].rstrip()
+                changed = True
+    return out
+
+
+def canonical_address(address: str) -> str:
+    """Canonical postal address per USPS Pub 28 abbreviation rules.
+
+    >>> canonical_address("100 Main Street, Springfield, NE 68001")
+    '100 main st springfield ne 68001'
+    >>> canonical_address("100 MAIN ST Springfield NE 68001")
+    '100 main st springfield ne 68001'
+    """
+    out = re.sub(r"[^0-9a-zA-Z\s]", " ", address.lower())
+    out = re.sub(r"\s+", " ", out).strip()
+    words = [
+        _USPS_PUB28.get(word, word)
+        for word in out.split(" ")
+    ]
+    return " ".join(words)

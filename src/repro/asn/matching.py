@@ -1,0 +1,159 @@
+"""Provider <-> ASN crosswalk via four independent matching methods.
+
+Appendix C of the paper: canonicalize FRN registration data and WHOIS
+contact data, build per-method maps from canonical keys to Provider IDs,
+and match each ASN's contact data against them.  The provider's final ASN
+set is the union across methods; agreement between methods (Jaccard) is
+the paper's confidence signal (Fig. 3), and per-method match counts are
+Table 5.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asn.canonicalize import (
+    canonical_address,
+    canonical_company_name,
+    canonical_email,
+    canonical_email_domain,
+)
+from repro.asn.whois import WhoisRegistry
+from repro.fcc.frn import ProviderIDTable
+
+__all__ = ["MatchMethod", "CrosswalkResult", "match_providers_to_asns"]
+
+
+class MatchMethod(enum.Enum):
+    """The four independent matching methods (Table 5 rows)."""
+
+    FULL_EMAIL = "Full Email Address"
+    EMAIL_DOMAIN = "Contact Email Domain"
+    COMPANY_NAME = "Company Name"
+    PHYSICAL_ADDRESS = "Physical Address"
+
+
+@dataclass
+class CrosswalkResult:
+    """Output of the matching pipeline."""
+
+    #: method -> provider_id -> set of matched ASNs.
+    by_method: dict[MatchMethod, dict[int, set[int]]]
+    #: provider_id -> union of ASNs across methods.
+    union: dict[int, set[int]]
+    #: ASNs matched to more than one provider (shared infrastructure).
+    shared_asns: dict[int, set[int]] = field(default_factory=dict)
+
+    @property
+    def matched_providers(self) -> set[int]:
+        return {pid for pid, asns in self.union.items() if asns}
+
+    def method_counts(self) -> dict[MatchMethod, int]:
+        """Providers matched per method (paper Table 5)."""
+        return {
+            method: sum(1 for asns in mapping.values() if asns)
+            for method, mapping in self.by_method.items()
+        }
+
+    def match_strength(self, provider_id: int) -> str:
+        """'strong' (multi-method, Jaccard 1), 'partial', 'single', 'none'."""
+        sets = [
+            frozenset(mapping.get(provider_id, set()))
+            for mapping in self.by_method.values()
+        ]
+        nonempty = [s for s in sets if s]
+        if not nonempty:
+            return "none"
+        if len(nonempty) == 1:
+            return "single"
+        if all(s == nonempty[0] for s in nonempty):
+            return "strong"
+        return "partial"
+
+    def jaccard_matrix(self) -> tuple[list[MatchMethod], np.ndarray]:
+        """Mean pairwise Jaccard of per-provider ASN sets (paper Fig. 3).
+
+        Averaged over providers matched by *both* methods of a pair.
+        """
+        methods = list(self.by_method.keys())
+        n = len(methods)
+        matrix = np.full((n, n), np.nan)
+        for i, j in itertools.product(range(n), range(n)):
+            a_map = self.by_method[methods[i]]
+            b_map = self.by_method[methods[j]]
+            scores = []
+            for pid in set(a_map) | set(b_map):
+                a = a_map.get(pid, set())
+                b = b_map.get(pid, set())
+                if a and b:
+                    scores.append(len(a & b) / len(a | b))
+            if scores:
+                matrix[i, j] = float(np.mean(scores))
+        return methods, matrix
+
+
+def _frn_keys(table: ProviderIDTable) -> dict[MatchMethod, dict[str, set[int]]]:
+    """Canonical key -> provider ids, per method, from FRN registration."""
+    maps: dict[MatchMethod, dict[str, set[int]]] = {m: {} for m in MatchMethod}
+    for record in table.records:
+        email = canonical_email(record.contact_email)
+        if email:
+            maps[MatchMethod.FULL_EMAIL].setdefault(email, set()).add(record.provider_id)
+        domain = canonical_email_domain(record.contact_email)
+        if domain:
+            maps[MatchMethod.EMAIL_DOMAIN].setdefault(domain, set()).add(record.provider_id)
+        name = canonical_company_name(record.company_name)
+        if name:
+            maps[MatchMethod.COMPANY_NAME].setdefault(name, set()).add(record.provider_id)
+        address = canonical_address(record.address)
+        if address:
+            maps[MatchMethod.PHYSICAL_ADDRESS].setdefault(address, set()).add(record.provider_id)
+    return maps
+
+
+def match_providers_to_asns(
+    table: ProviderIDTable, registry: WhoisRegistry
+) -> CrosswalkResult:
+    """Run all four matching methods and assemble the crosswalk."""
+    frn_maps = _frn_keys(table)
+    by_method: dict[MatchMethod, dict[int, set[int]]] = {m: {} for m in MatchMethod}
+
+    for asn in registry.all_asns:
+        org = registry.org_for_asn(asn)
+        pocs = registry.pocs_for_asn(asn)
+
+        email_keys = {canonical_email(p.email) for p in pocs}
+        domain_keys = {
+            d for p in pocs if (d := canonical_email_domain(p.email)) is not None
+        }
+        name_keys = {canonical_company_name(org.name)}
+        address_keys = {canonical_address(p.address) for p in pocs}
+
+        for method, keys in (
+            (MatchMethod.FULL_EMAIL, email_keys),
+            (MatchMethod.EMAIL_DOMAIN, domain_keys),
+            (MatchMethod.COMPANY_NAME, name_keys),
+            (MatchMethod.PHYSICAL_ADDRESS, address_keys),
+        ):
+            for key in keys:
+                for pid in frn_maps[method].get(key, ()):
+                    by_method[method].setdefault(pid, set()).add(asn)
+
+    union: dict[int, set[int]] = {}
+    for pid in table.provider_ids:
+        merged: set[int] = set()
+        for mapping in by_method.values():
+            merged |= mapping.get(pid, set())
+        union[pid] = merged
+
+    asn_owners: dict[int, set[int]] = {}
+    for pid, asns in union.items():
+        for asn in asns:
+            asn_owners.setdefault(asn, set()).add(pid)
+    shared = {asn: pids for asn, pids in asn_owners.items() if len(pids) > 1}
+
+    return CrosswalkResult(by_method=by_method, union=union, shared_asns=shared)

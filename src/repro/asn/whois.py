@@ -1,0 +1,352 @@
+"""ARIN-style WHOIS registry (simulated) with ground-truth ASN ownership.
+
+The paper maps ASNs to points of contact through the three relationship
+paths in ARIN bulk WHOIS (ASN -> POC, ASN -> ORG -> POC,
+ASN -> ORG -> NET -> POC) and matches the contact data against FCC
+registration records.  This module generates a registry with the phenomena
+that matching pipeline must survive:
+
+* registration identities that differ in *format* from FRN data (different
+  email local parts, renamed legal entities, re-formatted addresses);
+* providers with multiple ASNs (Comcast's AS7922 plus dozens more);
+* ASNs shared by multiple providers — corporate groups filing separately
+  under a common parent, and regional wholesale transit networks serving
+  many single-homed ISPs (the paper found 226 such ASNs);
+* small providers with no ASN at all (their traffic appears under a
+  transit ASN) — the paper's unmatched tail skews small (Fig. 4);
+* unrelated ASNs (hosting companies, enterprises) as background noise.
+
+``WhoisRegistry.ownership`` is the simulation's ground truth, used to
+stamp MLab tests and to score the crosswalk; the matching pipeline itself
+never sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fcc.frn import perturb_address, perturb_name
+from repro.fcc.providers import Provider, ProviderUniverse
+from repro.utils.rng import stream_rng
+
+__all__ = ["POCRecord", "OrgRecord", "ASNRecord", "WhoisRegistry", "WhoisConfig", "build_whois_registry"]
+
+_PUBLIC_DOMAINS = ("gmail.com", "yahoo.com", "hotmail.com", "outlook.com", "aol.com")
+_LOCAL_PARTS = ("noc", "admin", "ipadmin", "hostmaster", "engineering", "netops", "peering")
+
+
+@dataclass(frozen=True)
+class POCRecord:
+    """A point of contact."""
+
+    handle: str
+    name: str
+    email: str
+    address: str
+
+
+@dataclass(frozen=True)
+class OrgRecord:
+    """An organization owning network resources."""
+
+    org_id: str
+    name: str
+    poc_handles: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ASNRecord:
+    """An autonomous system registration."""
+
+    asn: int
+    as_name: str
+    org_id: str
+    direct_poc_handles: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WhoisConfig:
+    """Knobs for registry generation, calibrated to Table 5 yields."""
+
+    #: P(provider has its own ASN) by size class.
+    asn_ownership: dict[str, float] = field(
+        default_factory=lambda: {
+            "national": 1.0,
+            "satellite": 1.0,
+            "regional": 0.92,
+            "local": 0.55,
+        }
+    )
+    #: Extra ASNs for national providers (Comcast has 58 secondary ASNs).
+    national_extra_asns: tuple[int, int] = (3, 12)
+    #: P(POC email exactly equals the FRN contact email).
+    p_exact_email: float = 0.22
+    #: P(POC email shares the FRN domain | not exact).
+    p_same_domain: float = 0.72
+    #: P(org name is a recognizable variant of the provider's legal name).
+    p_matchable_name: float = 0.78
+    #: P(POC address is a re-formatted copy of the FRN HQ address).
+    p_matchable_address: float = 0.52
+    #: Fraction of ASN-holding tail providers folded into corporate groups
+    #: that share the group's ASN.
+    corporate_group_rate: float = 0.10
+    #: Wholesale transit networks small ISPs single-home behind.
+    n_transit_orgs: int = 5
+    #: P(a provider with no ASN routes through some transit ASN) — their
+    #: MLab tests then appear under that ASN.
+    p_transit_homed: float = 0.75
+    #: Unrelated (non-ISP) ASNs per provider ASN, as background noise.
+    noise_asn_ratio: float = 0.3
+    #: Providers guaranteed their own ASN regardless of size-class odds
+    #: (case studies inject providers that must be crosswalk-reachable).
+    force_asn_provider_ids: tuple[int, ...] = ()
+
+
+class WhoisRegistry:
+    """The generated registry plus ground-truth ownership."""
+
+    def __init__(
+        self,
+        asns: dict[int, ASNRecord],
+        orgs: dict[str, OrgRecord],
+        pocs: dict[str, POCRecord],
+        ownership: dict[int, tuple[int, ...]],
+        transit_of: dict[int, int],
+        transit_asns: frozenset[int],
+    ):
+        self.asns = asns
+        self.orgs = orgs
+        self.pocs = pocs
+        #: provider_id -> ASNs the provider genuinely controls (may be ()).
+        self.ownership = ownership
+        #: provider_id -> transit ASN carrying the provider's traffic, for
+        #: providers with no ASN of their own.
+        self.transit_of = transit_of
+        self.transit_asns = transit_asns
+
+    def pocs_for_asn(self, asn: int) -> list[POCRecord]:
+        """POCs reachable via ASN->POC and ASN->ORG->POC paths."""
+        record = self.asns.get(asn)
+        if record is None:
+            raise KeyError(f"unknown ASN {asn}")
+        handles: list[str] = list(record.direct_poc_handles)
+        org = self.orgs.get(record.org_id)
+        if org is not None:
+            handles.extend(h for h in org.poc_handles if h not in handles)
+        return [self.pocs[h] for h in handles]
+
+    def org_for_asn(self, asn: int) -> OrgRecord:
+        return self.orgs[self.asns[asn].org_id]
+
+    def routing_asns(self, provider_id: int) -> tuple[int, ...]:
+        """ASNs the provider's traffic actually appears under (MLab truth)."""
+        owned = self.ownership.get(provider_id, ())
+        if owned:
+            return owned
+        transit = self.transit_of.get(provider_id)
+        return (transit,) if transit is not None else ()
+
+    @property
+    def all_asns(self) -> list[int]:
+        return sorted(self.asns.keys())
+
+
+def _poc_email(
+    rng: np.random.Generator, provider: Provider, config: WhoisConfig
+) -> str:
+    roll = rng.random()
+    if roll < config.p_exact_email:
+        return provider.contact_email
+    if roll < config.p_exact_email + (1 - config.p_exact_email) * config.p_same_domain:
+        local = _LOCAL_PARTS[int(rng.integers(len(_LOCAL_PARTS)))]
+        return f"{local}@{provider.email_domain}"
+    domain = _PUBLIC_DOMAINS[int(rng.integers(len(_PUBLIC_DOMAINS)))]
+    stem = provider.email_domain.split(".")[0][:10]
+    return f"{stem}{int(rng.integers(1, 99))}@{domain}"
+
+
+def _org_name(rng: np.random.Generator, provider: Provider, config: WhoisConfig) -> str:
+    if rng.random() < config.p_matchable_name:
+        return perturb_name(rng, provider.name)
+    stem = provider.name.split()[0]
+    return f"{stem} Holdings Group"
+
+
+def _poc_address(rng: np.random.Generator, provider: Provider, config: WhoisConfig) -> str:
+    if rng.random() < config.p_matchable_address:
+        return perturb_address(rng, provider.hq_address)
+    zip5 = int(rng.integers(10000, 99999))
+    return f"PO Box {int(rng.integers(10, 9999))}, Denver, CO {zip5}"
+
+
+def build_whois_registry(
+    universe: ProviderUniverse,
+    config: WhoisConfig | None = None,
+    seed: int = 0,
+) -> WhoisRegistry:
+    """Generate the WHOIS registry for a provider universe."""
+    config = config or WhoisConfig()
+    asns: dict[int, ASNRecord] = {}
+    orgs: dict[str, OrgRecord] = {}
+    pocs: dict[str, POCRecord] = {}
+    ownership: dict[int, tuple[int, ...]] = {}
+    transit_of: dict[int, int] = {}
+
+    alloc_rng = stream_rng(seed, "whois", "alloc")
+    next_asn = 3000
+
+    def _allocate_asn() -> int:
+        nonlocal next_asn
+        asn = next_asn
+        next_asn += int(alloc_rng.integers(1, 40))
+        return asn
+
+    def _new_poc(rng, provider, handle_stem) -> str:
+        handle = f"POC-{handle_stem}"
+        pocs[handle] = POCRecord(
+            handle=handle,
+            name=f"{provider.name.split()[0]} NOC",
+            email=_poc_email(rng, provider, config),
+            address=_poc_address(rng, provider, config),
+        )
+        return handle
+
+    # --- transit networks ---------------------------------------------------
+    transit_asn_list: list[int] = []
+    for i in range(config.n_transit_orgs):
+        rng = stream_rng(seed, "whois", "transit", i)
+        asn = _allocate_asn()
+        org_id = f"ORG-TRANSIT-{i}"
+        handle = f"POC-TRANSIT-{i}"
+        pocs[handle] = POCRecord(
+            handle=handle,
+            name=f"Transit {i} NOC",
+            email=f"noc@transit{i}-backbone.net",
+            address=f"{100 + i} Carrier Way, Dallas, TX 75001",
+        )
+        orgs[org_id] = OrgRecord(
+            org_id=org_id, name=f"Heartland Transit Partners {i}", poc_handles=(handle,)
+        )
+        asns[asn] = ASNRecord(
+            asn=asn, as_name=f"TRANSIT-{i}-BACKBONE", org_id=org_id,
+            direct_poc_handles=(),
+        )
+        transit_asn_list.append(asn)
+
+    # --- corporate groups ---------------------------------------------------
+    # Some tail providers share a holding company and one ASN between them.
+    forced = set(config.force_asn_provider_ids)
+    tail = [
+        p
+        for p in universe.providers
+        if p.size_class in ("regional", "local") and p.provider_id not in forced
+    ]
+    group_rng = stream_rng(seed, "whois", "groups")
+    group_members: dict[int, list[Provider]] = {}
+    grouped: set[int] = set()
+    n_groups = max(0, int(round(config.corporate_group_rate * len(tail) / 2.5)))
+    shuffled = list(tail)
+    group_rng.shuffle(shuffled)
+    cursor = 0
+    for g in range(n_groups):
+        size = int(group_rng.integers(2, 4))
+        members = shuffled[cursor : cursor + size]
+        cursor += size
+        if len(members) < 2:
+            break
+        group_members[g] = members
+        grouped.update(p.provider_id for p in members)
+
+    for g, members in group_members.items():
+        rng = stream_rng(seed, "whois", "group", g)
+        parent = members[0]
+        asn = _allocate_asn()
+        org_id = f"ORG-GROUP-{g}"
+        handles = tuple(
+            _new_poc(rng, member, f"G{g}-{j}") for j, member in enumerate(members)
+        )
+        orgs[org_id] = OrgRecord(
+            org_id=org_id,
+            name=perturb_name(rng, parent.holding_company),
+            poc_handles=handles,
+        )
+        asns[asn] = ASNRecord(
+            asn=asn,
+            as_name=parent.name.split()[0].upper() + "-GROUP",
+            org_id=org_id,
+            direct_poc_handles=(),
+        )
+        for member in members:
+            ownership[member.provider_id] = (asn,)
+
+    # --- per-provider ASNs ----------------------------------------------------
+    for provider in universe.providers:
+        if provider.provider_id in ownership:
+            continue  # grouped above
+        rng = stream_rng(seed, "whois", provider.provider_id)
+        p_own = config.asn_ownership.get(provider.size_class, 0.5)
+        if provider.provider_id in forced:
+            p_own = 1.0
+        if rng.random() >= p_own:
+            ownership[provider.provider_id] = ()
+            if rng.random() < config.p_transit_homed and transit_asn_list:
+                transit_of[provider.provider_id] = int(
+                    transit_asn_list[int(rng.integers(len(transit_asn_list)))]
+                )
+            continue
+        n_extra = (
+            int(rng.integers(*config.national_extra_asns))
+            if provider.size_class == "national"
+            else int(rng.integers(0, 2))
+        )
+        provider_asns = [_allocate_asn() for _ in range(1 + n_extra)]
+        org_id = f"ORG-{provider.provider_id}"
+        handles = tuple(
+            _new_poc(rng, provider, f"{provider.provider_id}-{j}")
+            for j in range(int(rng.integers(1, 3)))
+        )
+        orgs[org_id] = OrgRecord(
+            org_id=org_id,
+            name=_org_name(rng, provider, config),
+            poc_handles=handles,
+        )
+        for j, asn in enumerate(provider_asns):
+            direct = (handles[0],) if j == 0 and rng.random() < 0.5 else ()
+            asns[asn] = ASNRecord(
+                asn=asn,
+                as_name=provider.name.split()[0].upper() + (f"-{j}" if j else ""),
+                org_id=org_id,
+                direct_poc_handles=direct,
+            )
+        ownership[provider.provider_id] = tuple(provider_asns)
+
+    # --- background noise ASNs ----------------------------------------------
+    n_noise = int(round(config.noise_asn_ratio * len(asns)))
+    for i in range(n_noise):
+        rng = stream_rng(seed, "whois", "noise", i)
+        asn = _allocate_asn()
+        org_id = f"ORG-NOISE-{i}"
+        handle = f"POC-NOISE-{i}"
+        pocs[handle] = POCRecord(
+            handle=handle,
+            name=f"Enterprise {i}",
+            email=f"it{i}@enterprise{i}.example.com",
+            address=f"{i + 1} Corporate Plaza, Chicago, IL 60601",
+        )
+        orgs[org_id] = OrgRecord(
+            org_id=org_id, name=f"Enterprise Hosting {i} Corp", poc_handles=(handle,)
+        )
+        asns[asn] = ASNRecord(
+            asn=asn, as_name=f"ENT-{i}", org_id=org_id, direct_poc_handles=()
+        )
+
+    return WhoisRegistry(
+        asns=asns,
+        orgs=orgs,
+        pocs=pocs,
+        ownership=ownership,
+        transit_of=transit_of,
+        transit_asns=frozenset(transit_asn_list),
+    )

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: the end-to-end pipeline from BDC
+artifacts + crowdsourced speed tests to the NBM integrity classifier,
+with evaluation reports and the Jefferson County Cable case study."""
+
+from repro.core.casestudy import (
+    JCC_PROVIDER_ID,
+    JCCCaseStudyResult,
+    inject_jcc,
+    run_jcc_case_study,
+)
+from repro.core.config import ScenarioConfig, paper, small, tiny
+from repro.core.model import EvaluationResult, NBMIntegrityModel
+from repro.core.pipeline import (
+    SimulationWorld,
+    build_dataset,
+    build_world,
+    make_feature_builder,
+)
+from repro.core.reports import (
+    SliceReport,
+    provider_reports,
+    slice_report,
+    state_reports,
+    technology_reports,
+)
+
+__all__ = [
+    "JCC_PROVIDER_ID",
+    "JCCCaseStudyResult",
+    "inject_jcc",
+    "run_jcc_case_study",
+    "ScenarioConfig",
+    "paper",
+    "small",
+    "tiny",
+    "EvaluationResult",
+    "NBMIntegrityModel",
+    "SimulationWorld",
+    "build_dataset",
+    "build_world",
+    "make_feature_builder",
+    "SliceReport",
+    "provider_reports",
+    "slice_report",
+    "state_reports",
+    "technology_reports",
+]

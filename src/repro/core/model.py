@@ -1,0 +1,197 @@
+"""The NBM integrity classifier (paper §5).
+
+``NBMIntegrityModel`` wraps the GBDT over Table-4 features: it trains on a
+labelled dataset, scores arbitrary observations with the probability that
+the claim is *suspicious* (would fail a challenge), evaluates against the
+paper's holdout protocols, tunes hyper-parameters with Bayesian
+optimization, and explains itself with exact TreeSHAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.observations import LabelledDataset, Observation
+from repro.dataset.splits import Split
+from repro.features.vectorize import FeatureBuilder
+from repro.ml.bayesopt import ParamSpec, SearchSpace, maximize
+from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier
+from repro.ml.metrics import (
+    BinaryClassificationReport,
+    classification_report,
+    f1_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.shap import SHAPExplanation, shap_values
+
+__all__ = ["EvaluationResult", "NBMIntegrityModel"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Metrics for one holdout evaluation (one panel of paper Fig. 5)."""
+
+    auc: float
+    f1: float
+    report: BinaryClassificationReport
+    fpr: np.ndarray
+    tpr: np.ndarray
+    n_test: int
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "auc": self.auc,
+            "f1": self.f1,
+            "accuracy": self.report.accuracy,
+            "precision_pos": self.report.precision_pos,
+            "recall_pos": self.report.recall_pos,
+            "precision_neg": self.report.precision_neg,
+            "recall_neg": self.report.recall_neg,
+            "n_test": float(self.n_test),
+        }
+
+
+class NBMIntegrityModel:
+    """Gradient-boosted classifier over Table-4 observation features."""
+
+    def __init__(self, builder: FeatureBuilder, params: GBDTParams | None = None):
+        self.builder = builder
+        self.params = params or GBDTParams(n_estimators=120, max_depth=6, learning_rate=0.15)
+        self._clf: GradientBoostedClassifier | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._clf is not None
+
+    @property
+    def classifier(self) -> GradientBoostedClassifier:
+        if self._clf is None:
+            raise RuntimeError("model is not fitted")
+        return self._clf
+
+    # -- training -------------------------------------------------------------
+
+    def fit(
+        self,
+        dataset: LabelledDataset,
+        train_idx: np.ndarray | None = None,
+    ) -> "NBMIntegrityModel":
+        """Train on (a subset of) a labelled dataset."""
+        observations = (
+            list(dataset)
+            if train_idx is None
+            else [dataset[i] for i in train_idx]
+        )
+        if not observations:
+            raise ValueError("no training observations")
+        X = self.builder.vectorize(observations)
+        y = self.builder.labels(observations)
+        self._clf = GradientBoostedClassifier(self.params).fit(X, y)
+        return self
+
+    # -- inference --------------------------------------------------------------
+
+    def predict_proba(self, observations: list[Observation]) -> np.ndarray:
+        """P(claim is suspicious / would fail a challenge) per observation."""
+        X = self.builder.vectorize(observations)
+        return self.classifier.predict_proba(X)
+
+    def predict(
+        self, observations: list[Observation], threshold: float = 0.5
+    ) -> np.ndarray:
+        return (self.predict_proba(observations) >= threshold).astype(np.int64)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, dataset: LabelledDataset, split: Split) -> EvaluationResult:
+        """Evaluate on a split's held-out observations (paper Fig. 5)."""
+        test = split.test(dataset)
+        y = self.builder.labels(test)
+        scores = self.predict_proba(test)
+        preds = (scores >= 0.5).astype(np.int64)
+        fpr, tpr, _ = roc_curve(y, scores)
+        return EvaluationResult(
+            auc=roc_auc_score(y, scores),
+            f1=f1_score(y, preds),
+            report=classification_report(y, preds),
+            fpr=fpr,
+            tpr=tpr,
+            n_test=len(test),
+        )
+
+    def explain(
+        self, observations: list[Observation]
+    ) -> SHAPExplanation:
+        """Exact TreeSHAP attributions for a batch of observations."""
+        X = self.builder.vectorize(observations)
+        return shap_values(
+            self.classifier, X, feature_names=tuple(self.builder.feature_names)
+        )
+
+    def feature_importances(self, top_k: int | None = None) -> list[tuple[str, float]]:
+        """Gain-based importances paired with feature names."""
+        importances = self.classifier.feature_importances_
+        names = self.builder.feature_names
+        order = np.argsort(-importances)
+        if top_k is not None:
+            order = order[:top_k]
+        return [(names[i], float(importances[i])) for i in order]
+
+    # -- hyper-parameter tuning ------------------------------------------------------
+
+    def tune(
+        self,
+        dataset: LabelledDataset,
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        n_iter: int = 15,
+        seed: int = 0,
+    ) -> GBDTParams:
+        """Bayesian-optimize hyper-parameters on a validation AUC objective.
+
+        Updates ``self.params`` to the best configuration and returns it
+        (the model still needs a final :meth:`fit`).
+        """
+        train_obs = [dataset[i] for i in train_idx]
+        val_obs = [dataset[i] for i in val_idx]
+        X_train = self.builder.vectorize(train_obs)
+        y_train = self.builder.labels(train_obs)
+        X_val = self.builder.vectorize(val_obs)
+        y_val = self.builder.labels(val_obs)
+
+        space = SearchSpace(
+            {
+                "learning_rate": ParamSpec(0.03, 0.5, log=True),
+                "max_depth": ParamSpec(3, 8, integer=True),
+                "n_estimators": ParamSpec(40, 250, integer=True),
+                "min_child_weight": ParamSpec(0.5, 20.0, log=True),
+                "subsample": ParamSpec(0.5, 1.0),
+            }
+        )
+
+        def objective(params: dict) -> float:
+            clf = GradientBoostedClassifier(
+                GBDTParams(
+                    n_estimators=int(params["n_estimators"]),
+                    learning_rate=float(params["learning_rate"]),
+                    max_depth=int(params["max_depth"]),
+                    min_child_weight=float(params["min_child_weight"]),
+                    subsample=float(params["subsample"]),
+                    random_state=seed,
+                )
+            ).fit(X_train, y_train)
+            return roc_auc_score(y_val, clf.predict_proba(X_val))
+
+        best, _value, _opt = maximize(objective, space, n_iter=n_iter, seed=seed)
+        self.params = GBDTParams(
+            n_estimators=int(best["n_estimators"]),
+            learning_rate=float(best["learning_rate"]),
+            max_depth=int(best["max_depth"]),
+            min_child_weight=float(best["min_child_weight"]),
+            subsample=float(best["subsample"]),
+            random_state=seed,
+        )
+        return self.params

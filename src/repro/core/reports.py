@@ -1,0 +1,151 @@
+"""Slice-level evaluation reports (paper Tables 7-8, Figure 6).
+
+Given a fitted model and a held-out set, these helpers compute the
+classification outcome mix (TN/TP/FN/FP percentages) per slice —
+technology, state, or provider — alongside the class-average values of
+the prominent features, exactly the layout of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import NBMIntegrityModel
+from repro.dataset.observations import LabelledDataset, Observation
+from repro.dataset.splits import Split
+from repro.fcc.providers import TECHNOLOGY_NAMES
+
+__all__ = ["SliceReport", "slice_report", "technology_reports", "state_reports", "provider_reports"]
+
+#: Outcome classes in paper order.
+_CLASSES = ("TN", "TP", "FN", "FP")
+
+
+@dataclass
+class SliceReport:
+    """Outcome mix and class-average features for one slice."""
+
+    slice_name: str
+    n: int
+    class_pct: dict[str, float]
+    #: class -> feature name -> mean value over observations in the class.
+    class_feature_means: dict[str, dict[str, float]]
+
+    @property
+    def accuracy(self) -> float:
+        return (self.class_pct["TN"] + self.class_pct["TP"]) / 100.0
+
+
+def _outcome_class(label: int, pred: int) -> str:
+    if label == 1 and pred == 1:
+        return "TP"
+    if label == 0 and pred == 0:
+        return "TN"
+    if label == 1 and pred == 0:
+        return "FN"
+    return "FP"
+
+
+def slice_report(
+    model: NBMIntegrityModel,
+    observations: list[Observation],
+    slice_name: str,
+    feature_names: tuple[str, ...] = ("Ookla (Dev/Loc)", "MLab Test Counts"),
+) -> SliceReport:
+    """Classification-outcome report for one slice of observations."""
+    if not observations:
+        raise ValueError("empty slice")
+    y = model.builder.labels(observations)
+    preds = model.predict(observations)
+    X = model.builder.vectorize(observations)
+    all_names = model.builder.feature_names
+    indices = {name: all_names.index(name) for name in feature_names}
+
+    classes = np.array(
+        [_outcome_class(int(label), int(pred)) for label, pred in zip(y, preds)]
+    )
+    n = len(observations)
+    class_pct = {c: 100.0 * float((classes == c).mean()) for c in _CLASSES}
+    means: dict[str, dict[str, float]] = {}
+    for c in _CLASSES:
+        mask = classes == c
+        if mask.any():
+            means[c] = {
+                name: float(X[mask, idx].mean()) for name, idx in indices.items()
+            }
+        else:
+            means[c] = {name: float("nan") for name in indices}
+    return SliceReport(
+        slice_name=slice_name, n=n, class_pct=class_pct, class_feature_means=means
+    )
+
+
+def technology_reports(
+    model: NBMIntegrityModel,
+    dataset: LabelledDataset,
+    split: Split,
+    feature_names: tuple[str, ...] = ("Ookla (Dev/Loc)", "MLab Test Counts"),
+    min_slice: int = 30,
+) -> list[SliceReport]:
+    """Per-technology reports over a split's test set (paper Table 7)."""
+    test = split.test(dataset)
+    by_tech: dict[int, list[Observation]] = {}
+    for obs in test:
+        by_tech.setdefault(obs.technology, []).append(obs)
+    out = []
+    for tech in sorted(by_tech, key=lambda t: -len(by_tech[t])):
+        rows = by_tech[tech]
+        if len(rows) < min_slice:
+            continue
+        name = f"{TECHNOLOGY_NAMES.get(tech, str(tech))} ({tech})"
+        out.append(slice_report(model, rows, name, feature_names))
+    return out
+
+
+def state_reports(
+    model: NBMIntegrityModel,
+    dataset: LabelledDataset,
+    split: Split,
+    feature_names: tuple[str, ...] = (
+        "Ookla (Dev/Loc)",
+        "MLab Test Counts",
+        "Max Adv. DL Speed (Mbps)",
+        "Max Adv. UL Speed (Mbps)",
+    ),
+    min_slice: int = 100,
+) -> list[SliceReport]:
+    """Per-state reports over a split's test set (paper Table 8)."""
+    test = split.test(dataset)
+    by_state: dict[str, list[Observation]] = {}
+    for obs in test:
+        by_state.setdefault(obs.state, []).append(obs)
+    out = []
+    for state in sorted(by_state, key=lambda s: -len(by_state[s])):
+        rows = by_state[state]
+        if len(rows) < min_slice:
+            continue
+        out.append(slice_report(model, rows, state, feature_names))
+    return out
+
+
+def provider_reports(
+    model: NBMIntegrityModel,
+    dataset: LabelledDataset,
+    split: Split,
+    provider_ids: dict[int, str],
+    min_slice: int = 20,
+) -> list[SliceReport]:
+    """Per-provider reports (paper Fig. 6 evaluates the 8 major ISPs)."""
+    test = split.test(dataset)
+    by_provider: dict[int, list[Observation]] = {}
+    for obs in test:
+        if obs.provider_id in provider_ids:
+            by_provider.setdefault(obs.provider_id, []).append(obs)
+    out = []
+    for pid, rows in sorted(by_provider.items(), key=lambda kv: -len(kv[1])):
+        if len(rows) < min_slice:
+            continue
+        out.append(slice_report(model, rows, provider_ids[pid]))
+    return out

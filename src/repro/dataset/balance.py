@@ -1,0 +1,100 @@
+"""Per-provider / per-state dataset balancing (paper §4.3).
+
+Challenge- and change-derived labels overwhelmingly mark claims *unserved*
+(they record removals), so training on them alone biases the model toward
+predicting everything suspicious.  The paper balances by adding synthetic
+likely-served observations — ordered by descending service coverage score
+— per provider within each state, falling back to balancing the state as
+a whole when a provider lacks enough candidates.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.likely_served import MLabLocalization, likely_served_claims
+from repro.dataset.observations import LabelledDataset, LabelSource, Observation
+from repro.fcc.bdc import AvailabilityTable, ClaimKey
+
+__all__ = ["balance_dataset"]
+
+
+def balance_dataset(
+    base: LabelledDataset,
+    table: AvailabilityTable,
+    coverage_scores: dict[int, float],
+    localization: MLabLocalization,
+    claim_states: dict[ClaimKey, str],
+    coverage_threshold: float = 1.0,
+) -> LabelledDataset:
+    """Balance unserved/served counts with synthetic likely-served labels.
+
+    For every (state, provider) with more unserved than served labels, add
+    the provider's highest-scoring likely-served claims until balanced.
+    Any remaining statewide imbalance is patched with other providers'
+    candidates in the same state (the paper's state-level fallback).
+    """
+    candidates = likely_served_claims(
+        table, coverage_scores, localization, threshold=coverage_threshold
+    )
+    used: set[ClaimKey] = {obs.claim_key for obs in base}
+    # Candidate pools keyed by (state, provider) and by state, score-ordered.
+    by_state_provider: dict[tuple[str, int], list[ClaimKey]] = {}
+    by_state: dict[str, list[ClaimKey]] = {}
+    for key, _score in candidates:
+        state = claim_states.get(key)
+        if state is None or key in used:
+            continue
+        by_state_provider.setdefault((state, key[0]), []).append(key)
+        by_state.setdefault(state, []).append(key)
+
+    deficits: dict[tuple[str, int], int] = {}
+    for obs in base:
+        delta = 1 if obs.unserved else -1
+        key = (obs.state, obs.provider_id)
+        deficits[key] = deficits.get(key, 0) + delta
+
+    added: list[Observation] = []
+    taken: set[ClaimKey] = set()
+
+    def _take(key: ClaimKey, state: str) -> None:
+        taken.add(key)
+        added.append(
+            Observation(
+                provider_id=key[0],
+                cell=key[1],
+                technology=key[2],
+                state=state,
+                unserved=0,
+                source=LabelSource.SYNTHETIC,
+            )
+        )
+
+    state_residual: dict[str, int] = {}
+    for (state, pid), deficit in sorted(deficits.items()):
+        if deficit <= 0:
+            state_residual[state] = state_residual.get(state, 0)
+            continue
+        pool = by_state_provider.get((state, pid), [])
+        take = 0
+        for key in pool:
+            if take >= deficit:
+                break
+            if key in taken:
+                continue
+            _take(key, state)
+            take += 1
+        state_residual[state] = state_residual.get(state, 0) + (deficit - take)
+
+    # State-level fallback: patch remaining deficit with any provider's
+    # candidates in the state.
+    for state, residual in sorted(state_residual.items()):
+        if residual <= 0:
+            continue
+        for key in by_state.get(state, []):
+            if residual <= 0:
+                break
+            if key in taken:
+                continue
+            _take(key, state)
+            residual -= 1
+
+    return LabelledDataset(list(base) + added)

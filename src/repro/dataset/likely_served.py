@@ -1,0 +1,156 @@
+"""Inferring likely served locations from crowdsourced tests (paper §4.2).
+
+Two crowdsourced signals combine into synthetic "known good" claims:
+
+1. **Ookla service coverage score** — unique testing devices per BSL in a
+   hex cell.  A score >= 1 means the cell saw at least one device per
+   serviceable location: service is clearly available there from *some*
+   provider (Ookla has no provider attribution).
+2. **MLab provider localization** — each NDT7 test is attributed to a
+   provider through the ASN crosswalk, then localized to the hexes within
+   its geolocation accuracy radius (tests with radius > 20 km are
+   dropped), intersected with the provider's claimed NBM footprint.
+
+A claim (provider, cell, technology) is *likely served* when the cell's
+coverage score clears the threshold, an attributed MLab test could have
+run in the cell from that provider's network, and the provider claims the
+cell in the NBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asn.matching import CrosswalkResult
+from repro.fcc.bdc import AvailabilityTable, ClaimKey
+from repro.fcc.fabric import Fabric
+from repro.geo import cells_within_radius
+from repro.geo.reproject import HexAggregate
+from repro.speedtests.mlab import MLabTest
+
+__all__ = [
+    "service_coverage_scores",
+    "MLabLocalization",
+    "localize_mlab_tests",
+    "likely_served_claims",
+    "MAX_GEOLOCATION_RADIUS_M",
+]
+
+#: Paper §4.2.2: tests with accuracy radius above 20 km are excluded.
+MAX_GEOLOCATION_RADIUS_M = 20_000.0
+
+
+def service_coverage_scores(
+    fabric: Fabric, hex_aggregates: dict[int, HexAggregate]
+) -> dict[int, float]:
+    """Ookla unique devices per BSL for every occupied cell.
+
+    Cells with Ookla data but no Fabric locations are skipped (nothing to
+    serve); cells with locations but no tests score 0.
+    """
+    scores: dict[int, float] = {}
+    for cell in fabric.occupied_cells:
+        n_bsl = fabric.bsl_count_in_cell(cell)
+        agg = hex_aggregates.get(cell)
+        devices = agg.devices if agg is not None else 0
+        scores[cell] = devices / n_bsl if n_bsl else 0.0
+    return scores
+
+
+@dataclass
+class MLabLocalization:
+    """Per-provider hex localizations of attributed MLab tests."""
+
+    #: provider_id -> set of cells an attributed test may have run in.
+    cells_by_provider: dict[int, set[int]]
+    #: (provider_id, cell) -> number of attributed tests localized there.
+    test_counts: dict[tuple[int, int], int]
+    #: Tests dropped for exceeding the radius cap.
+    n_dropped_radius: int
+    #: Tests dropped because their ASN matched no provider.
+    n_dropped_unattributed: int
+
+    def provider_test_count(self, provider_id: int, cell: int) -> int:
+        return self.test_counts.get((provider_id, int(cell)), 0)
+
+
+def localize_mlab_tests(
+    tests: list[MLabTest],
+    crosswalk: CrosswalkResult,
+    claimed_cells_by_provider: dict[int, set[int]],
+    res: int = 8,
+    max_radius_m: float = MAX_GEOLOCATION_RADIUS_M,
+) -> MLabLocalization:
+    """Attribute and localize MLab tests (paper §4.2.2).
+
+    Each test's candidate hexes (centroids within the accuracy radius) are
+    intersected with the claimed footprint of every provider its ASN maps
+    to.  Shared ASNs legitimately attribute one test to several providers.
+    """
+    asn_to_providers: dict[int, set[int]] = {}
+    for pid, asns in crosswalk.union.items():
+        for asn in asns:
+            asn_to_providers.setdefault(asn, set()).add(pid)
+
+    cells_by_provider: dict[int, set[int]] = {}
+    test_counts: dict[tuple[int, int], int] = {}
+    dropped_radius = 0
+    dropped_unattributed = 0
+
+    for test in tests:
+        if test.accuracy_radius_m > max_radius_m:
+            dropped_radius += 1
+            continue
+        providers = asn_to_providers.get(test.asn)
+        if not providers:
+            dropped_unattributed += 1
+            continue
+        candidates = set(
+            cells_within_radius(test.lat, test.lng, test.accuracy_radius_m, res)
+        )
+        for pid in providers:
+            claimed = claimed_cells_by_provider.get(pid)
+            if not claimed:
+                continue
+            hits = candidates & claimed
+            if not hits:
+                continue
+            cells_by_provider.setdefault(pid, set()).update(hits)
+            for cell in hits:
+                key = (pid, int(cell))
+                test_counts[key] = test_counts.get(key, 0) + 1
+
+    return MLabLocalization(
+        cells_by_provider=cells_by_provider,
+        test_counts=test_counts,
+        n_dropped_radius=dropped_radius,
+        n_dropped_unattributed=dropped_unattributed,
+    )
+
+
+def likely_served_claims(
+    table: AvailabilityTable,
+    coverage_scores: dict[int, float],
+    localization: MLabLocalization,
+    threshold: float = 1.0,
+) -> list[tuple[ClaimKey, float]]:
+    """Candidate "known good" claims, sorted by descending coverage score.
+
+    A claim qualifies when (a) its cell's Ookla coverage score is >= the
+    threshold, and (b) an MLab test attributed to the claim's provider was
+    localized to the cell.  Returns (claim, score) pairs.
+    """
+    out: list[tuple[ClaimKey, float]] = []
+    for key in table.unique_claims():
+        pid, cell, _tech = key
+        score = coverage_scores.get(cell, 0.0)
+        if score < threshold:
+            continue
+        provider_cells = localization.cells_by_provider.get(pid)
+        if not provider_cells or cell not in provider_cells:
+            continue
+        out.append((key, score))
+    out.sort(key=lambda pair: (-pair[1], pair[0]))
+    return out

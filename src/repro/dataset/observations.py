@@ -1,0 +1,102 @@
+"""Labelled observations: the unit of analysis (paper §4.3).
+
+An observation is a (provider, H3-resolution-8 cell, technology) triple —
+the natural grain of the public NBM — carrying a binary label:
+``unserved=1`` (the claim would fail a challenge; the model's positive,
+"suspicious" class) or ``unserved=0`` (served / claim valid).  Each label
+records its provenance: public challenge, non-archived map change, or
+synthetic likely-served inference.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.fcc.bdc import ClaimKey
+
+__all__ = ["LabelSource", "Observation", "LabelledDataset"]
+
+
+class LabelSource(enum.Enum):
+    """Where a label came from (the paper's three sources)."""
+
+    CHALLENGE = "challenge"
+    CHANGE = "change"
+    SYNTHETIC = "synthetic"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One labelled (provider, cell, technology) observation."""
+
+    provider_id: int
+    cell: int
+    technology: int
+    state: str
+    #: 1 = unserved (claim likely fails a challenge), 0 = served.
+    unserved: int
+    source: LabelSource
+    #: True when the label came from an FCC-adjudicated challenge.
+    fcc_adjudicated: bool = False
+
+    @property
+    def claim_key(self) -> ClaimKey:
+        return (self.provider_id, self.cell, self.technology)
+
+
+class LabelledDataset:
+    """An ordered, de-duplicated collection of observations."""
+
+    def __init__(self, observations: list[Observation]):
+        seen: dict[ClaimKey, Observation] = {}
+        for obs in observations:
+            # First label wins: challenges are added before changes before
+            # synthetic, mirroring the paper's precedence.
+            seen.setdefault(obs.claim_key, obs)
+        self.observations = list(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self):
+        return iter(self.observations)
+
+    def __getitem__(self, index):
+        return self.observations[index]
+
+    @property
+    def labels(self) -> list[int]:
+        return [obs.unserved for obs in self.observations]
+
+    def composition(self) -> dict[LabelSource, float]:
+        """Fraction of observations per label source (paper: 51/22/27 %)."""
+        counts = Counter(obs.source for obs in self.observations)
+        total = max(1, len(self.observations))
+        return {source: counts.get(source, 0) / total for source in LabelSource}
+
+    def class_balance(self) -> float:
+        """Fraction of observations labelled unserved."""
+        if not self.observations:
+            return 0.0
+        return sum(self.labels) / len(self.observations)
+
+    def by_state(self) -> dict[str, list[Observation]]:
+        out: dict[str, list[Observation]] = {}
+        for obs in self.observations:
+            out.setdefault(obs.state, []).append(obs)
+        return out
+
+    def by_provider(self) -> dict[int, list[Observation]]:
+        out: dict[int, list[Observation]] = {}
+        for obs in self.observations:
+            out.setdefault(obs.provider_id, []).append(obs)
+        return out
+
+    def filter(self, predicate) -> "LabelledDataset":
+        """A new dataset keeping observations where ``predicate(obs)``."""
+        return LabelledDataset([obs for obs in self.observations if predicate(obs)])
+
+    def states(self) -> set[str]:
+        return {obs.state for obs in self.observations}

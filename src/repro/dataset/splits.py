@@ -1,0 +1,115 @@
+"""Holdout strategies mirroring the paper's evaluation (§6.2).
+
+Three holdouts, each answering a question a would-be challenger faces:
+
+* **random observation holdout** (§6.2.1 / Fig. 5a) — 10 % of labelled
+  observations drawn uniformly;
+* **FCC-adjudicated holdout** (§6.2.1 / Fig. 5b) — 10 % of the
+  observations whose labels came from FCC-adjudicated challenges (a
+  standardized but noisier subset);
+* **state holdout** (§6.2.2 / Fig. 5c) — entire states excluded from
+  training; the paper drew Nebraska, Georgia, Oklahoma, Missouri,
+  Indiana, and South Carolina.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.observations import LabelledDataset, Observation
+from repro.utils.rng import stream_rng
+
+__all__ = [
+    "Split",
+    "PAPER_HOLDOUT_STATES",
+    "random_observation_split",
+    "fcc_adjudicated_split",
+    "state_holdout_split",
+    "train_validation_split",
+]
+
+#: The states the paper randomly selected for the stratified holdout.
+PAPER_HOLDOUT_STATES = ("NE", "GA", "OK", "MO", "IN", "SC")
+
+
+@dataclass(frozen=True)
+class Split:
+    """Train/test partition as index arrays into a dataset."""
+
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def train(self, dataset: LabelledDataset) -> list[Observation]:
+        return [dataset[i] for i in self.train_idx]
+
+    def test(self, dataset: LabelledDataset) -> list[Observation]:
+        return [dataset[i] for i in self.test_idx]
+
+
+def random_observation_split(
+    dataset: LabelledDataset, test_fraction: float = 0.1, seed: int = 0
+) -> Split:
+    """Uniform random observation holdout (paper Fig. 5a)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    rng = stream_rng(seed, "split", "random")
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    return Split(train_idx=np.sort(order[n_test:]), test_idx=np.sort(order[:n_test]))
+
+
+def fcc_adjudicated_split(
+    dataset: LabelledDataset, test_fraction: float = 0.1, seed: int = 0
+) -> Split:
+    """Holdout drawn only from FCC-adjudicated observations (Fig. 5b).
+
+    The held-out set contains exclusively FCC-adjudicated labels; all
+    remaining observations (adjudicated or not) train.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    adjudicated = np.array(
+        [i for i, obs in enumerate(dataset) if obs.fcc_adjudicated], dtype=np.int64
+    )
+    if adjudicated.size == 0:
+        raise ValueError("dataset has no FCC-adjudicated observations")
+    rng = stream_rng(seed, "split", "fcc")
+    order = rng.permutation(adjudicated.size)
+    n_test = max(1, int(round(test_fraction * adjudicated.size)))
+    test_idx = np.sort(adjudicated[order[:n_test]])
+    mask = np.ones(len(dataset), dtype=bool)
+    mask[test_idx] = False
+    return Split(train_idx=np.where(mask)[0], test_idx=test_idx)
+
+
+def state_holdout_split(
+    dataset: LabelledDataset,
+    holdout_states: tuple[str, ...] = PAPER_HOLDOUT_STATES,
+) -> Split:
+    """Hold out entire states (paper Fig. 5c)."""
+    holdout = {s.upper() for s in holdout_states}
+    test_idx = np.array(
+        [i for i, obs in enumerate(dataset) if obs.state in holdout], dtype=np.int64
+    )
+    if test_idx.size == 0:
+        raise ValueError(f"no observations in holdout states {sorted(holdout)}")
+    mask = np.ones(len(dataset), dtype=bool)
+    mask[test_idx] = False
+    return Split(train_idx=np.where(mask)[0], test_idx=test_idx)
+
+
+def train_validation_split(
+    split: Split, validation_fraction: float = 0.1, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Carve a validation set out of a split's training indices."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = stream_rng(seed, "split", "validation")
+    order = rng.permutation(split.train_idx.size)
+    n_val = max(1, int(round(validation_fraction * split.train_idx.size)))
+    val = np.sort(split.train_idx[order[:n_val]])
+    train = np.sort(split.train_idx[order[n_val:]])
+    return train, val

@@ -1,0 +1,91 @@
+"""FCC Broadband Data Collection substrate (simulated): states, the BSL
+Fabric, providers and their claim strategies, BDC filings, the challenge
+process, NBM releases/map diffs, and FRN registration data."""
+
+from repro.fcc.bdc import AvailabilityTable, ClaimKey, generate_filings
+from repro.fcc.challenges import (
+    ChallengeConfig,
+    ChallengeOutcome,
+    ChallengeReason,
+    ChallengeRecord,
+    outcome_distribution,
+    reason_distribution,
+    simulate_challenges,
+)
+from repro.fcc.fabric import BSL, Fabric, FabricConfig, Town, generate_fabric
+from repro.fcc.frn import FRNRecord, ProviderIDTable, build_provider_id_table
+from repro.fcc.providers import (
+    MAJOR_ISPS,
+    TECHNOLOGY_CODES,
+    TECHNOLOGY_NAMES,
+    FootprintPair,
+    Methodology,
+    Provider,
+    ProviderConfig,
+    ProviderUniverse,
+    ServiceTier,
+    generate_providers,
+    methodology_text,
+)
+from repro.fcc.releases import (
+    MapDiff,
+    ReleaseTimeline,
+    RemovalCause,
+    RemovalEvent,
+    build_release_timeline,
+    diff_releases,
+    infer_unarchived_changes,
+)
+from repro.fcc.states import (
+    STATES,
+    StateInfo,
+    challenge_weights,
+    contiguous_states,
+    state_by_abbr,
+    states_adjacent_to,
+)
+
+__all__ = [
+    "AvailabilityTable",
+    "ClaimKey",
+    "generate_filings",
+    "ChallengeConfig",
+    "ChallengeOutcome",
+    "ChallengeReason",
+    "ChallengeRecord",
+    "outcome_distribution",
+    "reason_distribution",
+    "simulate_challenges",
+    "BSL",
+    "Fabric",
+    "FabricConfig",
+    "Town",
+    "generate_fabric",
+    "FRNRecord",
+    "ProviderIDTable",
+    "build_provider_id_table",
+    "MAJOR_ISPS",
+    "TECHNOLOGY_CODES",
+    "TECHNOLOGY_NAMES",
+    "FootprintPair",
+    "Methodology",
+    "Provider",
+    "ProviderConfig",
+    "ProviderUniverse",
+    "ServiceTier",
+    "generate_providers",
+    "methodology_text",
+    "MapDiff",
+    "ReleaseTimeline",
+    "RemovalCause",
+    "RemovalEvent",
+    "build_release_timeline",
+    "diff_releases",
+    "infer_unarchived_changes",
+    "STATES",
+    "StateInfo",
+    "challenge_weights",
+    "contiguous_states",
+    "state_by_abbr",
+    "states_adjacent_to",
+]

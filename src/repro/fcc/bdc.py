@@ -1,0 +1,191 @@
+"""BDC availability filings and the assembled National Broadband Map.
+
+Every six months each ISP files, for every Broadband Serviceable Location
+it serves (or could serve within ten business days), the technology and
+maximum advertised speeds offered there (paper Table 1).  This module
+generates those filings from the provider universe's claimed footprints
+and assembles them into the initial public NBM release.
+
+The table keeps a simulation-internal ``truly_served`` flag per record —
+the ground truth the paper never observes directly, used here to drive the
+challenge process and to score the final model.  Speed clamping follows
+the NBM convention: download below 10 Mbps and upload below 1 Mbps are
+published as 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fcc.fabric import Fabric
+from repro.fcc.providers import ProviderUniverse
+from repro.fcc.states import STATES
+from repro.utils.rng import stream_rng
+
+__all__ = ["AvailabilityTable", "ClaimKey", "generate_filings", "NBM_SPEED_FLOORS"]
+
+#: NBM publication floors: below these, speeds are reported as 0.
+NBM_SPEED_FLOORS = (10.0, 1.0)  # (download Mbps, upload Mbps)
+
+#: Hex-level claim identity used across challenges / releases / datasets.
+ClaimKey = tuple[int, int, int]  # (provider_id, cell, technology)
+
+
+@dataclass
+class AvailabilityTable:
+    """All BSL-level availability records of one filing round (SoA layout).
+
+    One row = one (provider, BSL, technology) claim.  ``truly_served`` is
+    simulation ground truth and is *not* part of the public NBM view.
+    """
+
+    provider_id: np.ndarray  # int64
+    bsl_id: np.ndarray  # int64
+    technology: np.ndarray  # int16
+    cell: np.ndarray  # uint64
+    state_idx: np.ndarray  # int16
+    max_download_mbps: np.ndarray  # float64 (as advertised, pre-floor)
+    max_upload_mbps: np.ndarray  # float64
+    low_latency: np.ndarray  # bool
+    truly_served: np.ndarray  # bool
+
+    def __len__(self) -> int:
+        return int(self.provider_id.size)
+
+    # -- public (NBM) views -------------------------------------------------
+
+    def published_download(self) -> np.ndarray:
+        """Download speeds as published in the NBM (sub-floor -> 0)."""
+        out = self.max_download_mbps.copy()
+        out[out < NBM_SPEED_FLOORS[0]] = 0.0
+        return out
+
+    def published_upload(self) -> np.ndarray:
+        """Upload speeds as published in the NBM (sub-floor -> 0)."""
+        out = self.max_upload_mbps.copy()
+        out[out < NBM_SPEED_FLOORS[1]] = 0.0
+        return out
+
+    def state_abbr(self, row: int) -> str:
+        return STATES[int(self.state_idx[row])].abbr
+
+    # -- hex-level aggregation ---------------------------------------------
+
+    def claim_keys(self) -> np.ndarray:
+        """Row-aligned structured array of (provider_id, cell, technology)."""
+        keys = np.empty(
+            len(self),
+            dtype=[("provider_id", np.int64), ("cell", np.uint64), ("technology", np.int16)],
+        )
+        keys["provider_id"] = self.provider_id
+        keys["cell"] = self.cell
+        keys["technology"] = self.technology
+        return keys
+
+    def unique_claims(self) -> list[ClaimKey]:
+        """Distinct hex-level claims (provider, cell, technology)."""
+        keys = self.claim_keys()
+        uniq = np.unique(keys)
+        return [
+            (int(k["provider_id"]), int(k["cell"]), int(k["technology"]))
+            for k in uniq
+        ]
+
+    def rows_for_claim(self, key: ClaimKey) -> np.ndarray:
+        """Row indices matching a hex-level claim (linear scan, test-sized)."""
+        pid, cell, tech = key
+        return np.where(
+            (self.provider_id == pid)
+            & (self.cell == np.uint64(cell))
+            & (self.technology == tech)
+        )[0]
+
+    def provider_location_counts(self) -> dict[int, int]:
+        """Number of BSL claims per provider (paper Fig. 4 uses these)."""
+        pids, counts = np.unique(self.provider_id, return_counts=True)
+        return {int(p): int(c) for p, c in zip(pids, counts)}
+
+    def subset(self, mask: np.ndarray) -> "AvailabilityTable":
+        """A new table containing only rows where ``mask`` is True."""
+        return AvailabilityTable(
+            provider_id=self.provider_id[mask],
+            bsl_id=self.bsl_id[mask],
+            technology=self.technology[mask],
+            cell=self.cell[mask],
+            state_idx=self.state_idx[mask],
+            max_download_mbps=self.max_download_mbps[mask],
+            max_upload_mbps=self.max_upload_mbps[mask],
+            low_latency=self.low_latency[mask],
+            truly_served=self.truly_served[mask],
+        )
+
+
+def generate_filings(
+    fabric: Fabric,
+    universe: ProviderUniverse,
+    seed: int = 0,
+    claim_fraction_range: tuple[float, float] = (0.55, 0.95),
+) -> AvailabilityTable:
+    """Generate BSL-level availability records from claimed footprints.
+
+    Within each claimed hex a provider reports a per-provider random
+    fraction of the hex's BSLs (the paper's "percentage of locations
+    claimed" feature).  Records in overclaimed hexes carry
+    ``truly_served=False``.
+    """
+    cols: dict[str, list[np.ndarray]] = {
+        "provider_id": [], "bsl_id": [], "technology": [], "cell": [],
+        "state_idx": [], "down": [], "up": [], "lowlat": [], "served": [],
+    }
+    state_index = {s.abbr: i for i, s in enumerate(STATES)}
+    for provider in universe.providers:
+        rng = stream_rng(seed, "filings", provider.provider_id)
+        claim_fraction = float(rng.uniform(*claim_fraction_range))
+        for (pid, state, tech), fp in universe.footprints.items():
+            if pid != provider.provider_id:
+                continue
+            tier = provider.tier_for(tech)
+            filing_state = state_index[state]
+            for cell in sorted(fp.claimed_cells):
+                rows = fabric.bsls_in_cell(cell)
+                # Hex cells can straddle state borders; a filing only covers
+                # the BSLs in the filing's own state.
+                rows = rows[fabric.state_idx[rows] == filing_state]
+                if rows.size == 0:
+                    continue
+                take = max(1, int(round(claim_fraction * rows.size)))
+                chosen = (
+                    rows
+                    if take >= rows.size
+                    else rng.choice(rows, size=take, replace=False)
+                )
+                n = chosen.size
+                served = cell in fp.true_cells
+                cols["provider_id"].append(np.full(n, pid, dtype=np.int64))
+                cols["bsl_id"].append(chosen.astype(np.int64))
+                cols["technology"].append(np.full(n, tech, dtype=np.int16))
+                cols["cell"].append(np.full(n, cell, dtype=np.uint64))
+                cols["state_idx"].append(fabric.state_idx[chosen].astype(np.int16))
+                cols["down"].append(np.full(n, tier.max_download_mbps))
+                cols["up"].append(np.full(n, tier.max_upload_mbps))
+                cols["lowlat"].append(np.full(n, tier.low_latency, dtype=bool))
+                cols["served"].append(np.full(n, served, dtype=bool))
+
+    def _cat(name, dtype):
+        if not cols[name]:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(cols[name]).astype(dtype)
+
+    return AvailabilityTable(
+        provider_id=_cat("provider_id", np.int64),
+        bsl_id=_cat("bsl_id", np.int64),
+        technology=_cat("technology", np.int16),
+        cell=_cat("cell", np.uint64),
+        state_idx=_cat("state_idx", np.int16),
+        max_download_mbps=_cat("down", np.float64),
+        max_upload_mbps=_cat("up", np.float64),
+        low_latency=_cat("lowlat", bool),
+        truly_served=_cat("served", bool),
+    )

@@ -1,0 +1,130 @@
+"""FCC registration data: FRNs and the BDC Provider ID table.
+
+Every BDC participant has a Provider ID associated with one or more FCC
+Registration Numbers (FRNs); FRN registration records carry the legal
+entity's name, contact email, and physical address.  The paper enriches
+the public BDC Provider ID table with FRN registration data and matches it
+against ARIN WHOIS to build the provider <-> ASN crosswalk.
+
+Registration data is *dirty* in characteristic ways — inconsistent
+capitalization, punctuation, suffix styles ("LLC" vs "L.L.C."), and postal
+abbreviations — which is precisely why the paper's matching pipeline
+canonicalizes before comparing.  The noise model here reproduces those
+artifacts deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fcc.providers import Provider, ProviderUniverse
+from repro.utils.rng import stream_rng
+
+__all__ = ["FRNRecord", "ProviderIDTable", "build_provider_id_table", "perturb_name", "perturb_address"]
+
+
+@dataclass(frozen=True)
+class FRNRecord:
+    """One FRN registration: the legal entity behind a filing."""
+
+    frn: int
+    provider_id: int
+    company_name: str
+    contact_email: str
+    address: str
+    state: str
+
+
+_SUFFIX_STYLES = ("{}", "{} Inc", "{} Inc.", "{}, Inc.", "{} LLC", "{} L.L.C.")
+
+
+def perturb_name(rng: np.random.Generator, name: str) -> str:
+    """Apply registration-style formatting noise to a company name."""
+    base = name
+    for suffix in (" Inc", " LLC", " Co"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+            break
+    style = _SUFFIX_STYLES[int(rng.integers(len(_SUFFIX_STYLES)))]
+    out = style.format(base)
+    roll = rng.random()
+    if roll < 0.25:
+        out = out.upper()
+    elif roll < 0.35:
+        out = out.lower()
+    return out
+
+
+_ADDRESS_SUBS = (
+    ("Street", "St"),
+    ("Avenue", "Ave"),
+    ("Drive", "Dr"),
+    ("Boulevard", "Blvd"),
+    ("Parkway", "Pkwy"),
+    ("Road", "Rd"),
+    ("Highway", "Hwy"),
+)
+
+
+def perturb_address(rng: np.random.Generator, address: str) -> str:
+    """Apply postal formatting noise (mixed abbreviation styles, case)."""
+    out = address
+    for full, abbr in _ADDRESS_SUBS:
+        if full in out and rng.random() < 0.5:
+            out = out.replace(full, abbr)
+    if rng.random() < 0.3:
+        out = out.replace(",", "")
+    if rng.random() < 0.2:
+        out = out.upper()
+    return out
+
+
+class ProviderIDTable:
+    """The (augmented) BDC Provider ID table: provider_id -> FRN records."""
+
+    def __init__(self, records: list[FRNRecord]):
+        self.records = records
+        self._by_provider: dict[int, list[FRNRecord]] = {}
+        self._by_frn: dict[int, FRNRecord] = {}
+        for record in records:
+            self._by_provider.setdefault(record.provider_id, []).append(record)
+            self._by_frn[record.frn] = record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def provider_ids(self) -> list[int]:
+        return sorted(self._by_provider.keys())
+
+    def frns_for_provider(self, provider_id: int) -> list[FRNRecord]:
+        return list(self._by_provider.get(provider_id, []))
+
+    def record_for_frn(self, frn: int) -> FRNRecord:
+        try:
+            return self._by_frn[frn]
+        except KeyError:
+            raise KeyError(f"unknown FRN {frn}") from None
+
+
+def build_provider_id_table(
+    universe: ProviderUniverse, seed: int = 0
+) -> ProviderIDTable:
+    """Generate FRN registration records for every provider."""
+    records: list[FRNRecord] = []
+    for provider in universe.providers:
+        rng = stream_rng(seed, "frn", provider.provider_id)
+        for frn in provider.frns:
+            records.append(
+                FRNRecord(
+                    frn=frn,
+                    provider_id=provider.provider_id,
+                    company_name=perturb_name(rng, provider.name),
+                    contact_email=provider.contact_email,
+                    address=perturb_address(rng, provider.hq_address),
+                    state=provider.hq_state,
+                )
+            )
+    return ProviderIDTable(records)

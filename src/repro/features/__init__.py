@@ -1,0 +1,14 @@
+"""Feature engineering: Table-4 observation vectorization, categorical
+encoders, and the hashed-n-gram methodology embedder (S-BERT analog)."""
+
+from repro.features.embedding import TextEmbedder
+from repro.features.encoders import StateOneHot, TechnologyOneHot
+from repro.features.vectorize import CORE_FEATURES, FeatureBuilder
+
+__all__ = [
+    "TextEmbedder",
+    "StateOneHot",
+    "TechnologyOneHot",
+    "CORE_FEATURES",
+    "FeatureBuilder",
+]

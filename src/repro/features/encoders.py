@@ -1,0 +1,58 @@
+"""Categorical encoders for observation vectorization (paper Table 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fcc.providers import TECHNOLOGY_CODES
+from repro.fcc.states import STATES
+
+__all__ = ["StateOneHot", "TechnologyOneHot"]
+
+
+class StateOneHot:
+    """One-hot encoding over the 56 states/territories."""
+
+    def __init__(self):
+        self.categories = tuple(s.abbr for s in STATES)
+        self._index = {abbr: i for i, abbr in enumerate(self.categories)}
+
+    @property
+    def dim(self) -> int:
+        return len(self.categories)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [f"State_{abbr}" for abbr in self.categories]
+
+    def encode(self, abbr: str) -> np.ndarray:
+        vec = np.zeros(self.dim)
+        try:
+            vec[self._index[abbr.upper()]] = 1.0
+        except KeyError:
+            raise ValueError(f"unknown state {abbr!r}") from None
+        return vec
+
+
+class TechnologyOneHot:
+    """One-hot encoding over BDC technology codes."""
+
+    def __init__(self, codes: tuple[int, ...] = TECHNOLOGY_CODES):
+        self.categories = tuple(codes)
+        self._index = {code: i for i, code in enumerate(self.categories)}
+
+    @property
+    def dim(self) -> int:
+        return len(self.categories)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [f"Tech_{code}" for code in self.categories]
+
+    def encode(self, code: int) -> np.ndarray:
+        vec = np.zeros(self.dim)
+        try:
+            vec[self._index[int(code)]] = 1.0
+        except KeyError:
+            raise ValueError(f"unknown technology code {code!r}") from None
+        return vec

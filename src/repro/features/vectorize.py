@@ -1,0 +1,181 @@
+"""Observation vectorization (paper Table 4).
+
+Each (provider, cell, technology) observation becomes a float vector:
+
+========================  =====================================================
+Feature                   Vectorization
+========================  =====================================================
+Max advertised speeds     max reported download/upload in the cell (NBM floors)
+Low latency               0/1 flag
+State                     one-hot over 56 states/territories
+Location centroid         cell centroid latitude and longitude
+Location claims           claimed BSLs / total BSLs in the cell
+Methodology               hashed-n-gram embedding of the filing methodology
+Ookla tests               unique devices per location in the cell
+MLab tests                attributed test count for (provider, cell)
+Technology                one-hot over BDC technology codes
+========================  =====================================================
+
+Speed-test attributes deliberately exclude measured throughput — the paper
+avoids comparing in-home test results against advertised maxima, using the
+*presence* of tests instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.likely_served import MLabLocalization
+from repro.dataset.observations import Observation
+from repro.fcc.bdc import AvailabilityTable, ClaimKey
+from repro.fcc.fabric import Fabric
+from repro.fcc.providers import ProviderUniverse
+from repro.features.embedding import TextEmbedder
+from repro.features.encoders import StateOneHot, TechnologyOneHot
+from repro.geo import hexgrid
+
+__all__ = ["FeatureBuilder", "CORE_FEATURES"]
+
+#: Names of the scalar (non-one-hot, non-embedding) features, in order.
+CORE_FEATURES = (
+    "Max Adv. DL Speed (Mbps)",
+    "Max Adv. UL Speed (Mbps)",
+    "Low Latency",
+    "H3 Centroid Lat",
+    "H3 Centroid Lng",
+    "Location Claims Pct",
+    "Ookla (Dev/Loc)",
+    "MLab Test Counts",
+)
+
+
+class FeatureBuilder:
+    """Precomputes per-claim attributes and vectorizes observations."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        universe: ProviderUniverse,
+        table: AvailabilityTable,
+        coverage_scores: dict[int, float],
+        localization: MLabLocalization,
+        embedder: TextEmbedder | None = None,
+        embedding_dim: int = 32,
+    ):
+        self.fabric = fabric
+        self.universe = universe
+        self.coverage_scores = coverage_scores
+        self.localization = localization
+        self.embedder = embedder or TextEmbedder(dim=embedding_dim)
+        self._state_encoder = StateOneHot()
+        self._tech_encoder = TechnologyOneHot()
+        self._claim_attrs = self._precompute_claim_attrs(table)
+        self._embeddings: dict[int, np.ndarray] = {}
+        self._centroids: dict[int, tuple[float, float]] = {}
+
+    # -- precomputation -----------------------------------------------------
+
+    @staticmethod
+    def _precompute_claim_attrs(
+        table: AvailabilityTable,
+    ) -> dict[ClaimKey, tuple[int, float, float, bool]]:
+        """(claimed BSLs, max down, max up, low latency) per hex claim."""
+        keys = table.claim_keys()
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        n = uniq.size
+        counts = np.bincount(inverse, minlength=n)
+        down = np.zeros(n)
+        up = np.zeros(n)
+        lowlat = np.zeros(n, dtype=bool)
+        np.maximum.at(down, inverse, table.published_download())
+        np.maximum.at(up, inverse, table.published_upload())
+        np.logical_or.at(lowlat, inverse, table.low_latency)
+        out: dict[ClaimKey, tuple[int, float, float, bool]] = {}
+        for i, k in enumerate(uniq):
+            key = (int(k["provider_id"]), int(k["cell"]), int(k["technology"]))
+            out[key] = (int(counts[i]), float(down[i]), float(up[i]), bool(lowlat[i]))
+        return out
+
+    def _embedding_for(self, provider_id: int) -> np.ndarray:
+        emb = self._embeddings.get(provider_id)
+        if emb is None:
+            provider = self.universe.provider(provider_id)
+            emb = self.embedder.embed(provider.methodology_text)
+            self._embeddings[provider_id] = emb
+        return emb
+
+    def _centroid(self, cell: int) -> tuple[float, float]:
+        point = self._centroids.get(cell)
+        if point is None:
+            point = hexgrid.cell_to_latlng(cell)
+            self._centroids[cell] = point
+        return point
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def feature_names(self) -> list[str]:
+        return (
+            list(CORE_FEATURES)
+            + self._state_encoder.feature_names
+            + self._tech_encoder.feature_names
+            + [f"Methodology_Emb_{i}" for i in range(self.embedder.dim)]
+        )
+
+    @property
+    def n_features(self) -> int:
+        return (
+            len(CORE_FEATURES)
+            + self._state_encoder.dim
+            + self._tech_encoder.dim
+            + self.embedder.dim
+        )
+
+    def vectorize_one(self, obs: Observation) -> np.ndarray:
+        """Vectorize a single observation (see module docstring)."""
+        key = obs.claim_key
+        attrs = self._claim_attrs.get(key)
+        if attrs is None:
+            # Claim absent from the filing table (e.g., probing a
+            # hypothetical claim): fall back to provider tier attributes.
+            provider = self.universe.provider(obs.provider_id)
+            try:
+                tier = provider.tier_for(obs.technology)
+                n_claimed, down, up, lowlat = 0, tier.max_download_mbps, tier.max_upload_mbps, tier.low_latency
+            except KeyError:
+                n_claimed, down, up, lowlat = 0, 0.0, 0.0, False
+        else:
+            n_claimed, down, up, lowlat = attrs
+        n_bsl = self.fabric.bsl_count_in_cell(obs.cell)
+        claims_pct = n_claimed / n_bsl if n_bsl else 0.0
+        lat, lng = self._centroid(obs.cell)
+        core = np.array(
+            [
+                down,
+                up,
+                1.0 if lowlat else 0.0,
+                lat,
+                lng,
+                claims_pct,
+                self.coverage_scores.get(obs.cell, 0.0),
+                float(self.localization.provider_test_count(obs.provider_id, obs.cell)),
+            ]
+        )
+        return np.concatenate(
+            [
+                core,
+                self._state_encoder.encode(obs.state),
+                self._tech_encoder.encode(obs.technology),
+                self._embedding_for(obs.provider_id),
+            ]
+        )
+
+    def vectorize(self, observations: list[Observation]) -> np.ndarray:
+        """Vectorize a list of observations into an (n, d) matrix."""
+        if not observations:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.vectorize_one(obs) for obs in observations])
+
+    def labels(self, observations: list[Observation]) -> np.ndarray:
+        """Binary label vector (1 = unserved/suspicious)."""
+        return np.array([obs.unserved for obs in observations], dtype=np.int64)

@@ -1,0 +1,68 @@
+"""Spatial substrate: geodesy, the H3-analog hex grid, Bing quadkey tiles,
+and the quadkey -> hex re-projection from the paper's Appendix D."""
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    bounding_box,
+    destination_point,
+    haversine_m,
+    haversine_m_vec,
+)
+from repro.geo.hexgrid import (
+    cell_area_km2,
+    cell_boundary,
+    cell_resolution,
+    cell_to_latlng,
+    cell_to_parent,
+    cells_within_radius,
+    edge_length_m,
+    grid_disk,
+    grid_distance,
+    grid_neighbors,
+    grid_ring,
+    latlng_to_cell,
+)
+from repro.geo.quadkey import (
+    OOKLA_ZOOM,
+    latlng_to_quadkey,
+    quadkey_to_bounds,
+    quadkey_to_center,
+    quadkey_to_tile,
+    tile_to_quadkey,
+)
+from repro.geo.reproject import (
+    HexAggregate,
+    OoklaTileAggregate,
+    quadkey_to_cells,
+    reproject_tiles,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "bounding_box",
+    "destination_point",
+    "haversine_m",
+    "haversine_m_vec",
+    "cell_area_km2",
+    "cell_boundary",
+    "cell_resolution",
+    "cell_to_latlng",
+    "cell_to_parent",
+    "cells_within_radius",
+    "edge_length_m",
+    "grid_disk",
+    "grid_distance",
+    "grid_neighbors",
+    "grid_ring",
+    "latlng_to_cell",
+    "OOKLA_ZOOM",
+    "latlng_to_quadkey",
+    "quadkey_to_bounds",
+    "quadkey_to_center",
+    "quadkey_to_tile",
+    "tile_to_quadkey",
+    "HexAggregate",
+    "OoklaTileAggregate",
+    "quadkey_to_cells",
+    "reproject_tiles",
+]

@@ -1,0 +1,43 @@
+"""Machine-learning substrate: gradient-boosted trees (XGBoost analog),
+classification metrics, exact TreeSHAP, and GP Bayesian optimization."""
+
+from repro.ml.bayesopt import BayesianOptimizer, ParamSpec, SearchSpace, maximize
+from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier
+from repro.ml.metrics import (
+    BinaryClassificationReport,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.shap import SHAPExplanation, shap_values, summary_ranking, waterfall
+from repro.ml.tree import HistogramBinner, RegressionTree, TreeGrowthParams
+
+__all__ = [
+    "BayesianOptimizer",
+    "ParamSpec",
+    "SearchSpace",
+    "maximize",
+    "GBDTParams",
+    "GradientBoostedClassifier",
+    "BinaryClassificationReport",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+    "roc_curve",
+    "SHAPExplanation",
+    "shap_values",
+    "summary_ranking",
+    "waterfall",
+    "HistogramBinner",
+    "RegressionTree",
+    "TreeGrowthParams",
+]

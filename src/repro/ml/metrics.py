@@ -1,0 +1,219 @@
+"""Binary-classification metrics used throughout the evaluation.
+
+Textbook implementations (no scikit-learn in this environment) of the
+quantities the paper reports: confusion matrices, precision/recall/F1,
+ROC curves and ROC AUC, plus a classification-report helper shaped like the
+paper's Tables 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "accuracy_score",
+    "roc_curve",
+    "roc_auc_score",
+    "BinaryClassificationReport",
+    "classification_report",
+]
+
+
+def _validate(y_true: np.ndarray, y_other: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_other = np.asarray(y_other)
+    if y_true.shape != y_other.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_other.shape}")
+    if y_true.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must be binary (0/1)")
+    return y_true.astype(np.int64), y_other
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]``.
+
+    >>> confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1]).tolist()
+    [[1, 1], [0, 2]]
+    """
+    y_true, y_pred = _validate(np.asarray(y_true), np.asarray(y_pred))
+    if not np.isin(y_pred, (0, 1)).all():
+        raise ValueError("y_pred must be binary (0/1)")
+    y_pred = y_pred.astype(np.int64)
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Precision for the given positive class (0.0 when no predictions)."""
+    cm = confusion_matrix(y_true, y_pred)
+    if positive == 1:
+        tp, fp = cm[1, 1], cm[0, 1]
+    else:
+        tp, fp = cm[0, 0], cm[1, 0]
+    return float(tp / (tp + fp)) if tp + fp else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Recall for the given positive class (0.0 when no positives exist)."""
+    cm = confusion_matrix(y_true, y_pred)
+    if positive == 1:
+        tp, fn = cm[1, 1], cm[1, 0]
+    else:
+        tp, fn = cm[0, 0], cm[0, 1]
+    return float(tp / (tp + fn)) if tp + fn else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    return 2.0 * p * r / (p + r) if p + r else 0.0
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    cm = confusion_matrix(y_true, y_pred)
+    return float((cm[0, 0] + cm[1, 1]) / cm.sum())
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points: (fpr, tpr, thresholds), thresholds descending.
+
+    Consecutive points with identical scores are collapsed, matching the
+    conventional construction.
+    """
+    y_true, y_score = _validate(np.asarray(y_true), np.asarray(y_score, dtype=float))
+    order = np.argsort(-y_score, kind="mergesort")
+    y_sorted = y_true[order]
+    s_sorted = y_score[order]
+    # Indices where the score changes (keep the last of each tie group).
+    distinct = np.where(np.diff(s_sorted))[0]
+    idx = np.r_[distinct, y_true.size - 1]
+    tps = np.cumsum(y_sorted)[idx]
+    fps = (idx + 1) - tps
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps, dtype=float)
+    fpr = np.r_[0.0, fpr]
+    tpr = np.r_[0.0, tpr]
+    thresholds = np.r_[np.inf, s_sorted[idx]]
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (tie-aware).
+
+    >>> roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+    1.0
+    """
+    y_true, y_score = _validate(np.asarray(y_true), np.asarray(y_score, dtype=float))
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires both classes present")
+    ranks = _rankdata(y_score)
+    rank_sum = float(ranks[y_true == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def _rankdata(a: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(a, kind="mergesort")
+    ranks = np.empty(a.size, dtype=float)
+    sorted_a = a[order]
+    i = 0
+    while i < a.size:
+        j = i
+        while j + 1 < a.size and sorted_a[j + 1] == sorted_a[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class BinaryClassificationReport:
+    """Counts and derived rates for one evaluated slice.
+
+    The paper's convention (Appendix B): *positive* = the model predicts the
+    claim is suspicious/unserved (would fail a challenge).
+    """
+
+    tn: int
+    fp: int
+    fn: int
+    tp: int
+
+    @property
+    def total(self) -> int:
+        return self.tn + self.fp + self.fn + self.tp
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tn + self.tp) / self.total if self.total else 0.0
+
+    @property
+    def precision_pos(self) -> float:
+        return self.tp / (self.tp + self.fp) if self.tp + self.fp else 0.0
+
+    @property
+    def recall_pos(self) -> float:
+        return self.tp / (self.tp + self.fn) if self.tp + self.fn else 0.0
+
+    @property
+    def precision_neg(self) -> float:
+        return self.tn / (self.tn + self.fn) if self.tn + self.fn else 0.0
+
+    @property
+    def recall_neg(self) -> float:
+        return self.tn / (self.tn + self.fp) if self.tn + self.fp else 0.0
+
+    @property
+    def f1_pos(self) -> float:
+        p, r = self.precision_pos, self.recall_pos
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def f1_neg(self) -> float:
+        p, r = self.precision_neg, self.recall_neg
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def f1_macro(self) -> float:
+        return (self.f1_pos + self.f1_neg) / 2.0
+
+    def class_percentages(self) -> dict[str, float]:
+        """Percentage of observations per outcome class (paper Tables 7/8)."""
+        total = max(self.total, 1)
+        return {
+            "TN": 100.0 * self.tn / total,
+            "TP": 100.0 * self.tp / total,
+            "FN": 100.0 * self.fn / total,
+            "FP": 100.0 * self.fp / total,
+        }
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> BinaryClassificationReport:
+    """Build a :class:`BinaryClassificationReport` from labels/predictions."""
+    cm = confusion_matrix(y_true, y_pred)
+    return BinaryClassificationReport(
+        tn=int(cm[0, 0]), fp=int(cm[0, 1]), fn=int(cm[1, 0]), tp=int(cm[1, 1])
+    )

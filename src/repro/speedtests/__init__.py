@@ -1,0 +1,16 @@
+"""Crowdsourced speed-test substrate (simulated): Ookla open-data tiles,
+MLab NDT7 test rows, and the IP-geolocation error model."""
+
+from repro.speedtests.geolocation import GeolocationEstimate, GeolocationModel
+from repro.speedtests.mlab import MLabConfig, MLabTest, generate_mlab_tests
+from repro.speedtests.ookla import OoklaConfig, generate_ookla_tiles
+
+__all__ = [
+    "GeolocationEstimate",
+    "GeolocationModel",
+    "MLabConfig",
+    "MLabTest",
+    "generate_mlab_tests",
+    "OoklaConfig",
+    "generate_ookla_tiles",
+]

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG streams, table rendering, validation."""
+
+from repro.utils.rng import SeedSequenceRegistry, stream_rng, stream_seed
+from repro.utils.tables import format_cdf, format_kv, format_series, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_latitude,
+    check_longitude,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "SeedSequenceRegistry",
+    "stream_rng",
+    "stream_seed",
+    "format_cdf",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "check_in_range",
+    "check_latitude",
+    "check_longitude",
+    "check_positive",
+    "check_probability",
+]

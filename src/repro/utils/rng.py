@@ -1,0 +1,73 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the library draws from a named stream derived
+from a single master seed.  This keeps whole-pipeline runs reproducible while
+letting independent subsystems (fabric generation, challenge sampling, model
+subsampling, ...) evolve without perturbing each other's draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stream_seed", "stream_rng", "SeedSequenceRegistry"]
+
+_MASK_63 = (1 << 63) - 1
+
+
+def stream_seed(master_seed: int, *names: str | int) -> int:
+    """Derive a stable 63-bit seed for a named stream.
+
+    The derivation hashes the master seed together with the stream name parts,
+    so ``stream_seed(7, "fabric")`` is stable across processes and platforms.
+
+    >>> stream_seed(7, "fabric") == stream_seed(7, "fabric")
+    True
+    >>> stream_seed(7, "fabric") != stream_seed(7, "ookla")
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(master_seed)).encode("utf-8"))
+    for name in names:
+        hasher.update(b"\x1f")
+        hasher.update(str(name).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big") & _MASK_63
+
+
+def stream_rng(master_seed: int, *names: str | int) -> np.random.Generator:
+    """Return a numpy :class:`~numpy.random.Generator` for a named stream."""
+    return np.random.default_rng(stream_seed(master_seed, *names))
+
+
+class SeedSequenceRegistry:
+    """Hand out named, reproducible generators from one master seed.
+
+    The registry remembers which streams were requested, which is useful for
+    debugging reproducibility issues ("which component consumed randomness?").
+
+    >>> reg = SeedSequenceRegistry(42)
+    >>> a = reg.rng("fabric")
+    >>> b = reg.rng("fabric")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, master_seed: int):
+        self.master_seed = int(master_seed)
+        self._requested: list[tuple[str | int, ...]] = []
+
+    def seed(self, *names: str | int) -> int:
+        """Return the derived integer seed for a stream."""
+        self._requested.append(names)
+        return stream_seed(self.master_seed, *names)
+
+    def rng(self, *names: str | int) -> np.random.Generator:
+        """Return a fresh generator for a stream (same stream -> same draws)."""
+        return np.random.default_rng(self.seed(*names))
+
+    @property
+    def requested_streams(self) -> list[tuple[str | int, ...]]:
+        """Streams requested so far, in request order."""
+        return list(self._requested)

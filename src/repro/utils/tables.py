@@ -1,0 +1,91 @@
+"""Plain-text table rendering for benchmark and report output.
+
+The benchmark harness reproduces the paper's tables as text; this module
+renders aligned ASCII tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "format_cdf", "format_series"]
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [10, 0.125]], floatfmt=".2f"))
+    a  | b
+    ---+-----
+    1  | 2.50
+    10 | 0.12
+    """
+    str_rows = [[_fmt_cell(cell, floatfmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[tuple[str, object]], floatfmt: str = ".4f") -> str:
+    """Render key/value pairs, one per line, keys left-aligned."""
+    items = [(k, _fmt_cell(v, floatfmt)) for k, v in pairs]
+    if not items:
+        return ""
+    width = max(len(k) for k, _ in items)
+    return "\n".join(f"{k.ljust(width)} : {v}" for k, v in items)
+
+
+def format_cdf(
+    values: Sequence[float],
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+    floatfmt: str = ".1f",
+) -> str:
+    """Render selected quantiles of an empirical distribution."""
+    import numpy as np
+
+    arr = np.asarray(sorted(values), dtype=float)
+    if arr.size == 0:
+        return "(empty)"
+    rows = []
+    for q in quantiles:
+        rows.append([f"p{int(q * 100):02d}", float(np.quantile(arr, q))])
+    return format_table(["quantile", "value"], rows, floatfmt=floatfmt)
+
+
+def format_series(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    xlabel: str = "x",
+    ylabel: str = "y",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render paired series (a text stand-in for a line plot)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    return format_table([xlabel, ylabel], list(zip(xs, ys)), floatfmt=floatfmt)

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_latitude",
+    "check_longitude",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]
+
+
+def check_latitude(lat: float, name: str = "lat") -> float:
+    """Validate a latitude in degrees and return it as a float."""
+    lat = float(lat)
+    if not math.isfinite(lat) or not -90.0 <= lat <= 90.0:
+        raise ValueError(f"{name} must be in [-90, 90], got {lat!r}")
+    return lat
+
+
+def check_longitude(lng: float, name: str = "lng") -> float:
+    """Validate a longitude in degrees and return it as a float."""
+    lng = float(lng)
+    if not math.isfinite(lng) or not -180.0 <= lng <= 180.0:
+        raise ValueError(f"{name} must be in [-180, 180], got {lng!r}")
+    return lng
+
+
+def check_in_range(
+    value: float, low: float, high: float, name: str = "value"
+) -> float:
+    """Validate ``low <= value <= high`` and return the value as a float."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that a value is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate that a value is a probability in [0, 1]."""
+    return check_in_range(value, 0.0, 1.0, name)

@@ -1,0 +1,89 @@
+"""Shared fixtures: a small simulated BDC world reused across test modules.
+
+Building the world (fabric -> providers -> filings -> challenges ->
+releases) dominates test runtime, so it is session-scoped; tests must not
+mutate it.
+"""
+
+import pytest
+
+from repro.fcc import (
+    ChallengeConfig,
+    FabricConfig,
+    ProviderConfig,
+    build_provider_id_table,
+    build_release_timeline,
+    generate_fabric,
+    generate_filings,
+    generate_providers,
+    simulate_challenges,
+)
+
+SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_fabric():
+    return generate_fabric(FabricConfig(locations_per_million=150), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def small_universe(small_fabric):
+    return generate_providers(small_fabric, ProviderConfig(n_providers=60), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def small_filings(small_fabric, small_universe):
+    return generate_filings(small_fabric, small_universe, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def small_challenges(small_filings, small_universe):
+    return simulate_challenges(
+        small_filings, small_universe, ChallengeConfig(), seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def small_timeline(small_filings, small_universe, small_challenges):
+    return build_release_timeline(
+        small_filings, small_universe, small_challenges, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def small_provider_table(small_universe):
+    return build_provider_id_table(small_universe, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    from repro.core import build_world, tiny
+
+    return build_world(tiny(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_world):
+    from repro.core import build_dataset
+
+    return build_dataset(tiny_world)
+
+
+@pytest.fixture(scope="session")
+def tiny_builder(tiny_world):
+    from repro.core import make_feature_builder
+
+    return make_feature_builder(tiny_world)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_world, tiny_dataset, tiny_builder):
+    from repro.core import NBMIntegrityModel
+    from repro.dataset import random_observation_split
+
+    split = random_observation_split(tiny_dataset, seed=1)
+    model = NBMIntegrityModel(tiny_builder, params=tiny_world.config.model).fit(
+        tiny_dataset, split.train_idx
+    )
+    return model, split

@@ -1,0 +1,76 @@
+"""Tests for canonicalization rules (Appendix C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asn import (
+    canonical_address,
+    canonical_company_name,
+    canonical_email,
+    canonical_email_domain,
+)
+
+
+def test_email_strip_and_lowercase():
+    assert canonical_email(" NOC@Example.COM ") == "noc@example.com"
+
+
+def test_email_domain_extraction():
+    assert canonical_email_domain("a@B.Com") == "b.com"
+
+
+def test_email_domain_filters_public():
+    assert canonical_email_domain("bob@gmail.com") is None
+    assert canonical_email_domain("bob@YAHOO.com") is None
+
+
+def test_email_domain_handles_garbage():
+    assert canonical_email_domain("not-an-email") is None
+
+
+def test_company_name_suffix_removal():
+    assert canonical_company_name("Acme Fiber Inc") == "acme fiber"
+    assert canonical_company_name("Acme Fiber, L.L.C.") == "acme fiber"
+    assert canonical_company_name("Acme Fiber Incorporated") == "acme fiber"
+
+
+def test_company_name_nested_suffixes():
+    assert canonical_company_name("Acme Fiber Co Inc") == "acme fiber"
+
+
+def test_company_name_case_and_punctuation_insensitive():
+    assert canonical_company_name("ACME-FIBER!") == canonical_company_name("Acme Fiber")
+
+
+def test_company_name_does_not_eat_interior_words():
+    # "Company" only strips as a trailing suffix.
+    assert "telephone" in canonical_company_name("Rural Telephone Company")
+
+
+def test_address_usps_abbreviations():
+    a = canonical_address("100 Main Street, Springfield, NE 68001")
+    b = canonical_address("100 MAIN ST Springfield NE 68001")
+    assert a == b == "100 main st springfield ne 68001"
+
+
+def test_address_multiple_designators():
+    out = canonical_address("1 North Oak Avenue Suite 200")
+    assert out == "1 n oak ave ste 200"
+
+
+def test_address_idempotent():
+    once = canonical_address("55 Telegraph Road, Columbus, OH 43004")
+    assert canonical_address(once) == once
+
+
+@given(st.text(max_size=60))
+def test_company_name_total_and_idempotent(text):
+    out = canonical_company_name(text)
+    assert canonical_company_name(out) == out
+
+
+@given(st.text(max_size=60))
+def test_address_total_and_idempotent(text):
+    out = canonical_address(text)
+    assert canonical_address(out) == out

@@ -1,0 +1,170 @@
+"""Tests for the integrity model, reports, and the JCC case study."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NBMIntegrityModel,
+    build_dataset,
+    run_jcc_case_study,
+    slice_report,
+    state_reports,
+    technology_reports,
+    tiny,
+)
+from repro.dataset import (
+    fcc_adjudicated_split,
+    random_observation_split,
+    state_holdout_split,
+)
+
+
+def test_random_holdout_auc_shape(tiny_dataset, tiny_model):
+    # Paper Fig. 5a: AUC 0.99 on the random observation holdout.
+    model, split = tiny_model
+    result = model.evaluate(tiny_dataset, split)
+    assert result.auc > 0.9
+    assert result.f1 > 0.8
+
+
+def test_state_holdout_generalizes(tiny_dataset, tiny_builder, tiny_world):
+    # Paper Fig. 5c: AUC 0.98 on unseen states.
+    split = state_holdout_split(tiny_dataset)
+    model = NBMIntegrityModel(tiny_builder, params=tiny_world.config.model).fit(
+        tiny_dataset, split.train_idx
+    )
+    result = model.evaluate(tiny_dataset, split)
+    assert result.auc > 0.88
+
+
+def test_fcc_adjudicated_harder(tiny_dataset, tiny_builder, tiny_world, tiny_model):
+    # Paper Fig. 5b: the FCC-adjudicated holdout is the weakest.
+    model, split_random = tiny_model
+    random_result = model.evaluate(tiny_dataset, split_random)
+    split_fcc = fcc_adjudicated_split(tiny_dataset, seed=1)
+    fcc_model = NBMIntegrityModel(tiny_builder, params=tiny_world.config.model).fit(
+        tiny_dataset, split_fcc.train_idx
+    )
+    fcc_result = fcc_model.evaluate(tiny_dataset, split_fcc)
+    assert fcc_result.auc > 0.6
+    assert fcc_result.auc < random_result.auc
+
+
+def test_speedtest_features_dominate(tiny_model):
+    # Paper Fig. 10: Ookla density and MLab counts are the top features.
+    model, _ = tiny_model
+    top = {name for name, _ in model.feature_importances(top_k=3)}
+    assert "MLab Test Counts" in top
+    assert "Ookla (Dev/Loc)" in top
+
+
+def test_predictions_probabilities(tiny_dataset, tiny_model):
+    model, split = tiny_model
+    test = split.test(tiny_dataset)[:50]
+    proba = model.predict_proba(test)
+    assert ((proba >= 0) & (proba <= 1)).all()
+    preds = model.predict(test)
+    assert set(np.unique(preds)).issubset({0, 1})
+
+
+def test_explain_additivity(tiny_dataset, tiny_model):
+    model, split = tiny_model
+    test = split.test(tiny_dataset)[:10]
+    expl = model.explain(test)
+    margins = model.classifier.predict_margin(model.builder.vectorize(test))
+    recon = expl.expected_value + expl.values.sum(axis=1)
+    np.testing.assert_allclose(recon, margins, atol=1e-8)
+
+
+def test_unfitted_model_raises(tiny_builder):
+    model = NBMIntegrityModel(tiny_builder)
+    with pytest.raises(RuntimeError):
+        model.predict_proba([])
+
+
+def test_fit_empty_raises(tiny_builder, tiny_dataset):
+    model = NBMIntegrityModel(tiny_builder)
+    with pytest.raises(ValueError):
+        model.fit(tiny_dataset, train_idx=np.array([], dtype=np.int64))
+
+
+def test_ablation_full_dataset_beats_challenges_only(tiny_world, tiny_builder):
+    # Paper Fig. 7: adding changes + synthetic labels improves holdout AUC.
+    full = build_dataset(tiny_world)
+    challenges_only = build_dataset(
+        tiny_world, use_changes=False, use_synthetic=False
+    )
+    split_full = state_holdout_split(full)
+    model_full = NBMIntegrityModel(tiny_builder, params=tiny_world.config.model).fit(
+        full, split_full.train_idx
+    )
+    auc_full = model_full.evaluate(full, split_full).auc
+
+    split_co = state_holdout_split(challenges_only)
+    model_co = NBMIntegrityModel(tiny_builder, params=tiny_world.config.model).fit(
+        challenges_only, split_co.train_idx
+    )
+    # Evaluate the challenges-only model on the full dataset's holdout for
+    # a like-for-like comparison.
+    auc_co = model_co.evaluate(full, split_full).auc
+    assert auc_full > auc_co - 0.02  # full should not be (meaningfully) worse
+
+
+# -- reports ------------------------------------------------------------------
+
+
+def test_slice_report_percentages_sum(tiny_dataset, tiny_model):
+    model, split = tiny_model
+    report = slice_report(model, split.test(tiny_dataset)[:300], "sample")
+    assert sum(report.class_pct.values()) == pytest.approx(100.0)
+    assert 0.0 <= report.accuracy <= 1.0
+
+
+def test_slice_report_empty_raises(tiny_model):
+    model, _ = tiny_model
+    with pytest.raises(ValueError):
+        slice_report(model, [], "empty")
+
+
+def test_technology_reports_structure(tiny_dataset, tiny_model):
+    model, split = tiny_model
+    reports = technology_reports(model, tiny_dataset, split, min_slice=10)
+    assert reports
+    for report in reports:
+        assert "Ookla (Dev/Loc)" in report.class_feature_means["TN"]
+
+
+def test_tn_class_has_higher_ookla_than_tp(tiny_dataset, tiny_model):
+    # Paper Table 7: correctly-valid claims show Ookla density > 1 while
+    # correctly-suspicious claims show the lowest density.
+    model, split = tiny_model
+    reports = technology_reports(model, tiny_dataset, split, min_slice=50)
+    checked = 0
+    for report in reports:
+        tn = report.class_feature_means["TN"]["Ookla (Dev/Loc)"]
+        tp = report.class_feature_means["TP"]["Ookla (Dev/Loc)"]
+        if not (np.isnan(tn) or np.isnan(tp)):
+            assert tn > tp
+            checked += 1
+    assert checked >= 1
+
+
+def test_state_reports_structure(tiny_dataset, tiny_model):
+    model, split = tiny_model
+    reports = state_reports(model, tiny_dataset, split, min_slice=30)
+    assert reports
+    names = {r.slice_name for r in reports}
+    assert all(len(n) == 2 for n in names)  # state abbreviations
+
+
+# -- case study ---------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_jcc_case_study_detects_fabricated_region():
+    result = run_jcc_case_study(tiny(seed=7))
+    assert result.separation_auc > 0.85
+    assert result.detection_rate > 0.8
+    assert result.detection_rate > result.false_alarm_rate
+    assert "OH" in result.holdout_states
+    assert "fabricated" in result.render_map()

@@ -1,0 +1,175 @@
+"""Tests for dataset assembly: labels, balancing, likely-served, splits."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_dataset
+from repro.dataset import (
+    LabelledDataset,
+    LabelSource,
+    Observation,
+    fcc_adjudicated_split,
+    likely_served_claims,
+    random_observation_split,
+    state_holdout_split,
+    train_validation_split,
+)
+
+
+def _obs(pid=1, cell=10, tech=40, state="OH", unserved=0, source=LabelSource.CHALLENGE, fcc=False):
+    return Observation(pid, cell, tech, state, unserved, source, fcc)
+
+
+# -- LabelledDataset mechanics -------------------------------------------------
+
+
+def test_dataset_deduplicates_first_label_wins():
+    a = _obs(unserved=1, source=LabelSource.CHALLENGE)
+    b = _obs(unserved=0, source=LabelSource.SYNTHETIC)
+    ds = LabelledDataset([a, b])
+    assert len(ds) == 1
+    assert ds[0].unserved == 1
+
+
+def test_dataset_composition_fractions():
+    ds = LabelledDataset(
+        [
+            _obs(cell=1, source=LabelSource.CHALLENGE),
+            _obs(cell=2, source=LabelSource.CHANGE),
+            _obs(cell=3, source=LabelSource.SYNTHETIC),
+            _obs(cell=4, source=LabelSource.SYNTHETIC),
+        ]
+    )
+    comp = ds.composition()
+    assert comp[LabelSource.SYNTHETIC] == pytest.approx(0.5)
+    assert sum(comp.values()) == pytest.approx(1.0)
+
+
+def test_dataset_filter_and_groupings():
+    ds = LabelledDataset([_obs(cell=1, state="OH"), _obs(cell=2, state="NE", pid=2)])
+    assert len(ds.filter(lambda o: o.state == "NE")) == 1
+    assert set(ds.by_state()) == {"OH", "NE"}
+    assert set(ds.by_provider()) == {1, 2}
+
+
+# -- full pipeline dataset ----------------------------------------------------
+
+
+def test_built_dataset_balanced(tiny_dataset):
+    assert 0.35 <= tiny_dataset.class_balance() <= 0.65
+
+
+def test_built_dataset_has_all_three_sources(tiny_dataset):
+    comp = tiny_dataset.composition()
+    assert all(comp[src] > 0.05 for src in LabelSource)
+
+
+def test_built_dataset_excludes_satellite(tiny_world, tiny_dataset):
+    satellite = {p.provider_id for p in tiny_world.universe.providers if p.is_satellite}
+    assert not any(obs.provider_id in satellite for obs in tiny_dataset)
+
+
+def test_ablation_datasets_nest(tiny_world):
+    only_challenges = build_dataset(
+        tiny_world, use_changes=False, use_synthetic=False
+    )
+    with_changes = build_dataset(tiny_world, use_synthetic=False)
+    assert len(with_changes) > len(only_challenges)
+    assert all(
+        obs.source in (LabelSource.CHALLENGE, LabelSource.CHANGE)
+        for obs in with_changes
+    )
+
+
+def test_unbalanced_challenge_dataset_skews_unserved(tiny_world):
+    ds = build_dataset(tiny_world, use_synthetic=False)
+    # Challenge/change labels overwhelmingly mark claims unserved (the
+    # imbalance the paper's balancing step corrects).
+    assert ds.class_balance() > 0.6
+
+
+def test_synthetic_labels_are_served(tiny_dataset):
+    assert all(
+        obs.unserved == 0
+        for obs in tiny_dataset
+        if obs.source is LabelSource.SYNTHETIC
+    )
+
+
+def test_change_labels_are_unserved(tiny_dataset):
+    assert all(
+        obs.unserved == 1 for obs in tiny_dataset if obs.source is LabelSource.CHANGE
+    )
+
+
+def test_likely_served_sorted_by_score(tiny_world):
+    pairs = likely_served_claims(
+        tiny_world.table, tiny_world.coverage_scores, tiny_world.localization
+    )
+    scores = [s for _, s in pairs]
+    assert scores == sorted(scores, reverse=True)
+    assert all(s >= 1.0 for s in scores)
+
+
+def test_likely_served_requires_mlab_attribution(tiny_world):
+    pairs = likely_served_claims(
+        tiny_world.table, tiny_world.coverage_scores, tiny_world.localization
+    )
+    for (pid, cell, _tech), _score in pairs[:100]:
+        assert cell in tiny_world.localization.cells_by_provider[pid]
+
+
+def test_localization_drops_wide_radius(tiny_world):
+    assert tiny_world.localization.n_dropped_radius > 0
+
+
+# -- splits --------------------------------------------------------------------
+
+
+def test_random_split_partitions(tiny_dataset):
+    split = random_observation_split(tiny_dataset, test_fraction=0.1, seed=0)
+    assert split.train_idx.size + split.test_idx.size == len(tiny_dataset)
+    assert not set(split.train_idx) & set(split.test_idx)
+    assert split.test_idx.size == pytest.approx(0.1 * len(tiny_dataset), rel=0.05)
+
+
+def test_random_split_deterministic(tiny_dataset):
+    a = random_observation_split(tiny_dataset, seed=5)
+    b = random_observation_split(tiny_dataset, seed=5)
+    np.testing.assert_array_equal(a.test_idx, b.test_idx)
+
+
+def test_random_split_validates_fraction(tiny_dataset):
+    with pytest.raises(ValueError):
+        random_observation_split(tiny_dataset, test_fraction=0.0)
+
+
+def test_fcc_split_test_set_all_adjudicated(tiny_dataset):
+    split = fcc_adjudicated_split(tiny_dataset, seed=0)
+    assert all(tiny_dataset[i].fcc_adjudicated for i in split.test_idx)
+
+
+def test_fcc_split_requires_adjudicated():
+    ds = LabelledDataset([_obs()])
+    with pytest.raises(ValueError):
+        fcc_adjudicated_split(ds)
+
+
+def test_state_split_excludes_states_from_training(tiny_dataset):
+    split = state_holdout_split(tiny_dataset)
+    holdout = {"NE", "GA", "OK", "MO", "IN", "SC"}
+    assert all(tiny_dataset[i].state in holdout for i in split.test_idx)
+    assert all(tiny_dataset[i].state not in holdout for i in split.train_idx)
+
+
+def test_state_split_unknown_state():
+    ds = LabelledDataset([_obs(state="OH")])
+    with pytest.raises(ValueError):
+        state_holdout_split(ds, ("NE",))
+
+
+def test_train_validation_split(tiny_dataset):
+    split = random_observation_split(tiny_dataset, seed=0)
+    train, val = train_validation_split(split, validation_fraction=0.2, seed=0)
+    assert not set(train) & set(val)
+    assert set(train) | set(val) == set(split.train_idx)

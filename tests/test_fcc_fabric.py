@@ -1,0 +1,107 @@
+"""Tests for the synthetic BSL Fabric."""
+
+import numpy as np
+import pytest
+
+from repro.fcc import FabricConfig, generate_fabric
+from repro.fcc.states import STATES, state_by_abbr
+from repro.geo import hexgrid
+
+
+def test_fabric_size_scales_with_population(small_fabric):
+    ca = small_fabric.bsls_in_state("CA").size
+    wy = small_fabric.bsls_in_state("WY").size
+    assert ca > 10 * wy
+
+
+def test_bsls_within_state_bounds(small_fabric):
+    ne = state_by_abbr("NE")
+    rows = small_fabric.bsls_in_state("NE")
+    lats = small_fabric.lats[rows]
+    lngs = small_fabric.lngs[rows]
+    assert (lats >= ne.lat_min).all() and (lats <= ne.lat_max).all()
+    assert (lngs >= ne.lng_min).all() and (lngs <= ne.lng_max).all()
+
+
+def test_cells_match_coordinates(small_fabric):
+    rows = small_fabric.bsls_in_state("OH")[:50]
+    for row in rows:
+        expected = hexgrid.latlng_to_cell(
+            float(small_fabric.lats[row]), float(small_fabric.lngs[row]), 8
+        )
+        assert int(small_fabric.cells[row]) == expected
+
+
+def test_median_bsls_per_cell_near_four():
+    # Paper Fig. 9: median of 4 BSLs per res-8 cell.  Use the default
+    # (calibrated) config at reduced scale.
+    fabric = generate_fabric(FabricConfig(locations_per_million=800), seed=7)
+    dist = fabric.bsls_per_cell_distribution()
+    assert 2 <= np.median(dist) <= 6
+
+
+def test_bsl_row_view(small_fabric):
+    bsl = small_fabric.bsl(0)
+    assert bsl.bsl_id == 0
+    assert bsl.building_type in ("residential", "business", "cai")
+    assert bsl.unit_count >= 1
+    assert int(small_fabric.cells[0]) == bsl.cell
+
+
+def test_bsl_out_of_range(small_fabric):
+    with pytest.raises(IndexError):
+        small_fabric.bsl(len(small_fabric))
+
+
+def test_bsls_in_cell_index_consistent(small_fabric):
+    cell = int(small_fabric.cells[123])
+    rows = small_fabric.bsls_in_cell(cell)
+    assert 123 in rows
+    assert (small_fabric.cells[rows] == np.uint64(cell)).all()
+
+
+def test_unknown_cell_returns_empty(small_fabric):
+    assert small_fabric.bsls_in_cell(12345).size == 0
+
+
+def test_state_of_cell(small_fabric):
+    cell = int(small_fabric.cells[0])
+    assert small_fabric.state_of_cell(cell) == small_fabric.bsl(0).state
+    assert small_fabric.state_of_cell(999) is None
+
+
+def test_towns_generated_for_every_populated_state(small_fabric):
+    for abbr in ("CA", "NE", "OH", "VA"):
+        assert small_fabric.towns_in_state(abbr)
+
+
+def test_building_type_fractions(small_fabric):
+    types = small_fabric.building_types
+    business = float((types == 1).mean())
+    cai = float((types == 2).mean())
+    assert 0.02 < business < 0.15
+    assert 0.001 < cai < 0.03
+
+
+def test_determinism():
+    config = FabricConfig(locations_per_million=50)
+    a = generate_fabric(config, seed=9)
+    b = generate_fabric(config, seed=9)
+    assert len(a) == len(b)
+    np.testing.assert_array_equal(a.cells, b.cells)
+
+
+def test_different_seed_differs():
+    config = FabricConfig(locations_per_million=50)
+    a = generate_fabric(config, seed=1)
+    b = generate_fabric(config, seed=2)
+    assert not np.array_equal(a.lats, b.lats)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FabricConfig(locations_per_million=0).validate()
+    with pytest.raises(ValueError):
+        FabricConfig(rural_fraction=1.5).validate()
+    with pytest.raises(ValueError):
+        FabricConfig(business_fraction=0.4, cai_fraction=0.2).validate()

@@ -1,0 +1,55 @@
+"""Tests for FRN registration data."""
+
+import numpy as np
+import pytest
+
+from repro.fcc import build_provider_id_table
+from repro.fcc.frn import perturb_address, perturb_name
+
+
+def test_every_provider_has_frn_records(small_provider_table, small_universe):
+    assert set(small_provider_table.provider_ids) == {
+        p.provider_id for p in small_universe.providers
+    }
+
+
+def test_frn_count_matches_provider_frns(small_provider_table, small_universe):
+    for provider in small_universe.providers:
+        records = small_provider_table.frns_for_provider(provider.provider_id)
+        assert {r.frn for r in records} == set(provider.frns)
+
+
+def test_record_lookup_by_frn(small_provider_table):
+    record = small_provider_table.records[0]
+    assert small_provider_table.record_for_frn(record.frn) == record
+    with pytest.raises(KeyError):
+        small_provider_table.record_for_frn(-5)
+
+
+def test_emails_preserved_exactly(small_provider_table, small_universe):
+    # Contact email is the one clean field (the paper's strongest matcher).
+    for provider in small_universe.providers[:20]:
+        for record in small_provider_table.frns_for_provider(provider.provider_id):
+            assert record.contact_email == provider.contact_email
+
+
+def test_names_noisy_but_recognizable(small_provider_table, small_universe):
+    provider = small_universe.providers[0]
+    record = small_provider_table.frns_for_provider(provider.provider_id)[0]
+    base = provider.name.lower().replace(" inc", "").replace(" llc", "")
+    stem = base.split()[0]
+    assert stem in record.company_name.lower()
+
+
+def test_perturb_name_changes_format_not_identity():
+    rng = np.random.default_rng(0)
+    variants = {perturb_name(rng, "Acme Fiber Inc") for _ in range(30)}
+    assert len(variants) > 1
+    assert all("acme" in v.lower() for v in variants)
+
+
+def test_perturb_address_styles():
+    rng = np.random.default_rng(0)
+    variants = {perturb_address(rng, "100 Main Street, Springfield, NE 68001") for _ in range(30)}
+    assert len(variants) > 1
+    assert any("St" in v and "Street" not in v for v in variants)

@@ -1,0 +1,140 @@
+"""Tests for provider generation and claim footprints."""
+
+import numpy as np
+import pytest
+
+from repro.fcc import (
+    MAJOR_ISPS,
+    Methodology,
+    ProviderConfig,
+    generate_providers,
+    methodology_text,
+)
+
+
+def test_universe_size(small_universe):
+    assert len(small_universe) == 60
+
+
+def test_eight_majors_present(small_universe):
+    majors = small_universe.majors
+    assert len(majors) == len(MAJOR_ISPS) == 8
+    brands = {p.brand_name for p in majors}
+    assert "Xfinity" in brands and "US Cellular" in brands
+
+
+def test_satellite_providers_claim_everywhere(small_universe, small_fabric):
+    satellites = [p for p in small_universe.providers if p.is_satellite]
+    assert satellites
+    provider = satellites[0]
+    fp = small_universe.footprint(provider.provider_id, "NE", 60)
+    assert fp is not None
+    assert fp.claimed_cells == frozenset(small_fabric.cells_in_state("NE"))
+    assert fp.overclaim_fraction == 0.0
+
+
+def test_terrestrial_excludes_satellite(small_universe):
+    assert all(not p.is_satellite for p in small_universe.terrestrial)
+    n_sat = len(small_universe.providers) - len(small_universe.terrestrial)
+    assert n_sat == small_universe.config.n_satellite
+
+
+def test_provider_ids_unique(small_universe):
+    ids = [p.provider_id for p in small_universe.providers]
+    assert len(set(ids)) == len(ids)
+
+
+def test_frns_unique_across_providers(small_universe):
+    frns = [f for p in small_universe.providers for f in p.frns]
+    assert len(set(frns)) == len(frns)
+
+
+def test_footprint_claimed_superset_of_true(small_universe):
+    for fp in small_universe.footprints.values():
+        assert fp.true_cells <= fp.claimed_cells
+
+
+def test_overclaim_tracks_intended_rate(small_universe):
+    # Realized overclaim fractions should correlate with the provider's
+    # methodology-driven intended rate.
+    intended, realized = [], []
+    for (pid, _, tech), fp in small_universe.footprints.items():
+        provider = small_universe.provider(pid)
+        if provider.is_satellite or len(fp.claimed_cells) < 30:
+            continue
+        intended.append(provider.overclaim_rate)
+        realized.append(fp.overclaim_fraction)
+    corr = np.corrcoef(intended, realized)[0, 1]
+    assert corr > 0.5
+
+
+def test_census_block_methodology_overclaims_most(small_universe):
+    by_method: dict[Methodology, list[float]] = {}
+    for p in small_universe.terrestrial:
+        by_method.setdefault(p.methodology, []).append(p.overclaim_rate)
+    if Methodology.CENSUS_BLOCKS in by_method and Methodology.SUBSCRIBER_ADDRESSES in by_method:
+        assert np.mean(by_method[Methodology.CENSUS_BLOCKS]) > np.mean(
+            by_method[Methodology.SUBSCRIBER_ADDRESSES]
+        )
+
+
+def test_methodology_text_consultant_identical():
+    a = methodology_text(Methodology.CONSULTANT_TEMPLATE, "Acme Fiber")
+    b = methodology_text(Methodology.CONSULTANT_TEMPLATE, "Zenith Cable")
+    assert a == b
+
+
+def test_methodology_text_mentions_provider():
+    text = methodology_text(Methodology.SUBSCRIBER_ADDRESSES, "Acme Fiber")
+    assert "Acme Fiber" in text
+
+
+def test_consultant_clients_share_identical_filing_text(small_universe):
+    texts = {
+        p.methodology_text
+        for p in small_universe.terrestrial
+        if p.methodology is Methodology.CONSULTANT_TEMPLATE
+    }
+    assert len(texts) <= 1
+
+
+def test_tier_lookup(small_universe):
+    provider = small_universe.majors[0]
+    tech = provider.technologies[0]
+    tier = provider.tier_for(tech)
+    assert tier.max_download_mbps > 0
+    with pytest.raises(KeyError):
+        provider.tier_for(61)
+
+
+def test_footprints_only_in_declared_states(small_universe):
+    for (pid, state, _tech) in small_universe.footprints:
+        assert state in small_universe.provider(pid).states
+
+
+def test_claimed_cells_union(small_universe):
+    provider = small_universe.majors[0]
+    cells = small_universe.claimed_cells(provider.provider_id)
+    assert cells
+    per_fp = small_universe.footprints_for_provider(provider.provider_id)
+    assert cells == set().union(*(fp.claimed_cells for fp in per_fp.values()))
+
+
+def test_unknown_provider_raises(small_universe):
+    with pytest.raises(KeyError):
+        small_universe.provider(-1)
+
+
+def test_determinism(small_fabric):
+    config = ProviderConfig(n_providers=25)
+    a = generate_providers(small_fabric, config, seed=3)
+    b = generate_providers(small_fabric, config, seed=3)
+    assert [p.name for p in a.providers] == [p.name for p in b.providers]
+    assert a.footprints.keys() == b.footprints.keys()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ProviderConfig(n_providers=5).validate()
+    with pytest.raises(ValueError):
+        ProviderConfig(regional_fraction=2.0).validate()

@@ -1,0 +1,69 @@
+"""Tests for state/territory static data."""
+
+import pytest
+
+from repro.fcc import STATES, challenge_weights, contiguous_states, state_by_abbr
+from repro.fcc.states import states_adjacent_to
+
+
+def test_fifty_six_states_and_territories():
+    assert len(STATES) == 56
+
+
+def test_unique_abbreviations_and_fips():
+    abbrs = [s.abbr for s in STATES]
+    fips = [s.fips for s in STATES]
+    assert len(set(abbrs)) == 56
+    assert len(set(fips)) == 56
+
+
+def test_lookup_by_abbr_case_insensitive():
+    assert state_by_abbr("ne").name == "Nebraska"
+    assert state_by_abbr("VA").name == "Virginia"
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        state_by_abbr("ZZ")
+
+
+def test_bounding_boxes_well_formed():
+    for s in STATES:
+        assert s.lat_min < s.lat_max, s.abbr
+        assert s.lng_min < s.lng_max, s.abbr
+        assert -90 <= s.lat_min and s.lat_max <= 90
+
+
+def test_contiguous_excludes_offshore():
+    abbrs = {s.abbr for s in contiguous_states()}
+    assert "AK" not in abbrs and "HI" not in abbrs and "PR" not in abbrs
+    assert "NE" in abbrs and "DC" in abbrs
+
+
+def test_challenge_weights_normalized():
+    weights = challenge_weights()
+    assert sum(weights.values()) == pytest.approx(1.0)
+    assert all(w >= 0 for w in weights.values())
+
+
+def test_nebraska_has_highest_challenge_weight():
+    # Paper Fig. 2: Nebraska faced the most location challenges.
+    weights = challenge_weights()
+    assert max(weights, key=weights.get) == "NE"
+
+
+def test_top_ten_states_carry_ninety_percent():
+    # Paper: "just ten states accounting for around 90% of challenges".
+    weights = sorted(challenge_weights().values(), reverse=True)
+    assert 0.85 <= sum(weights[:10]) <= 0.97
+
+
+def test_population_positive():
+    assert all(s.population_m > 0 for s in STATES)
+
+
+def test_adjacency_ohio():
+    neighbors = states_adjacent_to("OH")
+    assert "PA" in neighbors and "WV" in neighbors
+    assert "OH" not in neighbors
+    assert "CA" not in neighbors

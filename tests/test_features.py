@@ -1,0 +1,140 @@
+"""Tests for Table-4 vectorization, encoders, and the text embedder."""
+
+import numpy as np
+import pytest
+
+from repro.features import CORE_FEATURES, StateOneHot, TechnologyOneHot, TextEmbedder
+from repro.geo import hexgrid
+
+
+# -- embedder -----------------------------------------------------------------
+
+
+def test_embedding_unit_norm():
+    emb = TextEmbedder(dim=64)
+    v = emb.embed("We report availability from subscriber records.")
+    assert np.linalg.norm(v) == pytest.approx(1.0)
+
+
+def test_identical_texts_identical_embeddings():
+    emb = TextEmbedder(dim=64)
+    a = emb.embed("consultant prepared filing")
+    b = emb.embed("consultant prepared filing")
+    np.testing.assert_array_equal(a, b)
+
+
+def test_similar_texts_closer_than_different():
+    emb = TextEmbedder(dim=128)
+    base = emb.embed("We determine availability from engineering records of fiber routes")
+    near = emb.embed("We determine availability from engineering records of fiber plant")
+    far = emb.embed("Coverage is modeled with an RF propagation study and drive tests")
+    assert TextEmbedder.cosine(base, near) > TextEmbedder.cosine(base, far)
+
+
+def test_empty_text_embeds_to_zero():
+    emb = TextEmbedder(dim=32)
+    assert np.allclose(emb.embed(""), 0.0)
+
+
+def test_embed_corpus_shape():
+    emb = TextEmbedder(dim=16)
+    out = emb.embed_corpus(["a b c", "d e f"])
+    assert out.shape == (2, 16)
+    assert emb.embed_corpus([]).shape == (0, 16)
+
+
+def test_embedder_validates_dim():
+    with pytest.raises(ValueError):
+        TextEmbedder(dim=1)
+
+
+# -- encoders ------------------------------------------------------------------
+
+
+def test_state_onehot_roundtrip():
+    enc = StateOneHot()
+    v = enc.encode("NE")
+    assert v.sum() == 1.0
+    assert enc.feature_names[int(np.argmax(v))] == "State_NE"
+    assert enc.dim == 56
+
+
+def test_state_onehot_unknown():
+    with pytest.raises(ValueError):
+        StateOneHot().encode("ZZ")
+
+
+def test_tech_onehot():
+    enc = TechnologyOneHot()
+    v = enc.encode(50)
+    assert v.sum() == 1.0
+    with pytest.raises(ValueError):
+        enc.encode(99)
+
+
+# -- feature builder -----------------------------------------------------------
+
+
+def test_feature_names_consistent(tiny_builder):
+    names = tiny_builder.feature_names
+    assert len(names) == tiny_builder.n_features
+    assert list(CORE_FEATURES) == names[: len(CORE_FEATURES)]
+    assert len(set(names)) == len(names)
+
+
+def test_vectorize_shape_and_finiteness(tiny_dataset, tiny_builder):
+    obs = list(tiny_dataset)[:200]
+    X = tiny_builder.vectorize(obs)
+    assert X.shape == (200, tiny_builder.n_features)
+    assert np.isfinite(X).all()
+
+
+def test_vectorize_empty(tiny_builder):
+    X = tiny_builder.vectorize([])
+    assert X.shape == (0, tiny_builder.n_features)
+
+
+def test_labels_match_observations(tiny_dataset, tiny_builder):
+    obs = list(tiny_dataset)[:50]
+    y = tiny_builder.labels(obs)
+    assert y.tolist() == [o.unserved for o in obs]
+
+
+def test_centroid_features_match_cell(tiny_dataset, tiny_builder):
+    obs = tiny_dataset[0]
+    x = tiny_builder.vectorize_one(obs)
+    names = tiny_builder.feature_names
+    lat = x[names.index("H3 Centroid Lat")]
+    lng = x[names.index("H3 Centroid Lng")]
+    clat, clng = hexgrid.cell_to_latlng(obs.cell)
+    assert lat == pytest.approx(clat)
+    assert lng == pytest.approx(clng)
+
+
+def test_claims_pct_in_unit_interval(tiny_dataset, tiny_builder):
+    obs = list(tiny_dataset)[:300]
+    X = tiny_builder.vectorize(obs)
+    pct = X[:, tiny_builder.feature_names.index("Location Claims Pct")]
+    assert (pct >= 0).all() and (pct <= 1.0 + 1e-9).all()
+
+
+def test_state_onehot_set_in_vector(tiny_dataset, tiny_builder):
+    obs = tiny_dataset[0]
+    x = tiny_builder.vectorize_one(obs)
+    names = tiny_builder.feature_names
+    assert x[names.index(f"State_{obs.state}")] == 1.0
+
+
+def test_speed_features_respect_published_floors(tiny_dataset, tiny_builder):
+    obs = list(tiny_dataset)[:300]
+    X = tiny_builder.vectorize(obs)
+    down = X[:, tiny_builder.feature_names.index("Max Adv. DL Speed (Mbps)")]
+    assert not ((down > 0) & (down < 10.0)).any()
+
+
+def test_methodology_embedding_identical_for_same_provider(tiny_dataset, tiny_builder):
+    by_provider = tiny_dataset.by_provider()
+    pid, obs_list = next((k, v) for k, v in by_provider.items() if len(v) >= 2)
+    X = tiny_builder.vectorize(obs_list[:2])
+    d = len(CORE_FEATURES) + 56 + 6
+    np.testing.assert_array_equal(X[0, d:], X[1, d:])

@@ -1,0 +1,68 @@
+"""Tests for geodesic primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import (
+    bounding_box,
+    destination_point,
+    haversine_m,
+    haversine_m_vec,
+)
+
+lat_st = st.floats(min_value=-80, max_value=80, allow_nan=False)
+lng_st = st.floats(min_value=-179, max_value=179, allow_nan=False)
+
+
+def test_one_degree_longitude_at_equator():
+    assert haversine_m(0, 0, 0, 1) == pytest.approx(111_195, rel=0.01)
+
+
+def test_distance_zero_for_same_point():
+    assert haversine_m(40.0, -100.0, 40.0, -100.0) == 0.0
+
+
+def test_distance_symmetric():
+    a = haversine_m(40, -100, 41, -99)
+    b = haversine_m(41, -99, 40, -100)
+    assert a == pytest.approx(b, rel=1e-12)
+
+
+def test_vectorized_matches_scalar():
+    lat2 = np.array([41.0, 42.0])
+    lng2 = np.array([-99.0, -98.0])
+    vec = haversine_m_vec(40.0, -100.0, lat2, lng2)
+    for i in range(2):
+        assert vec[i] == pytest.approx(
+            haversine_m(40.0, -100.0, float(lat2[i]), float(lng2[i])), rel=1e-12
+        )
+
+
+@given(lat_st, lng_st, st.floats(min_value=0, max_value=359), st.floats(min_value=1, max_value=50_000))
+def test_destination_point_roundtrip_distance(lat, lng, bearing, dist):
+    lat2, lng2 = destination_point(lat, lng, bearing, dist)
+    assert haversine_m(lat, lng, lat2, lng2) == pytest.approx(dist, rel=1e-6)
+
+
+def test_destination_point_north():
+    lat2, lng2 = destination_point(40.0, -100.0, 0.0, 10_000)
+    assert lat2 > 40.0
+    assert lng2 == pytest.approx(-100.0, abs=1e-9)
+
+
+@given(lat_st, lng_st, st.floats(min_value=100, max_value=20_000))
+def test_bounding_box_contains_disk_cardinals(lat, lng, radius):
+    lat_min, lat_max, lng_min, lng_max = bounding_box(lat, lng, radius)
+    for bearing in (0, 90, 180, 270):
+        plat, plng = destination_point(lat, lng, bearing, radius * 0.999)
+        assert lat_min - 1e-9 <= plat <= lat_max + 1e-9
+        assert lng_min - 1e-9 <= plng <= lng_max + 1e-9
+
+
+def test_bounding_box_clamps_at_poles():
+    lat_min, lat_max, _, _ = bounding_box(89.9, 0.0, 100_000)
+    assert lat_max == 90.0

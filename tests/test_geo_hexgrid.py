@@ -1,0 +1,178 @@
+"""Tests for the H3-analog hexagonal grid."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import hexgrid as hg
+from repro.geo import haversine_m
+
+lat_st = st.floats(min_value=-65, max_value=65, allow_nan=False)
+lng_st = st.floats(min_value=-170, max_value=170, allow_nan=False)
+res_st = st.integers(min_value=0, max_value=12)
+
+
+def test_res8_area_near_half_km2():
+    # The paper: res-8 cells are "approximately 0.5 km^2".
+    assert 0.4 < hg.cell_area_km2(8) < 0.7
+
+
+def test_edge_lengths_scale_by_sqrt7():
+    ratio = hg.edge_length_m(5) / hg.edge_length_m(6)
+    assert ratio == pytest.approx(math.sqrt(7), rel=1e-12)
+
+
+def test_pack_unpack_roundtrip():
+    cell = hg.pack_cell(8, -12345, 6789)
+    assert hg.unpack_cell(cell) == (8, -12345, 6789)
+
+
+def test_pack_rejects_bad_res():
+    with pytest.raises(ValueError):
+        hg.pack_cell(16, 0, 0)
+
+
+def test_pack_rejects_out_of_range_coords():
+    with pytest.raises(ValueError):
+        hg.pack_cell(8, 2**29, 0)
+
+
+@given(lat_st, lng_st, res_st)
+@settings(max_examples=200)
+def test_point_maps_to_cell_near_centroid(lat, lng, res):
+    cell = hg.latlng_to_cell(lat, lng, res)
+    clat, clng = hg.cell_to_latlng(cell)
+    # The point lies within the cell's circumradius of the centroid, inflated
+    # by the projection's documented shear bound far from the central
+    # meridian (sqrt(1 + (dlmb * sin(lat))^2)).
+    dlmb = math.radians((lng - hg.CENTRAL_MERIDIAN_DEG + 180.0) % 360.0 - 180.0)
+    shear = math.sqrt(1.0 + (dlmb * math.sin(math.radians(lat))) ** 2)
+    bound = hg.edge_length_m(res) * 2.0 * shear
+    assert haversine_m(lat, lng, clat, clng) <= bound
+
+
+def test_point_in_cell_tight_over_conus():
+    # Over the paper's study area the distortion is a few percent: points sit
+    # within ~1.05 circumradii of their res-8 cell centroid.
+    for lat, lng in [(25.9, -80.2), (47.6, -122.3), (40.7, -74.0), (34.0, -118.2)]:
+        cell = hg.latlng_to_cell(lat, lng, 8)
+        clat, clng = hg.cell_to_latlng(cell)
+        assert haversine_m(lat, lng, clat, clng) <= hg.edge_length_m(8) * 1.15
+
+
+@given(lat_st, lng_st)
+def test_centroid_maps_back_to_same_cell(lat, lng):
+    cell = hg.latlng_to_cell(lat, lng, 8)
+    clat, clng = hg.cell_to_latlng(cell)
+    assert hg.latlng_to_cell(clat, clng, 8) == cell
+
+
+def test_grid_disk_sizes():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    for k in range(5):
+        assert len(hg.grid_disk(cell, k)) == 1 + 3 * k * (k + 1)
+
+
+def test_grid_ring_sizes():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    assert hg.grid_ring(cell, 0) == [cell]
+    for k in range(1, 5):
+        ring = hg.grid_ring(cell, k)
+        assert len(ring) == 6 * k
+        assert all(hg.grid_distance(cell, c) == k for c in ring)
+
+
+def test_disk_is_union_of_rings():
+    cell = hg.latlng_to_cell(35, -90, 7)
+    disk = set(hg.grid_disk(cell, 3))
+    rings = set()
+    for k in range(4):
+        rings.update(hg.grid_ring(cell, k))
+    assert disk == rings
+
+
+def test_neighbors_are_distance_one():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    neighbors = hg.grid_neighbors(cell)
+    assert len(set(neighbors)) == 6
+    assert all(hg.grid_distance(cell, n) == 1 for n in neighbors)
+
+
+def test_grid_distance_symmetry_and_triangle():
+    a = hg.latlng_to_cell(40, -100, 8)
+    b = hg.latlng_to_cell(40.05, -100.05, 8)
+    c = hg.latlng_to_cell(40.1, -99.95, 8)
+    assert hg.grid_distance(a, b) == hg.grid_distance(b, a)
+    assert hg.grid_distance(a, c) <= hg.grid_distance(a, b) + hg.grid_distance(b, c)
+
+
+def test_grid_distance_rejects_mixed_resolution():
+    a = hg.latlng_to_cell(40, -100, 8)
+    b = hg.latlng_to_cell(40, -100, 7)
+    with pytest.raises(ValueError):
+        hg.grid_distance(a, b)
+
+
+def test_cells_within_radius_cover_and_filter():
+    cells = hg.cells_within_radius(40, -100, 3000, 8)
+    assert cells
+    for cell in cells:
+        clat, clng = hg.cell_to_latlng(cell)
+        assert haversine_m(40, -100, clat, clng) <= 3000
+    # All six immediate neighbors' centroids are well within 3 km.
+    center = hg.latlng_to_cell(40, -100, 8)
+    assert set(hg.grid_neighbors(center)).issubset(set(cells))
+
+
+def test_cell_boundary_hexagon():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    boundary = hg.cell_boundary(cell)
+    assert len(boundary) == 6
+    clat, clng = hg.cell_to_latlng(cell)
+    for vlat, vlng in boundary:
+        # Vertices are one circumradius away from the centre.
+        d = haversine_m(clat, clng, vlat, vlng)
+        assert d == pytest.approx(hg.edge_length_m(8), rel=0.1)
+
+
+def test_parent_contains_child_centroid():
+    cell = hg.latlng_to_cell(40, -100, 9)
+    parent = hg.cell_to_parent(cell, 8)
+    assert hg.cell_resolution(parent) == 8
+    lat, lng = hg.cell_to_latlng(cell)
+    assert hg.cell_to_parent(cell, 8) == hg.latlng_to_cell(lat, lng, 8)
+
+
+def test_parent_rejects_finer_resolution():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    with pytest.raises(ValueError):
+        hg.cell_to_parent(cell, 9)
+
+
+def test_children_average_about_seven():
+    cell = hg.latlng_to_cell(40, -100, 6)
+    children = hg.cell_to_children(cell, 7)
+    assert 4 <= len(children) <= 10
+    assert all(hg.cell_to_parent(c, 6) == cell for c in children)
+
+
+def test_children_identity_at_same_res():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    assert hg.cell_to_children(cell, 8) == [cell]
+
+
+def test_is_valid_cell():
+    cell = hg.latlng_to_cell(40, -100, 8)
+    assert hg.is_valid_cell(cell)
+    assert not hg.is_valid_cell(-1)
+    assert not hg.is_valid_cell(2**63)
+
+
+@given(lat_st, lng_st)
+def test_distinct_points_far_apart_get_distinct_cells(lat, lng):
+    a = hg.latlng_to_cell(lat, lng, 8)
+    lat2, lng2 = min(lat + 0.5, 90.0), lng
+    b = hg.latlng_to_cell(lat2, lng2, 8)
+    assert a != b

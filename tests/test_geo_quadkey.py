@@ -1,0 +1,90 @@
+"""Tests for the Bing Maps quadkey tile system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import quadkey as qk
+
+lat_st = st.floats(min_value=-84, max_value=84, allow_nan=False)
+lng_st = st.floats(min_value=-179.9, max_value=179.9, allow_nan=False)
+level_st = st.integers(min_value=1, max_value=20)
+
+
+def test_spec_example_tile_to_quadkey():
+    # Worked example from the Bing Maps tile-system documentation.
+    assert qk.tile_to_quadkey(3, 5, 3) == "213"
+
+
+def test_quadkey_tile_roundtrip_spec_example():
+    assert qk.quadkey_to_tile("213") == (3, 5, 3)
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=0, max_value=2**16 - 1))
+def test_tile_quadkey_roundtrip(tx, ty):
+    key = qk.tile_to_quadkey(tx, ty, 16)
+    assert qk.quadkey_to_tile(key) == (tx, ty, 16)
+
+
+def test_invalid_quadkey_digit_rejected():
+    with pytest.raises(ValueError):
+        qk.quadkey_to_tile("0124")
+
+
+def test_empty_quadkey_rejected():
+    with pytest.raises(ValueError):
+        qk.quadkey_to_tile("")
+
+
+@given(lat_st, lng_st)
+def test_point_within_own_tile_bounds(lat, lng):
+    # The spec rounds to the nearest pixel (+0.5), so a point can land in the
+    # neighbouring tile when it sits within half a pixel of the boundary;
+    # allow one pixel of slack.
+    key = qk.latlng_to_quadkey(lat, lng, 16)
+    lat_s, lat_n, lng_w, lng_e = qk.quadkey_to_bounds(key)
+    pixel_deg = 360.0 / qk.map_size(16)
+    assert lat_s - pixel_deg <= lat <= lat_n + pixel_deg
+    assert lng_w - pixel_deg <= lng <= lng_e + pixel_deg
+
+
+@given(lat_st, lng_st, level_st)
+def test_center_maps_to_same_tile(lat, lng, level):
+    key = qk.latlng_to_quadkey(lat, lng, level)
+    clat, clng = qk.quadkey_to_center(key)
+    assert qk.latlng_to_quadkey(clat, clng, level) == key
+
+
+def test_zoom16_tile_size_near_500m_mid_latitude():
+    # Ookla open-data tiles are "approximately 500 m on a side".
+    assert 400 < qk.tile_size_m(40.0, 16) < 620
+
+
+def test_ground_resolution_decreases_with_latitude():
+    assert qk.ground_resolution_m(60.0, 16) < qk.ground_resolution_m(0.0, 16)
+
+
+def test_map_size():
+    assert qk.map_size(1) == 512
+    assert qk.map_size(16) == 256 * 65536
+    with pytest.raises(ValueError):
+        qk.map_size(0)
+
+
+def test_pixel_roundtrip_center_of_map():
+    px, py = qk.latlng_to_pixel(0.0, 0.0, 10)
+    lat, lng = qk.pixel_to_latlng(px, py, 10)
+    assert abs(lat) < 0.5 and abs(lng) < 0.5
+
+
+def test_children_and_parent():
+    assert qk.quadkey_children("21") == ["210", "211", "212", "213"]
+    assert qk.quadkey_parent("213") == "21"
+    with pytest.raises(ValueError):
+        qk.quadkey_parent("2")
+
+
+def test_validate_quadkey():
+    assert qk.validate_quadkey("0123") == "0123"
+    with pytest.raises(ValueError):
+        qk.validate_quadkey("04")

@@ -1,0 +1,78 @@
+"""Tests for the Appendix-D quadkey -> hex re-projection."""
+
+import pytest
+
+from repro.geo import (
+    HexAggregate,
+    OoklaTileAggregate,
+    latlng_to_quadkey,
+    quadkey_to_cells,
+    reproject_tiles,
+)
+from repro.geo import hexgrid as hg
+
+
+def _tile_at(lat, lng, tests=10, devices=5):
+    return OoklaTileAggregate(
+        quadkey=latlng_to_quadkey(lat, lng, 16),
+        tests=tests,
+        devices=devices,
+        avg_download_kbps=100_000.0,
+        avg_upload_kbps=10_000.0,
+        avg_latency_ms=20.0,
+    )
+
+
+def test_tile_maps_to_at_least_one_cell():
+    cells = quadkey_to_cells(latlng_to_quadkey(40, -100, 16), 8)
+    assert 1 <= len(cells) <= 5
+
+
+def test_tile_cells_include_center_cell():
+    key = latlng_to_quadkey(40, -100, 16)
+    cells = quadkey_to_cells(key, 8)
+    from repro.geo import quadkey_to_center
+
+    clat, clng = quadkey_to_center(key)
+    assert hg.latlng_to_cell(clat, clng, 8) in cells
+
+
+def test_reproject_sums_counts_per_cell():
+    t1 = _tile_at(40.0, -100.0, tests=10, devices=5)
+    aggregates = reproject_tiles([t1, t1], res=8)
+    for agg in aggregates.values():
+        assert agg.tests == 20
+        assert agg.devices == 10
+
+
+def test_reproject_takes_max_throughput_min_latency():
+    key = latlng_to_quadkey(40.0, -100.0, 16)
+    fast = OoklaTileAggregate(key, 1, 1, 200_000.0, 20_000.0, 10.0)
+    slow = OoklaTileAggregate(key, 1, 1, 50_000.0, 5_000.0, 40.0)
+    aggregates = reproject_tiles([fast, slow], res=8)
+    for agg in aggregates.values():
+        assert agg.max_avg_download_kbps == 200_000.0
+        assert agg.max_avg_upload_kbps == 20_000.0
+        assert agg.min_avg_latency_ms == 10.0
+
+
+def test_reproject_spanning_tile_counts_in_each_cell():
+    # Find a tile that spans >= 2 hex cells by scanning a transect.
+    for frac in range(200):
+        lat = 40.0 + frac * 0.003
+        key = latlng_to_quadkey(lat, -100.0, 16)
+        cells = quadkey_to_cells(key, 8)
+        if len(cells) >= 2:
+            tile = OoklaTileAggregate(key, 7, 3, 1.0, 1.0, 1.0)
+            aggregates = reproject_tiles([tile], res=8)
+            assert set(aggregates) == set(cells)
+            assert all(a.tests == 7 for a in aggregates.values())
+            return
+    pytest.fail("no spanning tile found on transect")
+
+
+def test_hex_aggregate_tracks_source_tiles():
+    t1 = _tile_at(40.0, -100.0)
+    aggregates = reproject_tiles([t1], res=8)
+    for agg in aggregates.values():
+        assert agg.source_tiles == [t1.quadkey]

@@ -1,0 +1,71 @@
+"""Tests for the vectorized hex-grid code paths (used by the Fabric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import hexgrid as hg
+
+
+def _random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(25, 49, n), rng.uniform(-124, -67, n)
+
+
+def test_vectorized_matches_scalar_conus():
+    lats, lngs = _random_points(500)
+    vec = hg.latlng_to_cell_vec(lats, lngs, 8)
+    for i in range(0, 500, 25):
+        assert int(vec[i]) == hg.latlng_to_cell(float(lats[i]), float(lngs[i]), 8)
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=13, deadline=None)
+def test_vectorized_matches_scalar_all_resolutions(res):
+    lats, lngs = _random_points(40, seed=res)
+    vec = hg.latlng_to_cell_vec(lats, lngs, res)
+    scal = [hg.latlng_to_cell(float(a), float(b), res) for a, b in zip(lats, lngs)]
+    assert vec.tolist() == scal
+
+
+def test_cell_to_latlng_vec_roundtrip():
+    lats, lngs = _random_points(200, seed=3)
+    cells = hg.latlng_to_cell_vec(lats, lngs, 8)
+    la, lo = hg.cell_to_latlng_vec(cells)
+    back = hg.latlng_to_cell_vec(la, lo, 8)
+    np.testing.assert_array_equal(cells, back)
+
+
+def test_cell_to_latlng_vec_rejects_mixed_resolutions():
+    a = hg.latlng_to_cell(40, -100, 8)
+    b = hg.latlng_to_cell(40, -100, 7)
+    with pytest.raises(ValueError):
+        hg.cell_to_latlng_vec(np.array([a, b], dtype=np.uint64))
+
+
+def test_cell_to_latlng_vec_empty():
+    la, lo = hg.cell_to_latlng_vec(np.empty(0, dtype=np.uint64))
+    assert la.size == 0 and lo.size == 0
+
+
+def test_cells_to_axial_vec_matches_unpack():
+    lats, lngs = _random_points(100, seed=5)
+    cells = hg.latlng_to_cell_vec(lats, lngs, 8)
+    res, q, r = hg.cells_to_axial_vec(cells)
+    for i in range(0, 100, 10):
+        assert (int(res[i]), int(q[i]), int(r[i])) == hg.unpack_cell(int(cells[i]))
+
+
+def test_grid_distance_vec_matches_scalar():
+    lats, lngs = _random_points(60, seed=6)
+    cells = hg.latlng_to_cell_vec(lats, lngs, 8)
+    ref = hg.latlng_to_cell(40.0, -100.0, 8)
+    dists = hg.grid_distance_vec(cells, ref)
+    for i in range(0, 60, 6):
+        assert int(dists[i]) == hg.grid_distance(int(cells[i]), ref)
+
+
+def test_vectorized_handles_length_one_arrays():
+    out = hg.latlng_to_cell_vec(np.array([40.0]), np.array([-100.0]), 8)
+    assert int(out[0]) == hg.latlng_to_cell(40.0, -100.0, 8)

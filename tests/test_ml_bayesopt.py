@@ -1,0 +1,104 @@
+"""Tests for the GP Bayesian optimizer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml import BayesianOptimizer, ParamSpec, SearchSpace, maximize
+
+
+def test_param_spec_roundtrip_linear():
+    spec = ParamSpec(2.0, 10.0)
+    assert spec.from_unit(spec.to_unit(7.3)) == pytest.approx(7.3)
+
+
+def test_param_spec_roundtrip_log():
+    spec = ParamSpec(1e-4, 1.0, log=True)
+    assert spec.from_unit(spec.to_unit(0.01)) == pytest.approx(0.01)
+
+
+def test_param_spec_integer_rounding_and_clipping():
+    spec = ParamSpec(1, 10, integer=True)
+    assert spec.from_unit(0.0) == 1
+    assert spec.from_unit(1.0) == 10
+    assert isinstance(spec.from_unit(0.5), int)
+
+
+def test_param_spec_validation():
+    with pytest.raises(ValueError):
+        ParamSpec(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ParamSpec(0.0, 1.0, log=True)
+
+
+def test_space_rejects_empty():
+    with pytest.raises(ValueError):
+        SearchSpace({})
+
+
+def test_space_unit_roundtrip():
+    space = SearchSpace({"a": ParamSpec(0, 1), "b": ParamSpec(1, 100, log=True)})
+    params = {"a": 0.25, "b": 10.0}
+    u = space.to_unit(params)
+    back = space.from_unit(u)
+    assert back["a"] == pytest.approx(0.25)
+    assert back["b"] == pytest.approx(10.0)
+
+
+def test_initial_asks_are_random_but_in_bounds():
+    space = SearchSpace({"x": ParamSpec(-5, 5)})
+    opt = BayesianOptimizer(space, seed=3)
+    for _ in range(4):
+        p = opt.ask()
+        assert -5 <= p["x"] <= 5
+        opt.tell(p, 0.0)
+
+
+def test_tell_rejects_nonfinite():
+    space = SearchSpace({"x": ParamSpec(0, 1)})
+    opt = BayesianOptimizer(space)
+    with pytest.raises(ValueError):
+        opt.tell({"x": 0.5}, float("nan"))
+
+
+def test_best_params_requires_observations():
+    opt = BayesianOptimizer(SearchSpace({"x": ParamSpec(0, 1)}))
+    with pytest.raises(RuntimeError):
+        _ = opt.best_params
+
+
+def test_optimizer_finds_quadratic_optimum():
+    space = SearchSpace({"x": ParamSpec(0.0, 1.0)})
+    best, value, _ = maximize(
+        lambda p: -((p["x"] - 0.62) ** 2), space, n_iter=25, seed=0
+    )
+    assert abs(best["x"] - 0.62) < 0.15
+
+
+def test_optimizer_beats_pure_random_on_average():
+    # On a smooth 2-D bowl, BO's best-found should be at least as good as a
+    # same-budget random search with the same seed.
+    space = SearchSpace({"x": ParamSpec(0, 1), "y": ParamSpec(0, 1)})
+
+    def objective(p):
+        return -((p["x"] - 0.3) ** 2 + (p["y"] - 0.7) ** 2)
+
+    _, bo_value, _ = maximize(objective, space, n_iter=25, seed=42)
+    rng = np.random.default_rng(42)
+    random_value = max(
+        objective({"x": rng.random(), "y": rng.random()}) for _ in range(25)
+    )
+    assert bo_value >= random_value - 1e-3
+
+
+def test_maximize_validates_n_iter():
+    space = SearchSpace({"x": ParamSpec(0, 1)})
+    with pytest.raises(ValueError):
+        maximize(lambda p: 0.0, space, n_iter=0)
+
+
+def test_integer_params_returned_as_int():
+    space = SearchSpace({"n": ParamSpec(1, 9, integer=True)})
+    best, _, _ = maximize(lambda p: -abs(p["n"] - 4), space, n_iter=12, seed=1)
+    assert isinstance(best["n"], int)

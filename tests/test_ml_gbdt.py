@@ -1,0 +1,149 @@
+"""Tests for the gradient-boosted classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GBDTParams, GradientBoostedClassifier, roc_auc_score
+
+
+def _toy_problem(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    logit = 2.0 * X[:, 0] - 1.5 * X[:, 1] + X[:, 2] * X[:, 3]
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(int)
+    return X, y
+
+
+def test_learns_nontrivial_signal():
+    X, y = _toy_problem()
+    model = GradientBoostedClassifier(n_estimators=60, max_depth=4).fit(
+        X[:1500], y[:1500]
+    )
+    auc = roc_auc_score(y[1500:], model.predict_proba(X[1500:]))
+    assert auc > 0.85
+
+
+def test_probabilities_in_unit_interval():
+    X, y = _toy_problem(500)
+    model = GradientBoostedClassifier(n_estimators=20).fit(X, y)
+    p = model.predict_proba(X)
+    assert (p > 0).all() and (p < 1).all()
+
+
+def test_hard_predictions_binary():
+    X, y = _toy_problem(300)
+    model = GradientBoostedClassifier(n_estimators=10).fit(X, y)
+    pred = model.predict(X)
+    assert set(np.unique(pred)).issubset({0, 1})
+
+
+def test_margin_matches_sigmoid_of_proba():
+    X, y = _toy_problem(300)
+    model = GradientBoostedClassifier(n_estimators=10).fit(X, y)
+    margin = model.predict_margin(X)
+    proba = model.predict_proba(X)
+    np.testing.assert_allclose(proba, 1.0 / (1.0 + np.exp(-margin)), rtol=1e-10)
+
+
+def test_train_loss_decreases():
+    X, y = _toy_problem(1000)
+    model = GradientBoostedClassifier(n_estimators=40, learning_rate=0.3).fit(X, y)
+    losses = model.train_loss_curve
+    assert losses[-1] < losses[0]
+
+
+def test_deterministic_given_seed():
+    X, y = _toy_problem(500)
+    m1 = GradientBoostedClassifier(n_estimators=15, subsample=0.7, random_state=9).fit(X, y)
+    m2 = GradientBoostedClassifier(n_estimators=15, subsample=0.7, random_state=9).fit(X, y)
+    np.testing.assert_array_equal(m1.predict_proba(X), m2.predict_proba(X))
+
+
+def test_handles_missing_values_end_to_end():
+    X, y = _toy_problem(1500, seed=3)
+    X[np.random.default_rng(1).random(X.shape) < 0.2] = np.nan
+    model = GradientBoostedClassifier(n_estimators=40, max_depth=4).fit(
+        X[:1000], y[:1000]
+    )
+    auc = roc_auc_score(y[1000:], model.predict_proba(X[1000:]))
+    assert auc > 0.7
+
+
+def test_early_stopping_truncates_ensemble():
+    X, y = _toy_problem(1200, seed=5)
+    model = GradientBoostedClassifier(
+        n_estimators=300, learning_rate=0.5, max_depth=6
+    ).fit(
+        X[:800], y[:800], eval_set=(X[800:], y[800:]), early_stopping_rounds=5
+    )
+    assert len(model.trees) < 300
+    assert len(model.eval_loss_curve) >= len(model.trees)
+
+
+def test_early_stopping_requires_eval_set():
+    X, y = _toy_problem(100)
+    with pytest.raises(ValueError):
+        GradientBoostedClassifier(n_estimators=5).fit(X, y, early_stopping_rounds=3)
+
+
+def test_feature_importances_identify_signal():
+    X, y = _toy_problem(2000, seed=7)
+    model = GradientBoostedClassifier(n_estimators=40, max_depth=3).fit(X, y)
+    importances = model.feature_importances_
+    assert importances.sum() == pytest.approx(1.0)
+    assert importances[0] > importances[4]
+    assert importances[1] > importances[5]
+
+
+def test_subsample_and_colsample_still_learn():
+    X, y = _toy_problem(2000, seed=11)
+    model = GradientBoostedClassifier(
+        n_estimators=60, subsample=0.6, colsample_bytree=0.5, random_state=2
+    ).fit(X[:1500], y[:1500])
+    auc = roc_auc_score(y[1500:], model.predict_proba(X[1500:]))
+    assert auc > 0.8
+
+
+def test_unfitted_raises():
+    model = GradientBoostedClassifier()
+    with pytest.raises(RuntimeError):
+        model.predict_proba(np.zeros((1, 2)))
+
+
+def test_rejects_nonbinary_labels():
+    with pytest.raises(ValueError):
+        GradientBoostedClassifier().fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+
+def test_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        GradientBoostedClassifier().fit(np.zeros((3, 1)), np.array([0, 1]))
+
+
+def test_predict_validates_feature_count():
+    X, y = _toy_problem(200)
+    model = GradientBoostedClassifier(n_estimators=5).fit(X, y)
+    with pytest.raises(ValueError):
+        model.predict_proba(np.zeros((4, 3)))
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        GBDTParams(n_estimators=0).validate()
+    with pytest.raises(ValueError):
+        GBDTParams(learning_rate=0.0).validate()
+    with pytest.raises(ValueError):
+        GBDTParams(subsample=1.5).validate()
+
+
+def test_param_overrides_via_kwargs():
+    model = GradientBoostedClassifier(GBDTParams(max_depth=3), max_depth=5)
+    assert model.params.max_depth == 5
+
+
+def test_imbalanced_base_margin_reflects_prior():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1000, 2))
+    y = (rng.random(1000) < 0.05).astype(int)
+    model = GradientBoostedClassifier(n_estimators=1, learning_rate=0.01).fit(X, y)
+    assert model.base_margin < -2.0  # log-odds of ~5% prior

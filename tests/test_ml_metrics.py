@@ -1,0 +1,123 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+def test_confusion_matrix_layout():
+    cm = confusion_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+    assert cm.tolist() == [[1, 1], [1, 1]]
+
+
+def test_confusion_matrix_rejects_nonbinary():
+    with pytest.raises(ValueError):
+        confusion_matrix([0, 2], [0, 1])
+    with pytest.raises(ValueError):
+        confusion_matrix([0, 1], [0, 3])
+
+
+def test_precision_recall_f1_known_values():
+    y_true = [1, 1, 1, 0, 0, 0]
+    y_pred = [1, 1, 0, 1, 0, 0]
+    assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_negative_class_metrics():
+    y_true = [1, 1, 0, 0]
+    y_pred = [1, 0, 0, 0]
+    assert precision_score(y_true, y_pred, positive=0) == pytest.approx(2 / 3)
+    assert recall_score(y_true, y_pred, positive=0) == pytest.approx(1.0)
+
+
+def test_zero_division_conventions():
+    assert precision_score([0, 0], [0, 0]) == 0.0
+    assert f1_score([0, 1], [0, 0]) == 0.0
+
+
+def test_accuracy():
+    assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+
+def test_perfect_auc():
+    assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+
+def test_worst_auc():
+    assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+
+def test_auc_with_ties_is_half_credit():
+    assert roc_auc_score([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+
+def test_auc_requires_both_classes():
+    with pytest.raises(ValueError):
+        roc_auc_score([1, 1], [0.5, 0.6])
+
+
+def test_auc_invariant_to_monotone_transform():
+    y = np.array([0, 1, 0, 1, 1, 0, 1, 0, 1])
+    s = np.array([0.1, 0.7, 0.3, 0.9, 0.6, 0.2, 0.8, 0.4, 0.5])
+    assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, s * 10 - 3))
+
+
+def test_roc_curve_endpoints():
+    fpr, tpr, thresholds = roc_curve([0, 1, 0, 1], [0.2, 0.3, 0.4, 0.9])
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+    assert thresholds[0] == np.inf
+
+
+def test_roc_curve_monotone():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 200)
+    s = rng.random(200)
+    y[0], y[1] = 0, 1  # both classes present
+    fpr, tpr, _ = roc_curve(y, s)
+    assert (np.diff(fpr) >= -1e-12).all()
+    assert (np.diff(tpr) >= -1e-12).all()
+
+
+@given(st.integers(min_value=2, max_value=120))
+@settings(max_examples=30)
+def test_auc_matches_trapezoid_of_curve(n):
+    rng = np.random.default_rng(n)
+    y = rng.integers(0, 2, n)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    s = rng.random(n)
+    fpr, tpr, _ = roc_curve(y, s)
+    assert roc_auc_score(y, s) == pytest.approx(float(np.trapezoid(tpr, fpr)), abs=1e-9)
+
+
+def test_classification_report_counts_and_rates():
+    report = classification_report([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+    assert (report.tn, report.fp, report.fn, report.tp) == (1, 1, 1, 2)
+    assert report.total == 5
+    assert report.accuracy == pytest.approx(0.6)
+    assert report.precision_pos == pytest.approx(2 / 3)
+    assert report.recall_pos == pytest.approx(2 / 3)
+    pct = report.class_percentages()
+    assert sum(pct.values()) == pytest.approx(100.0)
+
+
+def test_report_f1_macro_between_class_f1s():
+    report = classification_report([0, 1, 1, 0, 1], [0, 1, 0, 0, 1])
+    assert min(report.f1_pos, report.f1_neg) <= report.f1_macro <= max(
+        report.f1_pos, report.f1_neg
+    )

@@ -1,0 +1,117 @@
+"""Tests for exact TreeSHAP, including the additivity property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import GradientBoostedClassifier, shap_values, summary_ranking, waterfall
+from repro.ml.shap import tree_expected_value
+
+
+def _model_and_data(n=800, d=5, seed=0, missing=False, **params):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    if missing:
+        X[rng.random((n, d)) < 0.1] = np.nan
+    logit = 1.5 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 1])
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(int)
+    defaults = dict(n_estimators=15, max_depth=3)
+    defaults.update(params)
+    model = GradientBoostedClassifier(**defaults).fit(X, y)
+    return model, X, y
+
+
+def test_additivity_reconstructs_margin():
+    model, X, _ = _model_and_data()
+    sample = X[:40]
+    expl = shap_values(model, sample)
+    margins = model.predict_margin(sample)
+    recon = expl.expected_value + expl.values.sum(axis=1)
+    np.testing.assert_allclose(recon, margins, atol=1e-9)
+
+
+def test_additivity_with_missing_values():
+    model, X, _ = _model_and_data(missing=True, seed=4)
+    sample = X[:30]
+    expl = shap_values(model, sample)
+    margins = model.predict_margin(sample)
+    recon = expl.expected_value + expl.values.sum(axis=1)
+    np.testing.assert_allclose(recon, margins, atol=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_additivity_property_random_models(seed):
+    model, X, _ = _model_and_data(n=300, d=4, seed=seed, n_estimators=8, max_depth=4)
+    sample = X[:10]
+    expl = shap_values(model, sample)
+    recon = expl.expected_value + expl.values.sum(axis=1)
+    np.testing.assert_allclose(recon, model.predict_margin(sample), atol=1e-8)
+
+
+def test_informative_features_get_larger_attributions():
+    model, X, _ = _model_and_data(n=2000, n_estimators=40)
+    expl = shap_values(model, X[:200])
+    mean_abs = np.abs(expl.values).mean(axis=0)
+    assert mean_abs[0] > mean_abs[3]
+    assert mean_abs[1] > mean_abs[4]
+
+
+def test_expected_value_is_cover_weighted_leaf_mean():
+    model, X, _ = _model_and_data(n=500, n_estimators=3)
+    for tree in model.trees:
+        ev = tree_expected_value(tree)
+        # Expectation must lie within the range of leaf values.
+        leaves = tree.values[tree.children_left < 0]
+        assert leaves.min() - 1e-12 <= ev <= leaves.max() + 1e-12
+
+
+def test_single_tree_constant_model_all_zero_shap():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(100, 3))
+    y = np.zeros(100, dtype=int)
+    y[:2] = 1  # keep both classes but force a trivial model
+    model = GradientBoostedClassifier(
+        n_estimators=1, max_depth=1, min_child_weight=1000.0
+    ).fit(X, y)
+    expl = shap_values(model, X[:5])
+    np.testing.assert_allclose(expl.values, 0.0, atol=1e-12)
+
+
+def test_feature_names_propagate():
+    model, X, _ = _model_and_data(n=300, n_estimators=5)
+    names = ("a", "b", "c", "d", "e")
+    expl = shap_values(model, X[:5], feature_names=names)
+    ranking = summary_ranking(expl)
+    assert {r[0] for r in ranking} == set(names)
+
+
+def test_feature_names_length_checked():
+    model, X, _ = _model_and_data(n=300, n_estimators=5)
+    with pytest.raises(ValueError):
+        shap_values(model, X[:3], feature_names=("just_one",))
+
+
+def test_summary_ranking_sorted_and_topk():
+    model, X, _ = _model_and_data(n=800, n_estimators=20)
+    expl = shap_values(model, X[:100])
+    ranking = summary_ranking(expl, top_k=3)
+    assert len(ranking) == 3
+    magnitudes = [r[1] for r in ranking]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+def test_waterfall_contains_residual_and_sums_to_margin():
+    model, X, _ = _model_and_data(n=500, n_estimators=10)
+    expl = shap_values(model, X[:5])
+    rows = waterfall(expl, row=0, top_k=2)
+    assert rows[-1][0] == "(other features)"
+    total = sum(v for _, v in rows)
+    assert expl.expected_value + total == pytest.approx(expl.margin(0), abs=1e-9)
+
+
+def test_shap_input_validation():
+    model, X, _ = _model_and_data(n=200, n_estimators=3)
+    with pytest.raises(ValueError):
+        shap_values(model, np.zeros((2, 99)))

@@ -1,0 +1,165 @@
+"""Tests for the Ookla and MLab generators and the geolocation model."""
+
+import numpy as np
+import pytest
+
+from repro.asn import build_whois_registry
+from repro.geo import haversine_m, quadkey_to_center
+from repro.speedtests import (
+    GeolocationModel,
+    MLabConfig,
+    OoklaConfig,
+    generate_mlab_tests,
+    generate_ookla_tiles,
+)
+
+
+@pytest.fixture(scope="module")
+def registry(small_universe):
+    return build_whois_registry(small_universe, seed=99)
+
+
+@pytest.fixture(scope="module")
+def ookla_tiles(small_fabric, small_filings):
+    return generate_ookla_tiles(small_fabric, small_filings, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mlab_tests(small_fabric, small_filings, registry):
+    truth = {pid: registry.routing_asns(pid) for pid in registry.ownership}
+    return generate_mlab_tests(small_fabric, small_filings, truth, seed=3)
+
+
+# -- geolocation -------------------------------------------------------------
+
+
+def test_geolocation_radius_positive_and_heavy_tailed():
+    model = GeolocationModel()
+    rng = np.random.default_rng(0)
+    radii = [model.sample(rng, 40.0, -100.0).accuracy_radius_m for _ in range(400)]
+    assert min(radii) > 0
+    assert np.median(radii) < 10_000
+    assert max(radii) > 20_000  # the tail the paper filters out
+
+
+def test_geolocation_mostly_contained():
+    model = GeolocationModel(containment=0.92)
+    rng = np.random.default_rng(1)
+    contained = 0
+    for _ in range(300):
+        fix = model.sample(rng, 41.0, -99.0)
+        err = haversine_m(41.0, -99.0, fix.lat, fix.lng)
+        contained += err <= fix.accuracy_radius_m
+    assert contained / 300 > 0.8
+
+
+def test_geolocation_validation():
+    with pytest.raises(ValueError):
+        GeolocationModel(median_radius_m=0)
+    with pytest.raises(ValueError):
+        GeolocationModel(containment=0.0)
+
+
+# -- Ookla -------------------------------------------------------------------
+
+
+def test_ookla_tiles_nonempty(ookla_tiles):
+    assert len(ookla_tiles) > 100
+
+
+def test_ookla_counts_positive(ookla_tiles):
+    for tile in ookla_tiles[:200]:
+        assert tile.tests >= tile.devices >= 1
+        assert tile.avg_download_kbps >= 0
+
+
+def test_ookla_tiles_near_served_areas(ookla_tiles, small_fabric, small_filings):
+    # The bulk of test volume must land in truly-served hexes.
+    served_cells = set()
+    for row in np.where(small_filings.truly_served)[0]:
+        served_cells.add(int(small_filings.cell[row]))
+    from repro.geo import latlng_to_cell
+
+    in_served = 0
+    total = 0
+    for tile in ookla_tiles:
+        lat, lng = quadkey_to_center(tile.quadkey)
+        cell = latlng_to_cell(lat, lng, 8)
+        total += tile.devices
+        if cell in served_cells:
+            in_served += tile.devices
+    assert in_served / total > 0.8
+
+
+def test_ookla_determinism(small_fabric, small_filings):
+    a = generate_ookla_tiles(small_fabric, small_filings, seed=4)
+    b = generate_ookla_tiles(small_fabric, small_filings, seed=4)
+    assert [(t.quadkey, t.tests) for t in a] == [(t.quadkey, t.tests) for t in b]
+
+
+def test_ookla_config_validation():
+    with pytest.raises(ValueError):
+        OoklaConfig(devices_per_served_bsl=0).validate()
+    with pytest.raises(ValueError):
+        OoklaConfig(achieved_speed_fraction=0).validate()
+
+
+# -- MLab --------------------------------------------------------------------
+
+
+def test_mlab_tests_have_known_asns(mlab_tests, registry):
+    valid = set(registry.asns)
+    assert mlab_tests
+    assert all(t.asn in valid for t in mlab_tests)
+
+
+def test_mlab_test_ids_unique(mlab_tests):
+    ids = [t.test_id for t in mlab_tests]
+    assert len(set(ids)) == len(ids)
+
+
+def test_mlab_geolocation_fields(mlab_tests):
+    for t in mlab_tests[:200]:
+        assert t.accuracy_radius_m > 0
+        assert -90 <= t.lat <= 90 and -180 <= t.lng <= 180
+        assert t.download_mbps > 0
+
+
+def test_mlab_tests_near_provider_footprint(
+    mlab_tests, registry, small_universe, small_fabric
+):
+    # A test's geolocation should land within radius+slack of some truly
+    # served cell of the provider that owns its ASN.
+    asn_to_pid = {}
+    for pid, asns in registry.ownership.items():
+        for asn in asns:
+            asn_to_pid.setdefault(asn, pid)
+    from repro.geo import cell_to_latlng
+
+    checked = 0
+    for t in mlab_tests[:60]:
+        pid = asn_to_pid.get(t.asn)
+        if pid is None:
+            continue
+        fps = small_universe.footprints_for_provider(pid)
+        true_cells = set().union(*(fp.true_cells for fp in fps.values())) if fps else set()
+        if not true_cells:
+            continue
+        dmin = min(
+            haversine_m(t.lat, t.lng, *cell_to_latlng(c)) for c in true_cells
+        )
+        assert dmin <= t.accuracy_radius_m * 2.5 + 2000
+        checked += 1
+    assert checked > 10
+
+
+def test_mlab_determinism(small_fabric, small_filings, registry):
+    truth = {pid: registry.routing_asns(pid) for pid in registry.ownership}
+    a = generate_mlab_tests(small_fabric, small_filings, truth, seed=8)
+    b = generate_mlab_tests(small_fabric, small_filings, truth, seed=8)
+    assert [(t.asn, t.lat) for t in a] == [(t.asn, t.lat) for t in b]
+
+
+def test_mlab_config_validation():
+    with pytest.raises(ValueError):
+        MLabConfig(tests_per_served_claim=0).validate()

@@ -1,0 +1,61 @@
+"""Tests for deterministic RNG stream derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import SeedSequenceRegistry, stream_rng, stream_seed
+
+
+def test_same_stream_same_seed():
+    assert stream_seed(42, "fabric") == stream_seed(42, "fabric")
+
+
+def test_different_stream_different_seed():
+    assert stream_seed(42, "fabric") != stream_seed(42, "ookla")
+
+
+def test_different_master_different_seed():
+    assert stream_seed(42, "fabric") != stream_seed(43, "fabric")
+
+
+def test_multipart_names_do_not_collide_with_concatenation():
+    # ("ab", "c") must differ from ("a", "bc").
+    assert stream_seed(1, "ab", "c") != stream_seed(1, "a", "bc")
+
+
+def test_stream_rng_reproducible():
+    a = stream_rng(7, "x").random(5)
+    b = stream_rng(7, "x").random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_seed_is_63_bit_nonnegative():
+    seed = stream_seed(123456789, "anything")
+    assert 0 <= seed < 2**63
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+def test_stream_seed_total_and_stable(master, name):
+    s1 = stream_seed(master, name)
+    s2 = stream_seed(master, name)
+    assert s1 == s2
+    assert 0 <= s1 < 2**63
+
+
+def test_registry_tracks_requests():
+    reg = SeedSequenceRegistry(1)
+    reg.rng("a")
+    reg.rng("b", 2)
+    assert reg.requested_streams == [("a",), ("b", 2)]
+
+
+def test_registry_same_stream_same_draws():
+    reg = SeedSequenceRegistry(5)
+    assert reg.rng("s").integers(0, 1000) == reg.rng("s").integers(0, 1000)
+
+
+def test_registry_int_name_parts():
+    reg = SeedSequenceRegistry(5)
+    assert reg.seed("tree", 0) != reg.seed("tree", 1)

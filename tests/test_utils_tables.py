@@ -1,0 +1,58 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils import format_cdf, format_kv, format_series, format_table
+
+
+def test_basic_table_alignment():
+    out = format_table(["name", "v"], [["a", 1.0], ["bb", 2.5]], floatfmt=".1f")
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.0" in lines[2]
+    assert "2.5" in lines[3]
+
+
+def test_table_title():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_table_int_not_float_formatted():
+    out = format_table(["n"], [[12345]])
+    assert "12345" in out
+
+
+def test_format_kv():
+    out = format_kv([("alpha", 1), ("b", 0.5)], floatfmt=".2f")
+    lines = out.splitlines()
+    assert lines[0].startswith("alpha")
+    assert "0.50" in lines[1]
+
+
+def test_format_kv_empty():
+    assert format_kv([]) == ""
+
+
+def test_format_cdf_quantiles_monotone():
+    out = format_cdf(list(range(100)))
+    assert "p50" in out
+
+
+def test_format_cdf_empty():
+    assert format_cdf([]) == "(empty)"
+
+
+def test_format_series_pairs():
+    out = format_series(["a", "b"], [1.0, 2.0], xlabel="rel", ylabel="count")
+    assert "rel" in out and "count" in out
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series([1], [1.0, 2.0])

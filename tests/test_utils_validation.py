@@ -1,0 +1,55 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils import (
+    check_in_range,
+    check_latitude,
+    check_longitude,
+    check_positive,
+    check_probability,
+)
+
+
+@pytest.mark.parametrize("lat", [-90.0, 0.0, 45.5, 90.0])
+def test_valid_latitudes(lat):
+    assert check_latitude(lat) == lat
+
+
+@pytest.mark.parametrize("lat", [-91.0, 90.1, float("nan"), float("inf")])
+def test_invalid_latitudes(lat):
+    with pytest.raises(ValueError):
+        check_latitude(lat)
+
+
+@pytest.mark.parametrize("lng", [-180.0, 0.0, 179.9, 180.0])
+def test_valid_longitudes(lng):
+    assert check_longitude(lng) == lng
+
+
+@pytest.mark.parametrize("lng", [-180.5, 181.0, float("nan")])
+def test_invalid_longitudes(lng):
+    with pytest.raises(ValueError):
+        check_longitude(lng)
+
+
+def test_check_in_range_bounds_inclusive():
+    assert check_in_range(0, 0, 1) == 0.0
+    assert check_in_range(1, 0, 1) == 1.0
+    with pytest.raises(ValueError):
+        check_in_range(1.01, 0, 1)
+
+
+def test_check_positive():
+    assert check_positive(0.5) == 0.5
+    for bad in (0.0, -1.0, float("nan")):
+        with pytest.raises(ValueError):
+            check_positive(bad)
+
+
+def test_check_probability():
+    assert check_probability(0.3) == 0.3
+    with pytest.raises(ValueError):
+        check_probability(-0.1)
