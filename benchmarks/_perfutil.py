@@ -1,0 +1,62 @@
+"""Shared plumbing for the standalone performance benchmarks.
+
+The ``bench_perf_*.py`` scripts are plain executables (not pytest
+modules): they time the vectorized kernels against the seed reference
+implementations in :mod:`repro.ml._reference` and merge their results
+into the machine-readable ``BENCH_perf.json`` at the repository root.
+``check_perf_regression.py`` replays the quick variants in CI and fails
+on large regressions against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+
+#: Default location of the committed benchmark baseline.
+BENCH_JSON = os.path.join(_REPO_ROOT, "BENCH_perf.json")
+
+
+def ensure_src_on_path() -> None:
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+
+def timed(fn, repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time in seconds plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def merge_section(section: str, payload: dict, path: str = BENCH_JSON) -> dict:
+    """Read-modify-write one top-level section of the benchmark JSON."""
+    doc: dict = {"schema": 1}
+    if os.path.exists(path):
+        with open(path) as fh:
+            doc = json.load(fh)
+    doc[section] = payload
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def round_floats(obj, digits: int = 6):
+    """Round every float in a nested structure (stable committed JSON)."""
+    if isinstance(obj, float):
+        return round(obj, digits)
+    if isinstance(obj, dict):
+        return {k: round_floats(v, digits) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [round_floats(v, digits) for v in obj]
+    return obj

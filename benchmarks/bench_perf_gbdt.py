@@ -1,0 +1,120 @@
+"""GBDT hot-path benchmark: fused/vectorized kernels vs. the seed loops.
+
+Times ``GradientBoostedClassifier`` fit and predict against the seed
+implementation preserved in :mod:`repro.ml._reference` on synthetic
+NBM-shaped problems (dense float features with NaN holes) at three sizes,
+verifies the margins agree bitwise, and records the speedups in
+``BENCH_perf.json``.
+
+Run standalone::
+
+    python benchmarks/bench_perf_gbdt.py           # all three sizes
+    python benchmarks/bench_perf_gbdt.py --quick   # smallest size only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+from repro.ml._reference import (  # noqa: E402
+    reference_fit,
+    reference_predict_margin,
+)
+from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier  # noqa: E402
+
+#: (name, rows, features, trees) — feature counts bracket the Table-4
+#: matrix (~90 columns at tiny scale, wider with S-BERT embeddings).
+#: rows * features stays below the fused-histogram block threshold
+#: (repro.ml.tree._BLOCK_ELEMENTS, ~4.2M pairs): above it, production
+#: training blocks root-node histograms and margins can drift from the
+#: seed by ulps, which would trip this bench's exact-equality assertion.
+SIZES = [
+    ("small", 2_000, 48, 30),
+    ("medium", 6_000, 96, 40),
+    ("large", 16_000, 128, 50),
+]
+
+
+def _make_problem(n: int, d: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    X[rng.random((n, d)) < 0.1] = np.nan
+    logit = np.nan_to_num(X[:, 0]) - 0.5 * np.nan_to_num(X[:, 1])
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(float)
+    return X, y
+
+
+def run(quick: bool = False) -> list[dict]:
+    results = []
+    sizes = SIZES[:1] if quick else SIZES
+    for name, n, d, trees in sizes:
+        X, y = _make_problem(n, d)
+        params = GBDTParams(
+            n_estimators=trees, max_depth=6, learning_rate=0.2, max_bins=64
+        )
+        # Best-of-2 on the small size keeps the CI smoke (which compares
+        # quick-run ratios against the committed baseline) noise-tolerant.
+        repeats = 2 if name == "small" else 1
+        fit_ref, ref = _perfutil.timed(
+            lambda: reference_fit(params, X, y), repeats=repeats
+        )
+        model = GradientBoostedClassifier(params)
+        fit_new, _ = _perfutil.timed(lambda: model.fit(X, y), repeats=repeats)
+        pred_ref, m_ref = _perfutil.timed(
+            lambda: reference_predict_margin(ref.base_margin, ref.trees, X),
+            repeats=repeats,
+        )
+        pred_new, m_new = _perfutil.timed(
+            lambda: model.predict_margin(X), repeats=repeats
+        )
+        if not np.array_equal(m_ref, m_new):
+            raise AssertionError(f"{name}: margins diverged from the seed kernels")
+        row = {
+            "size": name,
+            "n_rows": n,
+            "n_features": d,
+            "n_trees": trees,
+            "fit_seconds_ref": fit_ref,
+            "fit_seconds_new": fit_new,
+            "fit_speedup": fit_ref / fit_new,
+            "predict_seconds_ref": pred_ref,
+            "predict_seconds_new": pred_new,
+            "predict_speedup": pred_ref / pred_new,
+            "fit_predict_speedup": (fit_ref + pred_ref) / (fit_new + pred_new),
+        }
+        results.append(row)
+        print(
+            f"{name:7s} n={n:6d} d={d:4d} trees={trees:3d}  "
+            f"fit {fit_ref:7.3f}s -> {fit_new:7.3f}s ({row['fit_speedup']:.1f}x)  "
+            f"predict {pred_ref:6.3f}s -> {pred_new:6.3f}s "
+            f"({row['predict_speedup']:.1f}x)  "
+            f"fit+predict {row['fit_predict_speedup']:.1f}x"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smallest size"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "gbdt", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote gbdt section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Feature-building benchmark: columnar vectorize() vs. row-by-row rows.
+
+Builds the ``tiny`` simulated world once, then times
+``FeatureBuilder.vectorize`` (columnar slice-assignment fast path)
+against the seed approach — ``np.vstack`` over per-row
+``vectorize_one`` calls — on observation batches of three sizes,
+verifies exact equality, and records the speedups in ``BENCH_perf.json``.
+
+Run standalone::
+
+    python benchmarks/bench_perf_vectorize.py           # all three sizes
+    python benchmarks/bench_perf_vectorize.py --quick   # smallest only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    build_dataset,
+    build_world,
+    make_feature_builder,
+    tiny,
+)
+
+#: Batch-size multipliers over the tiny world's labelled dataset.
+MULTIPLIERS = [("x1", 1), ("x3", 3), ("x9", 9)]
+
+
+def _rows_reference(builder, observations) -> np.ndarray:
+    """Seed batched vectorization: one row vector per observation."""
+    return np.vstack([builder.vectorize_one(obs) for obs in observations])
+
+
+def run(quick: bool = False) -> list[dict]:
+    world = build_world(tiny(seed=7))
+    dataset = build_dataset(world)
+    builder = make_feature_builder(world)
+    base = list(dataset)
+    # Warm the builder's centroid/embedding caches before timing so both
+    # paths are measured steady-state (neither pays one-time embed costs).
+    builder.vectorize(base)
+    results = []
+    for name, mult in MULTIPLIERS[:1] if quick else MULTIPLIERS:
+        observations = base * mult
+        repeats = 3 if mult == 1 else 1
+        ref_s, X_ref = _perfutil.timed(
+            lambda: _rows_reference(builder, observations), repeats=repeats
+        )
+        new_s, X_new = _perfutil.timed(
+            lambda: builder.vectorize(observations), repeats=repeats
+        )
+        if not np.array_equal(X_ref, X_new):
+            raise AssertionError(f"{name}: columnar vectorize diverged")
+        row = {
+            "size": name,
+            "n_observations": len(observations),
+            "n_features": builder.n_features,
+            "vectorize_seconds_ref": ref_s,
+            "vectorize_seconds_new": new_s,
+            "vectorize_speedup": ref_s / new_s,
+        }
+        results.append(row)
+        print(
+            f"{name:3s} n={len(observations):6d} d={builder.n_features:3d}  "
+            f"vectorize {ref_s:6.3f}s -> {new_s:6.3f}s "
+            f"({row['vectorize_speedup']:.1f}x)"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smallest batch"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "vectorize", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote vectorize section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

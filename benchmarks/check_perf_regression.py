@@ -1,0 +1,83 @@
+"""CI perf smoke: fail if the hot paths regress >2x vs. the baseline.
+
+Replays the quick variants of ``bench_perf_gbdt.py`` and
+``bench_perf_vectorize.py`` on the current machine and compares the
+*speedup ratios* (vectorized kernel vs. seed reference, both measured
+fresh) against the committed ``BENCH_perf.json``.  Comparing ratios
+instead of wall times keeps the check meaningful across heterogeneous CI
+hardware: a genuine hot-path regression halves the measured speedup no
+matter how fast the runner is.
+
+Exit status is non-zero when any fresh speedup falls below half its
+committed baseline.
+
+Run::
+
+    python benchmarks/check_perf_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import _perfutil
+import bench_perf_gbdt
+import bench_perf_vectorize
+
+#: Fresh speedup must stay above baseline / REGRESSION_FACTOR.
+REGRESSION_FACTOR = 2.0
+
+
+def _baseline_speedups(doc: dict, section: str, key: str) -> dict[str, float]:
+    return {
+        row["size"]: float(row[key])
+        for row in doc.get(section, {}).get("results", [])
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=_perfutil.BENCH_JSON,
+        help="path to the committed BENCH_perf.json",
+    )
+    args = parser.parse_args()
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    checks: list[tuple[str, str, float, float]] = []
+    gbdt_base = _baseline_speedups(baseline, "gbdt", "fit_predict_speedup")
+    for row in bench_perf_gbdt.run(quick=True):
+        expected = gbdt_base.get(row["size"])
+        if expected is not None:
+            checks.append(
+                ("gbdt", row["size"], expected, row["fit_predict_speedup"])
+            )
+    vec_base = _baseline_speedups(baseline, "vectorize", "vectorize_speedup")
+    for row in bench_perf_vectorize.run(quick=True):
+        expected = vec_base.get(row["size"])
+        if expected is not None:
+            checks.append(
+                ("vectorize", row["size"], expected, row["vectorize_speedup"])
+            )
+
+    if not checks:
+        print("no comparable baseline entries found in", args.baseline)
+        return 1
+    failed = False
+    for section, size, expected, fresh in checks:
+        floor = expected / REGRESSION_FACTOR
+        status = "ok" if fresh >= floor else "REGRESSED"
+        failed |= fresh < floor
+        print(
+            f"{section}/{size}: baseline {expected:.1f}x, fresh {fresh:.1f}x "
+            f"(floor {floor:.1f}x) -> {status}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,13 @@ labelled dataset, scores arbitrary observations with the probability that
 the claim is *suspicious* (would fail a challenge), evaluates against the
 paper's holdout protocols, tunes hyper-parameters with Bayesian
 optimization, and explains itself with exact TreeSHAP.
+
+Every entry point batches through the vectorized hot paths: observations
+are vectorized columnarly in one ``(n, d)`` matrix
+(:meth:`repro.features.vectorize.FeatureBuilder.vectorize`), training uses
+the fused-histogram tree kernels, and scoring/explaining run off the
+classifier's flat ensemble arrays — no per-observation or per-tree Python
+loops at NBM scale.
 """
 
 from __future__ import annotations
@@ -95,7 +102,11 @@ class NBMIntegrityModel:
     # -- inference --------------------------------------------------------------
 
     def predict_proba(self, observations: list[Observation]) -> np.ndarray:
-        """P(claim is suspicious / would fail a challenge) per observation."""
+        """P(claim is suspicious / would fail a challenge) per observation.
+
+        One columnar vectorization pass plus one batched flat-ensemble
+        traversal, regardless of batch size.
+        """
         X = self.builder.vectorize(observations)
         return self.classifier.predict_proba(X)
 

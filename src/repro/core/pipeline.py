@@ -187,7 +187,12 @@ def build_dataset(
 
 
 def make_feature_builder(world: SimulationWorld) -> FeatureBuilder:
-    """Wire the Table-4 feature builder for a world."""
+    """Wire the Table-4 feature builder for a world.
+
+    The returned builder vectorizes observation batches columnarly (one
+    preallocated matrix, grouped centroid/embedding fills) — the intended
+    entry point for model training and batch scoring alike.
+    """
     return FeatureBuilder(
         fabric=world.fabric,
         universe=world.universe,

@@ -25,12 +25,16 @@ class StateOneHot:
     def feature_names(self) -> list[str]:
         return [f"State_{abbr}" for abbr in self.categories]
 
-    def encode(self, abbr: str) -> np.ndarray:
-        vec = np.zeros(self.dim)
+    def index(self, abbr: str) -> int:
+        """Column index of a state — the hot position of :meth:`encode`."""
         try:
-            vec[self._index[abbr.upper()]] = 1.0
+            return self._index[abbr.upper()]
         except KeyError:
             raise ValueError(f"unknown state {abbr!r}") from None
+
+    def encode(self, abbr: str) -> np.ndarray:
+        vec = np.zeros(self.dim)
+        vec[self.index(abbr)] = 1.0
         return vec
 
 
@@ -49,10 +53,14 @@ class TechnologyOneHot:
     def feature_names(self) -> list[str]:
         return [f"Tech_{code}" for code in self.categories]
 
-    def encode(self, code: int) -> np.ndarray:
-        vec = np.zeros(self.dim)
+    def index(self, code: int) -> int:
+        """Column index of a technology — the hot position of :meth:`encode`."""
         try:
-            vec[self._index[int(code)]] = 1.0
+            return self._index[int(code)]
         except KeyError:
             raise ValueError(f"unknown technology code {code!r}") from None
+
+    def encode(self, code: int) -> np.ndarray:
+        vec = np.zeros(self.dim)
+        vec[self.index(code)] = 1.0
         return vec

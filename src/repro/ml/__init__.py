@@ -15,7 +15,12 @@ from repro.ml.metrics import (
     roc_curve,
 )
 from repro.ml.shap import SHAPExplanation, shap_values, summary_ranking, waterfall
-from repro.ml.tree import HistogramBinner, RegressionTree, TreeGrowthParams
+from repro.ml.tree import (
+    FlatEnsemble,
+    HistogramBinner,
+    RegressionTree,
+    TreeGrowthParams,
+)
 
 __all__ = [
     "BayesianOptimizer",
@@ -37,6 +42,7 @@ __all__ = [
     "shap_values",
     "summary_ranking",
     "waterfall",
+    "FlatEnsemble",
     "HistogramBinner",
     "RegressionTree",
     "TreeGrowthParams",

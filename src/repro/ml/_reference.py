@@ -1,0 +1,301 @@
+"""Seed (pre-vectorization) GBDT kernels, kept as the equivalence oracle.
+
+The production hot paths in :mod:`repro.ml.tree` and :mod:`repro.ml.gbdt`
+were rebuilt around fused multi-feature histograms, sibling subtraction,
+and flat-ensemble inference.  This module preserves the original
+per-feature / per-tree Python-loop kernels exactly as they shipped in the
+seed so that:
+
+* property tests can assert the vectorized kernels produce
+  bitwise-identical trees and margins (``tests/test_ml_equivalence.py``);
+* the performance benchmarks (``benchmarks/bench_perf_gbdt.py``) can
+  measure the speedup of the new kernels against the seed implementation
+  on the same inputs.
+
+Nothing here is used by the production code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.tree import (
+    MISSING_BIN,
+    HistogramBinner,
+    RegressionTree,
+    TreeGrowthParams,
+    _leaf_weight,
+    _score,
+)
+
+__all__ = [
+    "grow_tree_reference",
+    "reference_binner_transform",
+    "reference_fit",
+    "reference_predict_margin",
+    "ReferenceFitResult",
+]
+
+
+def reference_binner_transform(binner: HistogramBinner, X: np.ndarray) -> np.ndarray:
+    """Seed ``HistogramBinner.transform``: one ``searchsorted`` per feature."""
+    if binner.split_values_ is None:
+        raise RuntimeError("binner is not fitted")
+    X = np.asarray(X, dtype=np.float64)
+    out = np.empty(X.shape, dtype=np.uint8)
+    for f, cuts in enumerate(binner.split_values_):
+        col = X[:, f]
+        binned = np.searchsorted(cuts, col, side="left").astype(np.uint8)
+        binned[~np.isfinite(col)] = MISSING_BIN
+        out[:, f] = binned
+    return out
+
+
+class _ReferenceTreeBuilder:
+    """Seed tree builder: per-feature histogram loop in ``_best_split``."""
+
+    def __init__(
+        self,
+        Xb: np.ndarray,
+        binner: HistogramBinner,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        params: TreeGrowthParams,
+        feature_indices: np.ndarray,
+    ):
+        self.Xb = Xb
+        self.binner = binner
+        self.grad = grad
+        self.hess = hess
+        self.params = params
+        self.feature_indices = feature_indices
+        self.nodes: list[dict] = []
+
+    def build(self, row_indices: np.ndarray) -> RegressionTree:
+        self._grow(row_indices, depth=0)
+        return self._to_arrays()
+
+    def _new_node(self) -> int:
+        self.nodes.append(
+            {
+                "feature": -1,
+                "threshold": np.nan,
+                "threshold_bin": -1,
+                "left": -1,
+                "right": -1,
+                "default_left": True,
+                "value": 0.0,
+                "cover": 0.0,
+                "gain": 0.0,
+            }
+        )
+        return len(self.nodes) - 1
+
+    def _grow(self, idx: np.ndarray, depth: int) -> int:
+        node = self._new_node()
+        g_sum = float(self.grad[idx].sum())
+        h_sum = float(self.hess[idx].sum())
+        record = self.nodes[node]
+        record["cover"] = h_sum
+        params = self.params
+        if (
+            depth >= params.max_depth
+            or idx.size < 2 * params.min_samples_leaf
+            or h_sum < 2 * params.min_child_weight
+        ):
+            record["value"] = _leaf_weight(g_sum, h_sum, params)
+            return node
+        best = self._best_split(idx, g_sum, h_sum)
+        if best is None:
+            record["value"] = _leaf_weight(g_sum, h_sum, params)
+            return node
+        feat, bin_idx, default_left, gain = best
+        col = self.Xb[idx, feat]
+        missing = col == MISSING_BIN
+        go_left = (col <= bin_idx) & ~missing
+        if default_left:
+            go_left |= missing
+        left_idx, right_idx = idx[go_left], idx[~go_left]
+        record["feature"] = int(feat)
+        record["threshold"] = self.binner.threshold_value(feat, bin_idx)
+        record["threshold_bin"] = int(bin_idx)
+        record["default_left"] = bool(default_left)
+        record["gain"] = float(gain)
+        record["left"] = self._grow(left_idx, depth + 1)
+        record["right"] = self._grow(right_idx, depth + 1)
+        return node
+
+    def _best_split(
+        self, idx: np.ndarray, g_sum: float, h_sum: float
+    ) -> tuple[int, int, bool, float] | None:
+        params = self.params
+        parent_score = float(_score(np.array([g_sum]), np.array([h_sum]), params)[0])
+        best_gain = 0.0
+        best: tuple[int, int, bool, float] | None = None
+        g_rows = self.grad[idx]
+        h_rows = self.hess[idx]
+        for feat in self.feature_indices:
+            nbins = self.binner.n_bins(feat)
+            if nbins < 2:
+                continue
+            col = self.Xb[idx, feat].astype(np.int64)
+            g_hist = np.bincount(col, weights=g_rows, minlength=256)
+            h_hist = np.bincount(col, weights=h_rows, minlength=256)
+            n_hist = np.bincount(col, minlength=256)
+            g_miss, h_miss = g_hist[MISSING_BIN], h_hist[MISSING_BIN]
+            n_miss = n_hist[MISSING_BIN]
+            cg = np.cumsum(g_hist[:nbins])[:-1]
+            ch = np.cumsum(h_hist[:nbins])[:-1]
+            cn = np.cumsum(n_hist[:nbins])[:-1]
+            for default_left in (False, True):
+                gl = cg + (g_miss if default_left else 0.0)
+                hl = ch + (h_miss if default_left else 0.0)
+                nl = cn + (n_miss if default_left else 0)
+                gr = g_sum - gl
+                hr = h_sum - hl
+                nr = idx.size - nl
+                valid = (
+                    (hl >= params.min_child_weight)
+                    & (hr >= params.min_child_weight)
+                    & (nl >= params.min_samples_leaf)
+                    & (nr >= params.min_samples_leaf)
+                )
+                if not valid.any():
+                    continue
+                gains = 0.5 * (
+                    _score(gl, hl, params) + _score(gr, hr, params) - parent_score
+                ) - params.gamma
+                gains[~valid] = -np.inf
+                b = int(np.argmax(gains))
+                if gains[b] > best_gain:
+                    best_gain = float(gains[b])
+                    best = (int(feat), b, default_left, best_gain)
+                # With no missing values both directions are identical; skip
+                # the redundant second pass.
+                if n_miss == 0:
+                    break
+        return best
+
+    def _to_arrays(self) -> RegressionTree:
+        n = len(self.nodes)
+        tree = RegressionTree(
+            feature=np.array([r["feature"] for r in self.nodes], dtype=np.int32),
+            threshold=np.array([r["threshold"] for r in self.nodes]),
+            threshold_bin=np.array(
+                [r["threshold_bin"] for r in self.nodes], dtype=np.int32
+            ),
+            children_left=np.array([r["left"] for r in self.nodes], dtype=np.int32),
+            children_right=np.array([r["right"] for r in self.nodes], dtype=np.int32),
+            default_left=np.array([r["default_left"] for r in self.nodes], dtype=bool),
+            values=np.array([r["value"] for r in self.nodes]),
+            cover=np.array([r["cover"] for r in self.nodes]),
+            gain=np.array([r["gain"] for r in self.nodes]),
+        )
+        assert tree.n_nodes == n
+        return tree
+
+
+def grow_tree_reference(
+    Xb: np.ndarray,
+    binner: HistogramBinner,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    row_indices: np.ndarray,
+    feature_indices: np.ndarray,
+    params: TreeGrowthParams,
+) -> RegressionTree:
+    """Grow one tree with the seed per-feature-loop split finder."""
+    builder = _ReferenceTreeBuilder(Xb, binner, grad, hess, params, feature_indices)
+    return builder.build(row_indices)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _logloss(y: np.ndarray, p: np.ndarray) -> float:
+    eps = 1e-12
+    p = np.clip(p, eps, 1.0 - eps)
+    return float(-(y * np.log(p) + (1.0 - y) * np.log(1.0 - p)).mean())
+
+
+@dataclass
+class ReferenceFitResult:
+    """Artifacts of a seed-style boosting run."""
+
+    binner: HistogramBinner
+    trees: list[RegressionTree]
+    base_margin: float
+    n_features: int
+    train_loss: list[float] = field(default_factory=list)
+
+
+def reference_fit(params, X: np.ndarray, y: np.ndarray) -> ReferenceFitResult:
+    """Seed ``GradientBoostedClassifier.fit`` loop (no eval set support).
+
+    Mirrors the original training flow exactly: same RNG draws for
+    row/column subsampling, per-feature split search, and a per-tree
+    ``predict_binned`` pass to refresh the training margin.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    p = params
+    rng = np.random.default_rng(p.random_state)
+    n, d = X.shape
+
+    binner = HistogramBinner(max_bins=p.max_bins)
+    binner.fit(X)
+    Xb = reference_binner_transform(binner, X)
+    pos_rate = float(np.clip(y.mean(), 1e-6, 1.0 - 1e-6))
+    base_margin = float(np.log(pos_rate / (1.0 - pos_rate)))
+    margin = np.full(n, base_margin)
+
+    growth = TreeGrowthParams(
+        max_depth=p.max_depth,
+        min_child_weight=p.min_child_weight,
+        reg_lambda=p.reg_lambda,
+        reg_alpha=p.reg_alpha,
+        gamma=p.gamma,
+        min_samples_leaf=p.min_samples_leaf,
+    )
+    result = ReferenceFitResult(
+        binner=binner, trees=[], base_margin=base_margin, n_features=d
+    )
+    for _ in range(p.n_estimators):
+        prob = _sigmoid(margin)
+        grad = prob - y
+        hess = np.maximum(prob * (1.0 - prob), 1e-16)
+        if p.subsample < 1.0:
+            take = max(2, int(round(p.subsample * n)))
+            rows = rng.choice(n, size=take, replace=False)
+        else:
+            rows = np.arange(n)
+        if p.colsample_bytree < 1.0:
+            take = max(1, int(round(p.colsample_bytree * d)))
+            cols = np.sort(rng.choice(d, size=take, replace=False))
+        else:
+            cols = np.arange(d)
+        tree = grow_tree_reference(Xb, binner, grad, hess, rows, cols, growth)
+        tree.values *= p.learning_rate
+        result.trees.append(tree)
+        margin += tree.predict_binned(Xb)
+        result.train_loss.append(_logloss(y, _sigmoid(margin)))
+    return result
+
+
+def reference_predict_margin(
+    base_margin: float, trees: list[RegressionTree], X: np.ndarray
+) -> np.ndarray:
+    """Seed inference: one Python-level traversal per tree."""
+    X = np.asarray(X, dtype=np.float64)
+    margin = np.full(X.shape[0], base_margin)
+    for tree in trees:
+        margin += tree.predict(X)
+    return margin

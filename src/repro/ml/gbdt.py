@@ -5,6 +5,14 @@ uses (logistic loss, second-order boosting, shrinkage, row/column
 subsampling, histogram split finding, sparsity-aware missing handling).
 Hyper-parameters carry their XGBoost names and meanings so the Bayesian
 optimization loop from the paper translates directly.
+
+Hot paths are vectorized end to end: trees are grown with the fused
+multi-feature histogram kernel (see :mod:`repro.ml.tree`), training
+margins reuse the builder's per-row leaf values when every row trains the
+tree, and fitted models evaluate through a :class:`~repro.ml.tree.FlatEnsemble`
+— all trees' node arrays concatenated and traversed in one batched pass
+per prediction call.  The seed per-feature/per-tree loop kernels live on
+in :mod:`repro.ml._reference` as the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ml.tree import (
+    FlatEnsemble,
     HistogramBinner,
     RegressionTree,
     TreeGrowthParams,
@@ -66,6 +75,8 @@ class GBDTParams:
             raise ValueError("colsample_bytree must be in (0, 1]")
         if self.max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        if not 2 <= self.max_bins <= 254:
+            raise ValueError("max_bins must be in [2, 254]")
         return self
 
 
@@ -80,6 +91,8 @@ class _FitState:
     train_loss: list[float] = field(default_factory=list)
     eval_loss: list[float] = field(default_factory=list)
     best_iteration: int | None = None
+    #: Lazily-built concatenated node arrays for batched inference.
+    flat: FlatEnsemble | None = None
 
 
 class GradientBoostedClassifier:
@@ -167,10 +180,19 @@ class GradientBoostedClassifier:
                 cols = np.sort(rng.choice(d, size=take, replace=False))
             else:
                 cols = np.arange(d)
-            tree = grow_tree(Xb, binner, grad, hess, rows, cols, growth)
+            # When every row trains the tree, the builder hands back each
+            # row's leaf value for free — no second traversal to refresh
+            # the training margin.
+            pred = np.empty(n) if rows.size == n else None
+            tree = grow_tree(
+                Xb, binner, grad, hess, rows, cols, growth, train_pred_out=pred
+            )
             tree.values *= p.learning_rate
             state.trees.append(tree)
-            margin += tree.predict_binned(Xb)
+            if pred is not None:
+                margin += pred * p.learning_rate
+            else:
+                margin += tree.predict_binned(Xb)
             state.train_loss.append(_logloss(y, _sigmoid(margin)))
             if eval_binned is not None:
                 eval_margin += tree.predict_binned(eval_binned)
@@ -209,6 +231,18 @@ class GradientBoostedClassifier:
         return self._require_fitted().trees
 
     @property
+    def flat_ensemble(self) -> FlatEnsemble:
+        """All trees as one set of concatenated node arrays (cached).
+
+        Inference and TreeSHAP run off these parallel arrays instead of
+        looping over :class:`RegressionTree` objects per prediction.
+        """
+        state = self._require_fitted()
+        if state.flat is None:
+            state.flat = FlatEnsemble.from_trees(state.trees)
+        return state.flat
+
+    @property
     def base_margin(self) -> float:
         """Additive bias (log-odds of the training base rate)."""
         return self._require_fitted().base_margin
@@ -226,17 +260,19 @@ class GradientBoostedClassifier:
         return list(self._require_fitted().eval_loss)
 
     def predict_margin(self, X: np.ndarray) -> np.ndarray:
-        """Raw additive score (log-odds) per row."""
+        """Raw additive score (log-odds) per row.
+
+        Evaluated through the flat ensemble: one batched (rows x trees)
+        frontier traversal instead of a Python loop over trees, with
+        bitwise-identical output.
+        """
         state = self._require_fitted()
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != state.n_features:
             raise ValueError(
                 f"X must be (n, {state.n_features}), got {np.shape(X)}"
             )
-        margin = np.full(X.shape[0], state.base_margin)
-        for tree in state.trees:
-            margin += tree.predict(X)
-        return margin
+        return self.flat_ensemble.predict_margin(X, base_margin=state.base_margin)
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Probability of the positive class per row."""
@@ -248,10 +284,13 @@ class GradientBoostedClassifier:
 
     @property
     def feature_importances_(self) -> np.ndarray:
-        """Gain-based importances, normalized to sum to one."""
+        """Gain-based importances, normalized to sum to one.
+
+        Negative per-node gains are clipped before accumulation, matching
+        :meth:`RegressionTree.feature_gains`; the sum runs over the flat
+        ensemble's concatenated node arrays in one ``bincount``.
+        """
         state = self._require_fitted()
-        gains = np.zeros(state.n_features)
-        for tree in state.trees:
-            gains += tree.feature_gains(state.n_features)
+        gains = self.flat_ensemble.feature_gains(state.n_features)
         total = gains.sum()
         return gains / total if total > 0 else gains

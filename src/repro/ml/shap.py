@@ -9,6 +9,13 @@ identity::
 which the test suite verifies by property.  The module also provides the
 two summaries the paper's Appendix E figures use: mean-|SHAP| feature
 rankings (Fig. 10) and per-prediction waterfalls (Fig. 11).
+
+The per-(row, tree) recursion walks the model's
+:class:`~repro.ml.tree.FlatEnsemble` — the concatenated node arrays
+shared with batched inference — addressing nodes by global id instead of
+re-walking per-tree structures, and the ensemble expectation comes from
+the flat arrays' single reverse scan
+(:meth:`~repro.ml.tree.FlatEnsemble.expected_values`).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.gbdt import GradientBoostedClassifier
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import FlatEnsemble, RegressionTree
 
 __all__ = [
     "SHAPExplanation",
@@ -70,18 +77,6 @@ def tree_expected_value(tree: RegressionTree) -> float:
         return value
 
     return expect(0)
-
-
-def _hot_cold(tree: RegressionTree, node: int, x: np.ndarray) -> tuple[int, int]:
-    """Children (hot, cold): hot is the branch the row actually follows."""
-    value = x[tree.feature[node]]
-    left = int(tree.children_left[node])
-    right = int(tree.children_right[node])
-    if np.isnan(value):
-        go_left = bool(tree.default_left[node])
-    else:
-        go_left = bool(value <= tree.threshold[node])
-    return (left, right) if go_left else (right, left)
 
 
 def _extend(
@@ -139,8 +134,22 @@ def _unwound_sum(
     return total
 
 
-def _tree_shap_row(tree: RegressionTree, x: np.ndarray, phi: np.ndarray) -> None:
-    """Accumulate one tree's SHAP contributions for one row into ``phi``."""
+def _tree_shap_row(
+    ensemble: FlatEnsemble, root: int, x: np.ndarray, phi: np.ndarray
+) -> None:
+    """Accumulate one tree's SHAP contributions for one row into ``phi``.
+
+    Walks the flat ensemble arrays directly by global node id — the same
+    arrays batched inference routes through — so no per-tree structure is
+    rebuilt per row.
+    """
+    feature = ensemble.feature
+    threshold = ensemble.threshold
+    children_left = ensemble.children_left
+    children_right = ensemble.children_right
+    default_left = ensemble.default_left
+    values = ensemble.values
+    cover = ensemble.cover
 
     def recurse(
         node: int,
@@ -149,27 +158,36 @@ def _tree_shap_row(tree: RegressionTree, x: np.ndarray, phi: np.ndarray) -> None
     ) -> None:
         f, z, o, w = list(f), list(z), list(o), list(w)
         _extend(f, z, o, w, pz, po, pi)
-        if tree.is_leaf(node):
-            leaf_value = float(tree.values[node])
+        left = int(children_left[node])
+        if left < 0:
+            leaf_value = float(values[node])
             for i in range(1, len(f)):
                 scale = _unwound_sum(z, o, w, i)
                 phi[f[i]] += scale * (o[i] - z[i]) * leaf_value
             return
-        hot, cold = _hot_cold(tree, node, x)
-        split_feature = int(tree.feature[node])
+        right = int(children_right[node])
+        value = x[feature[node]]
+        # Missing means non-finite, matching FlatEnsemble inference, so the
+        # additivity identity holds for +-inf inputs too.
+        if not np.isfinite(value):
+            go_left = bool(default_left[node])
+        else:
+            go_left = bool(value <= threshold[node])
+        hot, cold = (left, right) if go_left else (right, left)
+        split_feature = int(feature[node])
         iz, io = 1.0, 1.0
         for k in range(1, len(f)):
             if f[k] == split_feature:
                 iz, io = z[k], o[k]
                 _unwind(f, z, o, w, k)
                 break
-        cover = float(tree.cover[node])
-        hot_frac = float(tree.cover[hot]) / cover if cover > 0 else 0.5
-        cold_frac = float(tree.cover[cold]) / cover if cover > 0 else 0.5
+        c = float(cover[node])
+        hot_frac = float(cover[hot]) / c if c > 0 else 0.5
+        cold_frac = float(cover[cold]) / c if c > 0 else 0.5
         recurse(hot, f, z, o, w, iz * hot_frac, io, split_feature)
         recurse(cold, f, z, o, w, iz * cold_frac, 0.0, split_feature)
 
-    recurse(0, [], [], [], [], 1.0, 1.0, -1)
+    recurse(root, [], [], [], [], 1.0, 1.0, -1)
 
 
 def shap_values(
@@ -186,10 +204,13 @@ def shap_values(
     if X.ndim != 2 or X.shape[1] != model.n_features:
         raise ValueError(f"X must be (n, {model.n_features})")
     phi = np.zeros_like(X, dtype=np.float64)
-    for tree in model.trees:
+    ensemble = model.flat_ensemble
+    for root in ensemble.roots:
         for i in range(X.shape[0]):
-            _tree_shap_row(tree, X[i], phi[i])
-    expected = model.base_margin + sum(tree_expected_value(t) for t in model.trees)
+            _tree_shap_row(ensemble, int(root), X[i], phi[i])
+    expected = model.base_margin + sum(
+        float(v) for v in ensemble.expected_values()
+    )
     names = tuple(feature_names) if feature_names is not None else None
     if names is not None and len(names) != X.shape[1]:
         raise ValueError("feature_names length must match feature count")

@@ -12,6 +12,48 @@ the core of XGBoost (Chen & Guestrin, KDD'16) that the paper relies on:
 
 Trees are stored as flat parallel arrays so prediction and SHAP can run
 without Python object traversal per node.
+
+Kernel design (the NumPy hot path)
+----------------------------------
+
+The training and inference hot paths are fully vectorized:
+
+**Fused multi-feature histograms.**  Split finding bins every active
+feature of a node in *one* ``np.bincount`` call: bin codes are flattened
+to ``feature_slot * 256 + bin_code`` (``MISSING_BIN`` = 255 keeps the
+stride a constant 256) and the gradient/hessian/count histograms of all
+features come back as ``(n_features, 256)`` matrices from a single pass
+over the node's rows.  The per-feature-offset code matrix is flattened
+row-major (a free view of the C-contiguous gather); for any fixed
+feature the codes still appear in ascending row order, so each
+per-feature histogram accumulates identically to — and is bitwise
+identical with — the seed's per-feature ``bincount`` loop.
+
+**Sibling subtraction.**  A node's histogram is the elementwise sum of
+its children's histograms, so after a split only the *smaller* child's
+histogram is computed from rows; the larger child's is derived as
+``parent_hist - small_child_hist`` (the LightGBM trick).  This roughly
+halves histogram work per level.  Derived histograms can differ from
+directly-computed ones in the last float ulp (bins whose derived count is
+zero are cleared, so empty bins stay exact); the only observable effect
+is at *exact gain ties*, where the perturbed argmax may select the other
+equally-optimal split.  Disable with ``sibling_subtraction=False`` for
+full bitwise parity with the seed kernels (see
+:mod:`repro.ml._reference`).
+
+**Vectorized split selection.**  Candidate gains for *all* (feature,
+missing-direction, bin) triples are evaluated as one ``(F, 2, B-1)``
+tensor and selected with a single flat ``argmax``.  C-order flattening
+makes first-maximum tie-breaking identical to the seed's sequential scan
+(feature order, then missing-goes-right before missing-goes-left, then
+lowest bin).
+
+**Flat ensemble inference.**  :class:`FlatEnsemble` concatenates every
+tree's node arrays into one set of parallel arrays (children re-indexed
+to global node ids) and routes all (row, tree) pairs simultaneously with
+a frontier traversal: ``max_depth`` vectorized gather/where steps replace
+the per-tree Python loop.  TreeSHAP (:mod:`repro.ml.shap`) walks the same
+flat arrays.
 """
 
 from __future__ import annotations
@@ -20,10 +62,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["HistogramBinner", "RegressionTree", "TreeGrowthParams"]
+__all__ = [
+    "FlatEnsemble",
+    "HistogramBinner",
+    "RegressionTree",
+    "TreeGrowthParams",
+    "grow_tree",
+]
 
 #: Bin code reserved for missing values.
 MISSING_BIN = 255
+
+#: Per-feature stride of the fused histogram layout (bin codes are uint8).
+_CODE_STRIDE = 256
+
+#: Soft cap on elements materialized per fused-histogram / binning block.
+_BLOCK_ELEMENTS = 1 << 22
+
+#: Widest padded cut matrix the broadcast binner beats per-feature
+#: searchsorted on: O(n_cuts) comparisons per element wins on call
+#: overhead below this, loses to O(log n_cuts) above it.
+_BROADCAST_CUTS_MAX = 64
+
+#: Row-block cap for frontier traversal: the (rows, trees) temporaries of
+#: each level must stay cache-resident or the batched gathers lose to the
+#: per-tree loop's contiguous column reads (measured crossover ~2^18).
+_TRAVERSAL_BLOCK_ELEMENTS = 1 << 16
 
 
 class HistogramBinner:
@@ -32,6 +96,16 @@ class HistogramBinner:
     Bin ``b`` of feature ``f`` contains values ``x`` with
     ``split_values[f][b-1] < x <= split_values[f][b]`` (open below for b=0).
     NaN maps to :data:`MISSING_BIN`.
+
+    ``transform`` bins all features at once when cut lists are narrow
+    (≤ :data:`_BROADCAST_CUTS_MAX` cuts): the per-feature cut lists are
+    padded into one ``(d, max_cuts)`` matrix (padding ``+inf``) and the bin
+    code of every matrix element is the count of cuts strictly below it —
+    a single broadcast comparison instead of a per-feature
+    ``searchsorted`` loop, and bitwise-equivalent to it.  Wide cut lists
+    (large ``max_bins``) fall back to per-feature ``searchsorted``, whose
+    O(log) scan wins once the O(n_cuts) comparison tensor grows past the
+    call overhead it saves.
     """
 
     def __init__(self, max_bins: int = 64):
@@ -39,6 +113,7 @@ class HistogramBinner:
             raise ValueError(f"max_bins must be in [2, 254], got {max_bins}")
         self.max_bins = max_bins
         self.split_values_: list[np.ndarray] | None = None
+        self._padded_cuts: np.ndarray | None = None
 
     def fit(self, X: np.ndarray) -> "HistogramBinner":
         """Choose per-feature split candidates from value quantiles."""
@@ -61,6 +136,11 @@ class HistogramBinner:
                 cuts = np.unique(np.quantile(finite, qs))
             splits.append(cuts.astype(np.float64))
         self.split_values_ = splits
+        n_cuts = max((c.size for c in splits), default=0)
+        padded = np.full((len(splits), n_cuts), np.inf)
+        for f, cuts in enumerate(splits):
+            padded[f, : cuts.size] = cuts
+        self._padded_cuts = padded
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -68,12 +148,31 @@ class HistogramBinner:
         if self.split_values_ is None:
             raise RuntimeError("binner is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        out = np.empty(X.shape, dtype=np.uint8)
-        for f, cuts in enumerate(self.split_values_):
-            col = X[:, f]
-            binned = np.searchsorted(cuts, col, side="left").astype(np.uint8)
-            binned[~np.isfinite(col)] = MISSING_BIN
-            out[:, f] = binned
+        if X.ndim != 2 or X.shape[1] != len(self.split_values_):
+            raise ValueError(
+                f"X must be (n, {len(self.split_values_)}), got {np.shape(X)}"
+            )
+        cuts = self._padded_cuts
+        n, d = X.shape
+        out = np.empty((n, d), dtype=np.uint8)
+        if cuts.shape[1] > _BROADCAST_CUTS_MAX:
+            for f, feature_cuts in enumerate(self.split_values_):
+                col = X[:, f]
+                binned = np.searchsorted(feature_cuts, col, side="left")
+                codes = binned.astype(np.uint8)
+                codes[~np.isfinite(col)] = MISSING_BIN
+                out[:, f] = codes
+            return out
+        # Chunk rows so the (rows, d, n_cuts) comparison block stays small.
+        step = max(1, _BLOCK_ELEMENTS // max(d * max(cuts.shape[1], 1), 1))
+        for start in range(0, n, step):
+            blk = X[start : start + step]
+            # count of cuts strictly below the value == searchsorted 'left'.
+            codes = np.sum(
+                cuts[None, :, :] < blk[:, :, None], axis=2, dtype=np.uint8
+            )
+            codes[~np.isfinite(blk)] = MISSING_BIN
+            out[start : start + step] = codes
         return out
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
@@ -110,7 +209,9 @@ class RegressionTree:
 
     ``children_left[i] == -1`` marks node ``i`` as a leaf; leaves carry
     ``values[i]``.  Internal nodes route ``x[feature[i]] <= threshold[i]``
-    left, with NaN following ``default_left[i]``.
+    left, with NaN following ``default_left[i]``.  Nodes are stored in
+    preorder (every child index is greater than its parent's), which the
+    flat-ensemble expectation scan relies on.
     """
 
     feature: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int32))
@@ -175,12 +276,165 @@ class RegressionTree:
         return out
 
     def feature_gains(self, n_features: int) -> np.ndarray:
-        """Total split gain credited to each feature."""
-        gains = np.zeros(n_features)
-        for node in range(self.n_nodes):
-            if not self.is_leaf(node):
-                gains[self.feature[node]] += max(0.0, float(self.gain[node]))
-        return gains
+        """Total split gain credited to each feature (negatives clipped)."""
+        internal = self.children_left >= 0
+        if not internal.any():
+            return np.zeros(n_features)
+        return np.bincount(
+            self.feature[internal],
+            weights=np.maximum(self.gain[internal], 0.0),
+            minlength=n_features,
+        )
+
+
+@dataclass(eq=False)
+class FlatEnsemble:
+    """All trees of an ensemble concatenated into parallel node arrays.
+
+    ``children_left``/``children_right`` hold *global* node ids (leaves
+    stay ``-1``); ``roots[t]`` is tree ``t``'s root id and ``offsets`` the
+    node-range boundaries.  One set of arrays means batched inference can
+    route every (row, tree) pair simultaneously instead of looping over
+    ``RegressionTree`` objects, and TreeSHAP can walk any tree without
+    per-tree reconstruction.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    threshold_bin: np.ndarray
+    children_left: np.ndarray
+    children_right: np.ndarray
+    default_left: np.ndarray
+    values: np.ndarray
+    cover: np.ndarray
+    gain: np.ndarray
+    roots: np.ndarray
+    offsets: np.ndarray
+
+    @classmethod
+    def from_trees(cls, trees: list[RegressionTree]) -> "FlatEnsemble":
+        """Concatenate per-tree arrays, re-basing child ids to global ids."""
+        sizes = np.array([t.n_nodes for t in trees], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+
+        def _cat(name: str, dtype, empty_dtype) -> np.ndarray:
+            if not trees:
+                return np.empty(0, dtype=empty_dtype)
+            return np.concatenate([getattr(t, name) for t in trees]).astype(dtype)
+
+        children_left = [
+            np.where(t.children_left >= 0, t.children_left.astype(np.int64) + off, -1)
+            for t, off in zip(trees, offsets[:-1])
+        ]
+        children_right = [
+            np.where(t.children_right >= 0, t.children_right.astype(np.int64) + off, -1)
+            for t, off in zip(trees, offsets[:-1])
+        ]
+        return cls(
+            feature=_cat("feature", np.int64, np.int64),
+            threshold=_cat("threshold", np.float64, np.float64),
+            threshold_bin=_cat("threshold_bin", np.int64, np.int64),
+            children_left=(
+                np.concatenate(children_left) if trees else np.empty(0, np.int64)
+            ),
+            children_right=(
+                np.concatenate(children_right) if trees else np.empty(0, np.int64)
+            ),
+            default_left=_cat("default_left", bool, bool),
+            values=_cat("values", np.float64, np.float64),
+            cover=_cat("cover", np.float64, np.float64),
+            gain=_cat("gain", np.float64, np.float64),
+            roots=offsets[:-1].copy(),
+            offsets=offsets,
+        )
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.roots.size)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.size)
+
+    def _leaves_block(self, X: np.ndarray) -> np.ndarray:
+        """Global leaf id reached by every (row, tree) pair of a block."""
+        m = X.shape[0]
+        cur = np.broadcast_to(self.roots, (m, self.n_trees)).copy()
+        rows = np.arange(m)[:, None]
+        # Frontier traversal: every iteration advances all still-internal
+        # (row, tree) pairs one level; at most max-tree-depth iterations.
+        for _ in range(self.n_nodes + 1):
+            left = self.children_left[cur]
+            internal = left >= 0
+            if not internal.any():
+                return cur
+            feat = np.where(internal, self.feature[cur], 0)
+            col = X[rows, feat]
+            missing = ~np.isfinite(col)
+            go_left = ((col <= self.threshold[cur]) & ~missing) | (
+                self.default_left[cur] & missing
+            )
+            nxt = np.where(go_left, left, self.children_right[cur])
+            cur = np.where(internal, nxt, cur)
+        raise RuntimeError("malformed ensemble: traversal did not terminate")
+
+    def predict_leaves(self, X: np.ndarray) -> np.ndarray:
+        """(n, n_trees) global leaf ids for raw float rows (NaN = missing)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n = X.shape[0]
+        if self.n_trees == 0:
+            return np.empty((n, 0), dtype=np.int64)
+        out = np.empty((n, self.n_trees), dtype=np.int64)
+        step = max(1, _TRAVERSAL_BLOCK_ELEMENTS // max(self.n_trees, 1))
+        for start in range(0, n, step):
+            out[start : start + step] = self._leaves_block(X[start : start + step])
+        return out
+
+    def predict_margin(self, X: np.ndarray, base_margin: float = 0.0) -> np.ndarray:
+        """Additive ensemble score per row via one batched traversal.
+
+        Leaf values are accumulated tree-by-tree (vectorized over rows) so
+        the result is bitwise identical to summing per-tree predictions in
+        ensemble order.
+        """
+        leaves = self.predict_leaves(X)
+        margin = np.full(leaves.shape[0], float(base_margin))
+        for t in range(self.n_trees):
+            margin += self.values[leaves[:, t]]
+        return margin
+
+    def feature_gains(self, n_features: int) -> np.ndarray:
+        """Total split gain per feature across all trees (negatives clipped)."""
+        internal = self.children_left >= 0
+        if not internal.any():
+            return np.zeros(n_features)
+        return np.bincount(
+            self.feature[internal],
+            weights=np.maximum(self.gain[internal], 0.0),
+            minlength=n_features,
+        )
+
+    def expected_values(self) -> np.ndarray:
+        """Cover-weighted mean leaf value of each tree.
+
+        One reverse scan over the concatenated arrays: nodes are stored in
+        preorder, so every child index exceeds its parent's and a single
+        backwards pass folds leaf values up to the roots.
+        """
+        E = self.values.astype(np.float64).copy()
+        left, right, cover = self.children_left, self.children_right, self.cover
+        for i in range(self.n_nodes - 1, -1, -1):
+            l = left[i]
+            if l >= 0:
+                r = right[i]
+                c = cover[i]
+                if c <= 0:
+                    E[i] = 0.5 * (E[l] + E[r])
+                else:
+                    E[i] = (cover[l] * E[l] + cover[r] * E[r]) / c
+        return E[self.roots]
 
 
 def _leaf_weight(g: float, h: float, params: TreeGrowthParams) -> float:
@@ -203,8 +457,37 @@ def _score(g: np.ndarray, h: np.ndarray, params: TreeGrowthParams) -> np.ndarray
     return g * g / (h + params.reg_lambda)
 
 
+def _subtract_hists(
+    parent: tuple[np.ndarray, np.ndarray, np.ndarray],
+    child: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sibling histogram as parent minus child, with empty bins made exact.
+
+    Counts subtract exactly; gradient/hessian bins can retain float
+    residues from earlier derivations.  A derived count of zero means the
+    true mass is exactly zero, so those bins are cleared — this keeps the
+    seed's tie-breaking (empty value bins, features with no missing rows)
+    bit-stable under repeated subtraction.
+    """
+    g = parent[0] - child[0]
+    h = parent[1] - child[1]
+    n = parent[2] - child[2]
+    empty = n == 0
+    if empty.any():
+        g[empty] = 0.0
+        h[empty] = 0.0
+    return g, h, n
+
+
 class _TreeBuilder:
-    """Grows one tree depth-first on binned data with g/h targets."""
+    """Grows one tree depth-first on binned data with g/h targets.
+
+    Each node's split search uses the fused multi-feature histogram and
+    flat-argmax selection described in the module docstring; child
+    histograms reuse the parent's via sibling subtraction unless
+    ``sibling_subtraction=False`` (the bitwise-exact mode the equivalence
+    tests exercise).
+    """
 
     def __init__(
         self,
@@ -214,17 +497,64 @@ class _TreeBuilder:
         hess: np.ndarray,
         params: TreeGrowthParams,
         feature_indices: np.ndarray,
+        sibling_subtraction: bool = True,
+        train_pred_out: np.ndarray | None = None,
     ):
         self.Xb = Xb
         self.binner = binner
         self.grad = grad
         self.hess = hess
         self.params = params
-        self.feature_indices = feature_indices
+        self.sibling_subtraction = sibling_subtraction
+        self.train_pred = train_pred_out
         self.nodes: list[dict] = []
 
+        active = np.asarray(feature_indices, dtype=np.int64)
+        self.active = active
+        self.n_active = int(active.size)
+        nbins = np.array(
+            [binner.n_bins(int(f)) for f in active], dtype=np.int64
+        )
+        self.nbins = nbins
+        self.max_nbins = int(nbins.max()) if nbins.size else 0
+        self._code_offset = np.arange(self.n_active, dtype=np.int64) * _CODE_STRIDE
+        if self.max_nbins >= 2:
+            # Candidate bins per feature: b in [0, n_bins(f) - 2].
+            self._split_valid = (
+                np.arange(self.max_nbins - 1)[None, :] < (nbins - 1)[:, None]
+            )
+        else:
+            self._split_valid = np.zeros((self.n_active, 0), dtype=bool)
+
     def build(self, row_indices: np.ndarray) -> RegressionTree:
-        self._grow(row_indices, depth=0)
+        # Work in positional row space over a compact (rows, active-cols)
+        # gather: subsampled rows and inactive columns are copied exactly
+        # once (never, when training uses every row and column), and all
+        # per-node gathers hit the small contiguous submatrix.
+        rows = np.asarray(row_indices)
+        Xb = self.Xb
+        full_rows = rows.size == Xb.shape[0] and np.array_equal(
+            rows, np.arange(Xb.shape[0])
+        )
+        full_cols = self.n_active == Xb.shape[1] and np.array_equal(
+            self.active, np.arange(Xb.shape[1])
+        )
+        if full_rows and full_cols:
+            self.rows = None
+            self.Xs = Xb
+            self.g = self.grad
+            self.h = self.hess
+        elif full_rows:
+            self.rows = None
+            self.Xs = np.ascontiguousarray(Xb[:, self.active])
+            self.g = self.grad
+            self.h = self.hess
+        else:
+            self.rows = rows
+            self.Xs = Xb[np.ix_(rows, self.active)]
+            self.g = self.grad[rows]
+            self.h = self.hess[rows]
+        self._grow(np.arange(rows.size), depth=0, hists=None)
         return self._to_arrays()
 
     def _new_node(self) -> int:
@@ -243,10 +573,77 @@ class _TreeBuilder:
         )
         return len(self.nodes) - 1
 
-    def _grow(self, idx: np.ndarray, depth: int) -> int:
+    # -- histograms --------------------------------------------------------
+
+    def _node_hists(
+        self, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused (g, h, count) histograms for all active features at once.
+
+        Bin codes are offset per feature slot; the ``(rows, F)`` code
+        matrix is C-contiguous so its row-major ravel is a free view, and
+        per-row weights are repeated across the feature axis.  For any
+        (feature, bin) pair the weights still accumulate in ascending row
+        order, so each per-feature histogram is bitwise identical to a
+        per-feature ``bincount`` loop.
+
+        In production mode, nodes above ~4M (row, feature) pairs are
+        processed in row blocks to bound the materialized code/weight
+        arrays; block accumulation can regroup float additions by ulps.
+        Exact mode (``sibling_subtraction=False``) never blocks — its
+        unconditional bitwise contract with the seed kernels outranks the
+        memory cap — so it materializes the full node at any size.
+        """
+        F = self.n_active
+        size = F * _CODE_STRIDE
+        m = idx.size
+        step = max(1, _BLOCK_ELEMENTS // max(F, 1))
+        if m <= step or not self.sibling_subtraction:
+            codes = self.Xs[idx].astype(np.int64)
+            codes += self._code_offset[None, :]
+            flat = codes.ravel()
+            g_hist = np.bincount(flat, weights=np.repeat(self.g[idx], F), minlength=size)
+            h_hist = np.bincount(flat, weights=np.repeat(self.h[idx], F), minlength=size)
+            n_hist = np.bincount(flat, minlength=size)
+        else:
+            g_hist = np.zeros(size)
+            h_hist = np.zeros(size)
+            n_hist = np.zeros(size, dtype=np.int64)
+            for start in range(0, m, step):
+                part = idx[start : start + step]
+                codes = self.Xs[part].astype(np.int64)
+                codes += self._code_offset[None, :]
+                flat = codes.ravel()
+                g_hist += np.bincount(
+                    flat, weights=np.repeat(self.g[part], F), minlength=size
+                )
+                h_hist += np.bincount(
+                    flat, weights=np.repeat(self.h[part], F), minlength=size
+                )
+                n_hist += np.bincount(flat, minlength=size)
+        return (
+            g_hist.reshape(F, _CODE_STRIDE),
+            h_hist.reshape(F, _CODE_STRIDE),
+            n_hist.reshape(F, _CODE_STRIDE),
+        )
+
+    # -- growth ------------------------------------------------------------
+
+    def _leafify(self, record: dict, idx: np.ndarray, g_sum: float, h_sum: float) -> None:
+        record["value"] = _leaf_weight(g_sum, h_sum, self.params)
+        if self.train_pred is not None:
+            out_rows = idx if self.rows is None else self.rows[idx]
+            self.train_pred[out_rows] = record["value"]
+
+    def _grow(
+        self,
+        idx: np.ndarray,
+        depth: int,
+        hists: tuple[np.ndarray, np.ndarray, np.ndarray] | None,
+    ) -> int:
         node = self._new_node()
-        g_sum = float(self.grad[idx].sum())
-        h_sum = float(self.hess[idx].sum())
+        g_sum = float(self.g[idx].sum())
+        h_sum = float(self.h[idx].sum())
         record = self.nodes[node]
         record["cover"] = h_sum
         params = self.params
@@ -255,78 +652,115 @@ class _TreeBuilder:
             or idx.size < 2 * params.min_samples_leaf
             or h_sum < 2 * params.min_child_weight
         ):
-            record["value"] = _leaf_weight(g_sum, h_sum, params)
+            self._leafify(record, idx, g_sum, h_sum)
             return node
-        best = self._best_split(idx, g_sum, h_sum)
+        if hists is None:
+            hists = self._node_hists(idx)
+        best = self._best_split(idx, g_sum, h_sum, hists)
         if best is None:
-            record["value"] = _leaf_weight(g_sum, h_sum, params)
+            self._leafify(record, idx, g_sum, h_sum)
             return node
-        feat, bin_idx, default_left, gain = best
-        col = self.Xb[idx, feat]
+        f_slot, bin_idx, default_left, gain = best
+        feat = int(self.active[f_slot])
+        col = self.Xs[idx, f_slot]
         missing = col == MISSING_BIN
         go_left = (col <= bin_idx) & ~missing
         if default_left:
             go_left |= missing
         left_idx, right_idx = idx[go_left], idx[~go_left]
-        record["feature"] = int(feat)
+        record["feature"] = feat
         record["threshold"] = self.binner.threshold_value(feat, bin_idx)
         record["threshold_bin"] = int(bin_idx)
         record["default_left"] = bool(default_left)
         record["gain"] = float(gain)
-        record["left"] = self._grow(left_idx, depth + 1)
-        record["right"] = self._grow(right_idx, depth + 1)
+
+        left_hists = right_hists = None
+        if self.sibling_subtraction:
+            # Histogram only the smaller child; the sibling's histogram is
+            # the parent's minus it.  Skip both when neither child can
+            # split again (depth or min-leaf-size limits).
+            splittable = depth + 1 < params.max_depth
+            need_left = splittable and left_idx.size >= 2 * params.min_samples_leaf
+            need_right = splittable and right_idx.size >= 2 * params.min_samples_leaf
+            if need_left or need_right:
+                if left_idx.size <= right_idx.size:
+                    small = self._node_hists(left_idx)
+                    left_hists = small
+                    right_hists = _subtract_hists(hists, small)
+                else:
+                    small = self._node_hists(right_idx)
+                    right_hists = small
+                    left_hists = _subtract_hists(hists, small)
+        del hists
+        record["left"] = self._grow(left_idx, depth + 1, left_hists)
+        record["right"] = self._grow(right_idx, depth + 1, right_hists)
         return node
 
+    # -- split search ------------------------------------------------------
+
     def _best_split(
-        self, idx: np.ndarray, g_sum: float, h_sum: float
+        self,
+        idx: np.ndarray,
+        g_sum: float,
+        h_sum: float,
+        hists: tuple[np.ndarray, np.ndarray, np.ndarray],
     ) -> tuple[int, int, bool, float] | None:
         params = self.params
+        B = self.max_nbins
+        if B < 2:
+            return None
+        g_hist, h_hist, n_hist = hists
         parent_score = float(_score(np.array([g_sum]), np.array([h_sum]), params)[0])
-        best_gain = 0.0
-        best: tuple[int, int, bool, float] | None = None
-        g_rows = self.grad[idx]
-        h_rows = self.hess[idx]
-        for feat in self.feature_indices:
-            nbins = self.binner.n_bins(feat)
-            if nbins < 2:
-                continue
-            col = self.Xb[idx, feat].astype(np.int64)
-            g_hist = np.bincount(col, weights=g_rows, minlength=256)
-            h_hist = np.bincount(col, weights=h_rows, minlength=256)
-            n_hist = np.bincount(col, minlength=256)
-            g_miss, h_miss = g_hist[MISSING_BIN], h_hist[MISSING_BIN]
-            n_miss = n_hist[MISSING_BIN]
-            cg = np.cumsum(g_hist[:nbins])[:-1]
-            ch = np.cumsum(h_hist[:nbins])[:-1]
-            cn = np.cumsum(n_hist[:nbins])[:-1]
-            for default_left in (False, True):
-                gl = cg + (g_miss if default_left else 0.0)
-                hl = ch + (h_miss if default_left else 0.0)
-                nl = cn + (n_miss if default_left else 0)
-                gr = g_sum - gl
-                hr = h_sum - hl
-                nr = idx.size - nl
-                valid = (
-                    (hl >= params.min_child_weight)
-                    & (hr >= params.min_child_weight)
-                    & (nl >= params.min_samples_leaf)
-                    & (nr >= params.min_samples_leaf)
-                )
-                if not valid.any():
-                    continue
-                gains = 0.5 * (
-                    _score(gl, hl, params) + _score(gr, hr, params) - parent_score
-                ) - params.gamma
-                gains[~valid] = -np.inf
-                b = int(np.argmax(gains))
-                if gains[b] > best_gain:
-                    best_gain = float(gains[b])
-                    best = (int(feat), b, default_left, best_gain)
-                # With no missing values both directions are identical; skip
-                # the redundant second pass.
-                if n_miss == 0:
-                    break
-        return best
+        # Left-accumulated stats for every candidate bin of every feature.
+        cg = np.cumsum(g_hist[:, :B], axis=1)[:, :-1]
+        ch = np.cumsum(h_hist[:, :B], axis=1)[:, :-1]
+        cn = np.cumsum(n_hist[:, :B], axis=1)[:, :-1]
+        g_miss = g_hist[:, MISSING_BIN]
+        h_miss = h_hist[:, MISSING_BIN]
+        n_miss = n_hist[:, MISSING_BIN]
+        F = self.n_active
+        # Axis 1 is the missing-value direction: 0 = missing right (the
+        # seed's first pass), 1 = missing left.
+        gl = np.empty((F, 2, B - 1))
+        hl = np.empty((F, 2, B - 1))
+        nl = np.empty((F, 2, B - 1), dtype=np.int64)
+        gl[:, 0, :] = cg + 0.0
+        gl[:, 1, :] = cg + g_miss[:, None]
+        hl[:, 0, :] = ch + 0.0
+        hl[:, 1, :] = ch + h_miss[:, None]
+        nl[:, 0, :] = cn
+        nl[:, 1, :] = cn + n_miss[:, None]
+        gr = g_sum - gl
+        hr = h_sum - hl
+        nr = idx.size - nl
+        valid = (
+            (hl >= params.min_child_weight)
+            & (hr >= params.min_child_weight)
+            & (nl >= params.min_samples_leaf)
+            & (nr >= params.min_samples_leaf)
+            & self._split_valid[:, None, :]
+        )
+        gains = (
+            0.5 * (_score(gl, hl, params) + _score(gr, hr, params) - parent_score)
+            - params.gamma
+        )
+        gains = np.where(valid, gains, -np.inf)
+        # A NaN gain (possible only with reg_lambda == 0 and zero hessian
+        # mass) poisons its whole (feature, direction) pass in the seed's
+        # sequential argmax; replicate by invalidating those passes.
+        nan_pass = np.isnan(gains).any(axis=2)
+        if nan_pass.any():
+            gains[nan_pass] = -np.inf
+        flat = gains.reshape(-1)
+        if flat.size == 0:
+            return None
+        b = int(np.argmax(flat))
+        best_gain = float(flat[b])
+        if not best_gain > 0.0:
+            return None
+        f_slot, rem = divmod(b, 2 * (B - 1))
+        direction, bin_idx = divmod(rem, B - 1)
+        return int(f_slot), int(bin_idx), bool(direction), best_gain
 
     def _to_arrays(self) -> RegressionTree:
         n = len(self.nodes)
@@ -355,7 +789,30 @@ def grow_tree(
     row_indices: np.ndarray,
     feature_indices: np.ndarray,
     params: TreeGrowthParams,
+    sibling_subtraction: bool = True,
+    train_pred_out: np.ndarray | None = None,
 ) -> RegressionTree:
-    """Grow a single regression tree on binned data (see module docstring)."""
-    builder = _TreeBuilder(Xb, binner, grad, hess, params, feature_indices)
+    """Grow a single regression tree on binned data (see module docstring).
+
+    ``train_pred_out``, when given an ``(n,)`` float array, is filled with
+    the (unshrunk) leaf value reached by every row of ``row_indices`` —
+    the boosting loop reuses it to update training margins without a
+    second traversal.  ``sibling_subtraction=False`` forces every node
+    histogram to be computed directly from rows in a single unblocked
+    pass, making the grown tree bitwise identical to the seed kernel in
+    :mod:`repro.ml._reference` at any input size (at the cost of
+    materializing the full node's code matrix; the default production
+    mode instead blocks very large nodes, which can shift gains — and,
+    at exact gain ties, split choices — by float ulps).
+    """
+    builder = _TreeBuilder(
+        Xb,
+        binner,
+        grad,
+        hess,
+        params,
+        feature_indices,
+        sibling_subtraction=sibling_subtraction,
+        train_pred_out=train_pred_out,
+    )
     return builder.build(row_indices)

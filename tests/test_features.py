@@ -132,6 +132,32 @@ def test_speed_features_respect_published_floors(tiny_dataset, tiny_builder):
     assert not ((down > 0) & (down < 10.0)).any()
 
 
+def test_vectorize_batched_equals_row_by_row(tiny_dataset, tiny_builder):
+    """Columnar vectorize() must equal stacking vectorize_one() exactly."""
+    obs = list(tiny_dataset)[:150]
+    batched = tiny_builder.vectorize(obs)
+    rows = np.vstack([tiny_builder.vectorize_one(o) for o in obs])
+    np.testing.assert_array_equal(batched, rows)
+
+
+def test_vectorize_batched_equals_row_by_row_single(tiny_dataset, tiny_builder):
+    obs = tiny_dataset[0]
+    np.testing.assert_array_equal(
+        tiny_builder.vectorize([obs])[0], tiny_builder.vectorize_one(obs)
+    )
+
+
+def test_encoder_index_matches_encode():
+    state_enc = StateOneHot()
+    assert state_enc.encode("NE")[state_enc.index("NE")] == 1.0
+    tech_enc = TechnologyOneHot()
+    assert tech_enc.encode(50)[tech_enc.index(50)] == 1.0
+    with pytest.raises(ValueError):
+        state_enc.index("ZZ")
+    with pytest.raises(ValueError):
+        tech_enc.index(99)
+
+
 def test_methodology_embedding_identical_for_same_provider(tiny_dataset, tiny_builder):
     by_provider = tiny_dataset.by_provider()
     pid, obs_list = next((k, v) for k, v in by_provider.items() if len(v) >= 2)

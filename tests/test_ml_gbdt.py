@@ -136,6 +136,15 @@ def test_params_validation():
         GBDTParams(subsample=1.5).validate()
 
 
+def test_params_validate_max_bins():
+    with pytest.raises(ValueError):
+        GBDTParams(max_bins=1).validate()
+    with pytest.raises(ValueError):
+        GBDTParams(max_bins=255).validate()
+    assert GBDTParams(max_bins=2).validate().max_bins == 2
+    assert GBDTParams(max_bins=254).validate().max_bins == 254
+
+
 def test_param_overrides_via_kwargs():
     model = GradientBoostedClassifier(GBDTParams(max_depth=3), max_depth=5)
     assert model.params.max_depth == 5
