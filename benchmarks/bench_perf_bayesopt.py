@@ -1,0 +1,171 @@
+"""Bayesian-optimization tuning benchmark: shared vs. per-trial binning.
+
+Every GBDT trial used to re-fit a :class:`~repro.ml.tree.HistogramBinner`
+on the unchanged training matrix and re-bin it (plus the validation
+matrix, implicitly, through float-path scoring).  The shared path bins
+once up front and hands ``(binner, binned train, binned val)`` to every
+trial through ``maximize(..., resources=...)``, exactly as
+``NBMIntegrityModel.tune`` does.
+
+The workload is a *screening sweep* — small forests (the regime of
+early BO exploration and successive-halving rungs), where the per-trial
+binning constant is a large fraction of trial cost and shared binning
+shows its full effect.  Deep-forest tuning saves the same absolute
+seconds per trial; the ratio is smaller because tree growth dominates.
+
+Both loops run the identical trial sequence (the shared path is
+bitwise-equivalent per trial, so the optimizer asks the same points);
+the benchmark asserts the observed objective values and best parameters
+match exactly, then records the wall-time ratio in ``BENCH_perf.json``.
+
+Run standalone::
+
+    python benchmarks/bench_perf_bayesopt.py           # both sizes
+    python benchmarks/bench_perf_bayesopt.py --quick   # small size only
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+from repro.ml.bayesopt import ParamSpec, SearchSpace, maximize  # noqa: E402
+from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier  # noqa: E402
+from repro.ml.metrics import roc_auc_score  # noqa: E402
+from repro.ml.tree import HistogramBinner  # noqa: E402
+
+#: (name, train rows, val rows, features, BO trials).
+SIZES = [
+    ("quick", 4_000, 1_000, 64, 5),
+    ("default", 16_000, 4_000, 128, 8),
+]
+
+MAX_BINS = 64
+
+#: Trials stop early on validation log-loss, as the paper's tuning does.
+EARLY_STOPPING_ROUNDS = 4
+
+
+def _make_problem(n: int, d: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    X[rng.random((n, d)) < 0.1] = np.nan
+    logit = np.nan_to_num(X[:, 0]) - 0.5 * np.nan_to_num(X[:, 1])
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logit))).astype(float)
+    return X, y
+
+
+def _space() -> SearchSpace:
+    return SearchSpace(
+        {
+            "learning_rate": ParamSpec(0.1, 0.4, log=True),
+            "max_depth": ParamSpec(3, 4, integer=True),
+            "n_estimators": ParamSpec(4, 10, integer=True),
+            "min_child_weight": ParamSpec(1.0, 10.0, log=True),
+            "subsample": ParamSpec(0.6, 1.0),
+        }
+    )
+
+
+def _trial_params(params: dict) -> GBDTParams:
+    return GBDTParams(
+        n_estimators=int(params["n_estimators"]),
+        learning_rate=float(params["learning_rate"]),
+        max_depth=int(params["max_depth"]),
+        min_child_weight=float(params["min_child_weight"]),
+        subsample=float(params["subsample"]),
+        max_bins=MAX_BINS,
+        random_state=0,
+    )
+
+
+def run(quick: bool = False) -> list[dict]:
+    results = []
+    for name, n_train, n_val, d, n_iter in SIZES[:1] if quick else SIZES:
+        X_train, y_train = _make_problem(n_train, d, seed=0)
+        X_val, y_val = _make_problem(n_val, d, seed=1)
+
+        def objective_unshared(params: dict) -> float:
+            clf = GradientBoostedClassifier(_trial_params(params)).fit(
+                X_train,
+                y_train,
+                eval_set=(X_val, y_val),
+                early_stopping_rounds=EARLY_STOPPING_ROUNDS,
+            )
+            return roc_auc_score(y_val, clf.predict_proba(X_val))
+
+        def objective_shared(params: dict, resources) -> float:
+            binner, Xb_train, Xb_val = resources
+            clf = GradientBoostedClassifier(_trial_params(params)).fit(
+                Xb_train,
+                y_train,
+                eval_set=(Xb_val, y_val),
+                early_stopping_rounds=EARLY_STOPPING_ROUNDS,
+                binner=binner,
+            )
+            return roc_auc_score(y_val, clf.predict_proba(Xb_val, binned=True))
+
+        start = time.perf_counter()
+        best_u, value_u, opt_u = maximize(
+            objective_unshared, _space(), n_iter=n_iter, seed=0
+        )
+        unshared_s = time.perf_counter() - start
+
+        # Shared wall time includes the one-time binner fit + transforms.
+        start = time.perf_counter()
+        binner = HistogramBinner(max_bins=MAX_BINS).fit(X_train)
+        shared = (binner, binner.transform(X_train), binner.transform(X_val))
+        best_s, value_s, opt_s = maximize(
+            objective_shared, _space(), n_iter=n_iter, seed=0, resources=shared
+        )
+        shared_s = time.perf_counter() - start
+
+        if opt_u._y != opt_s._y or best_u != best_s or value_u != value_s:
+            raise AssertionError(
+                f"{name}: shared-binning tuning diverged from the unshared loop"
+            )
+        row = {
+            "size": name,
+            "n_train": n_train,
+            "n_val": n_val,
+            "n_features": d,
+            "n_trials": n_iter,
+            "max_bins": MAX_BINS,
+            "tune_seconds_unshared": unshared_s,
+            "tune_seconds_shared": shared_s,
+            "tuning_speedup": unshared_s / shared_s,
+        }
+        results.append(row)
+        print(
+            f"{name:8s} n={n_train:6d} d={d:4d} trials={n_iter:2d}  "
+            f"tune {unshared_s:7.3f}s -> {shared_s:7.3f}s "
+            f"({row['tuning_speedup']:.2f}x)"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the small size"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "bayesopt", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote bayesopt section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

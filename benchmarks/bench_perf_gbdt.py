@@ -6,6 +6,13 @@ NBM-shaped problems (dense float features with NaN holes) at three sizes,
 verifies the margins agree bitwise, and records the speedups in
 ``BENCH_perf.json``.
 
+Each size also times the binned inference path
+(``predict_margin(codes, binned=True)`` on pre-binned uint8 codes — the
+steady state for tuning loops and repeated batch scoring) against the
+float path, asserts its margins are bitwise identical, and reports the
+one-time ``HistogramBinner.transform`` cost separately so the cold
+(bin-then-score) trade-off stays visible.
+
 Run standalone::
 
     python benchmarks/bench_perf_gbdt.py           # all three sizes
@@ -75,6 +82,15 @@ def run(quick: bool = False) -> list[dict]:
         )
         if not np.array_equal(m_ref, m_new):
             raise AssertionError(f"{name}: margins diverged from the seed kernels")
+        binner = model._state.binner
+        transform_s, codes = _perfutil.timed(
+            lambda: binner.transform(X), repeats=repeats
+        )
+        pred_binned, m_binned = _perfutil.timed(
+            lambda: model.predict_margin(codes, binned=True), repeats=max(repeats, 2)
+        )
+        if not np.array_equal(m_new, m_binned):
+            raise AssertionError(f"{name}: binned margins diverged from float path")
         row = {
             "size": name,
             "n_rows": n,
@@ -87,6 +103,9 @@ def run(quick: bool = False) -> list[dict]:
             "predict_seconds_new": pred_new,
             "predict_speedup": pred_ref / pred_new,
             "fit_predict_speedup": (fit_ref + pred_ref) / (fit_new + pred_new),
+            "predict_binned_seconds": pred_binned,
+            "predict_binned_speedup": pred_new / pred_binned,
+            "transform_seconds": transform_s,
         }
         results.append(row)
         print(
@@ -94,7 +113,9 @@ def run(quick: bool = False) -> list[dict]:
             f"fit {fit_ref:7.3f}s -> {fit_new:7.3f}s ({row['fit_speedup']:.1f}x)  "
             f"predict {pred_ref:6.3f}s -> {pred_new:6.3f}s "
             f"({row['predict_speedup']:.1f}x)  "
-            f"fit+predict {row['fit_predict_speedup']:.1f}x"
+            f"fit+predict {row['fit_predict_speedup']:.1f}x  "
+            f"binned {pred_binned:6.3f}s ({row['predict_binned_speedup']:.1f}x "
+            f"vs float; bin once {transform_s:.3f}s)"
         )
     return results
 

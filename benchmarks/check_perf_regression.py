@@ -1,12 +1,15 @@
 """CI perf smoke: fail if the hot paths regress >2x vs. the baseline.
 
-Replays the quick variants of ``bench_perf_gbdt.py`` and
-``bench_perf_vectorize.py`` on the current machine and compares the
-*speedup ratios* (vectorized kernel vs. seed reference, both measured
-fresh) against the committed ``BENCH_perf.json``.  Comparing ratios
-instead of wall times keeps the check meaningful across heterogeneous CI
-hardware: a genuine hot-path regression halves the measured speedup no
-matter how fast the runner is.
+Replays the quick variants of ``bench_perf_gbdt.py``,
+``bench_perf_vectorize.py``, and ``bench_perf_bayesopt.py`` on the
+current machine and compares the *speedup ratios* (vectorized kernel vs.
+seed reference, shared-binning tuning vs. per-trial binning, both sides
+measured fresh) against the committed ``BENCH_perf.json``.  Comparing
+ratios instead of wall times keeps the check meaningful across
+heterogeneous CI hardware: a genuine hot-path regression halves the
+measured speedup no matter how fast the runner is.  The quick GBDT
+replay also re-asserts the bitwise contracts (vectorized vs. seed
+margins, binned vs. float margins) on every run.
 
 Exit status is non-zero when any fresh speedup falls below half its
 committed baseline.
@@ -23,6 +26,7 @@ import json
 import sys
 
 import _perfutil
+import bench_perf_bayesopt
 import bench_perf_gbdt
 import bench_perf_vectorize
 
@@ -62,6 +66,13 @@ def main() -> int:
         if expected is not None:
             checks.append(
                 ("vectorize", row["size"], expected, row["vectorize_speedup"])
+            )
+    bo_base = _baseline_speedups(baseline, "bayesopt", "tuning_speedup")
+    for row in bench_perf_bayesopt.run(quick=True):
+        expected = bo_base.get(row["size"])
+        if expected is not None:
+            checks.append(
+                ("bayesopt", row["size"], expected, row["tuning_speedup"])
             )
 
     if not checks:

@@ -25,6 +25,7 @@ from repro.dataset.splits import Split
 from repro.features.vectorize import FeatureBuilder
 from repro.ml.bayesopt import ParamSpec, SearchSpace, maximize
 from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier
+from repro.ml.tree import HistogramBinner
 from repro.ml.metrics import (
     BinaryClassificationReport,
     classification_report,
@@ -165,6 +166,16 @@ class NBMIntegrityModel:
 
         Updates ``self.params`` to the best configuration and returns it
         (the model still needs a final :meth:`fit`).
+
+        Trial-invariant work is shared across the whole search: one
+        :class:`~repro.ml.tree.HistogramBinner` is fitted on the training
+        matrix up front and both matrices are binned exactly once; every
+        trial then trains from the pre-binned codes
+        (``fit(..., binner=...)``) and scores the validation split through
+        the binned inference path.  Tuning results are identical to the
+        unshared loop — each trial's fresh binner would be fitted on the
+        same matrix, and binned scoring is bitwise-equal to the float
+        path — it just skips the redundant re-binning per trial.
         """
         train_obs = [dataset[i] for i in train_idx]
         val_obs = [dataset[i] for i in val_idx]
@@ -183,7 +194,11 @@ class NBMIntegrityModel:
             }
         )
 
-        def objective(params: dict) -> float:
+        binner = HistogramBinner(max_bins=self.params.max_bins).fit(X_train)
+        shared = (binner, binner.transform(X_train), binner.transform(X_val))
+
+        def objective(params: dict, resources) -> float:
+            shared_binner, Xb_train, Xb_val = resources
             clf = GradientBoostedClassifier(
                 GBDTParams(
                     n_estimators=int(params["n_estimators"]),
@@ -191,18 +206,22 @@ class NBMIntegrityModel:
                     max_depth=int(params["max_depth"]),
                     min_child_weight=float(params["min_child_weight"]),
                     subsample=float(params["subsample"]),
+                    max_bins=shared_binner.max_bins,
                     random_state=seed,
                 )
-            ).fit(X_train, y_train)
-            return roc_auc_score(y_val, clf.predict_proba(X_val))
+            ).fit(Xb_train, y_train, binner=shared_binner)
+            return roc_auc_score(y_val, clf.predict_proba(Xb_val, binned=True))
 
-        best, _value, _opt = maximize(objective, space, n_iter=n_iter, seed=seed)
+        best, _value, _opt = maximize(
+            objective, space, n_iter=n_iter, seed=seed, resources=shared
+        )
         self.params = GBDTParams(
             n_estimators=int(best["n_estimators"]),
             learning_rate=float(best["learning_rate"]),
             max_depth=int(best["max_depth"]),
             min_child_weight=float(best["min_child_weight"]),
             subsample=float(best["subsample"]),
+            max_bins=binner.max_bins,
             random_state=seed,
         )
         return self.params

@@ -10,7 +10,12 @@ from public sources:
 
 ``build_dataset`` then assembles the labelled observations (challenges +
 changes + synthetic likely-served, balanced per provider/state), and
-``make_feature_builder`` wires up Table-4 vectorization.
+``make_feature_builder`` wires up Table-4 vectorization over the
+filings' columnar claim store.
+
+``docs/ARCHITECTURE.md`` (repo root) expands this chain into a
+module-by-module map, including the columnar-store and binned-inference
+layers underneath feature building and scoring.
 """
 
 from __future__ import annotations

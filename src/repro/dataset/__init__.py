@@ -15,7 +15,13 @@ from repro.dataset.likely_served import (
     localize_mlab_tests,
     service_coverage_scores,
 )
-from repro.dataset.observations import LabelledDataset, LabelSource, Observation
+from repro.dataset.observations import (
+    LabelledDataset,
+    LabelSource,
+    Observation,
+    ObservationColumns,
+    observation_columns,
+)
 from repro.dataset.splits import (
     PAPER_HOLDOUT_STATES,
     Split,
@@ -39,6 +45,8 @@ __all__ = [
     "LabelledDataset",
     "LabelSource",
     "Observation",
+    "ObservationColumns",
+    "observation_columns",
     "PAPER_HOLDOUT_STATES",
     "Split",
     "fcc_adjudicated_split",

@@ -19,7 +19,7 @@ cell in the NBM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.fcc.fabric import Fabric
 from repro.geo import cells_within_radius
 from repro.geo.reproject import HexAggregate
 from repro.speedtests.mlab import MLabTest
+from repro.utils.indexing import MultiColumnIndex
 
 __all__ = [
     "service_coverage_scores",
@@ -71,9 +72,50 @@ class MLabLocalization:
     n_dropped_radius: int
     #: Tests dropped because their ASN matched no provider.
     n_dropped_unattributed: int
+    #: Lazily-built columnar (provider, cell) -> count index.
+    _count_index: "MultiColumnIndex | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _count_values: "np.ndarray | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def provider_test_count(self, provider_id: int, cell: int) -> int:
         return self.test_counts.get((provider_id, int(cell)), 0)
+
+    def provider_test_counts(
+        self, provider_ids: np.ndarray, cells: np.ndarray
+    ) -> np.ndarray:
+        """Attributed test count per (provider, cell) pair, vectorized.
+
+        Element-wise equal to :meth:`provider_test_count`, but resolved
+        through a lazily-built two-column index
+        (:class:`repro.utils.indexing.MultiColumnIndex`) so batch feature
+        building gathers all counts in one pass.
+        """
+        index, counts = self._count_columns()
+        pos = index.positions(
+            np.asarray(provider_ids, dtype=np.int64),
+            np.asarray(cells, dtype=np.uint64),
+        )
+        out = np.zeros(pos.size, dtype=np.int64)
+        found = pos >= 0
+        out[found] = counts[pos[found]]
+        return out
+
+    def _count_columns(self) -> tuple[MultiColumnIndex, np.ndarray]:
+        if self._count_index is None:
+            n = len(self.test_counts)
+            pids = np.empty(n, dtype=np.int64)
+            cells = np.empty(n, dtype=np.uint64)
+            counts = np.empty(n, dtype=np.int64)
+            for i, ((pid, cell), count) in enumerate(self.test_counts.items()):
+                pids[i] = pid
+                cells[i] = cell
+                counts[i] = count
+            self._count_index = MultiColumnIndex(pids, cells)
+            self._count_values = counts
+        return self._count_index, self._count_values
 
 
 def localize_mlab_tests(

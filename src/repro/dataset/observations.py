@@ -6,6 +6,12 @@ the natural grain of the public NBM — carrying a binary label:
 "suspicious" class) or ``unserved=0`` (served / claim valid).  Each label
 records its provenance: public challenge, non-archived map change, or
 synthetic likely-served inference.
+
+Batch consumers (feature building, scoring) work on
+:class:`ObservationColumns` — the struct-of-arrays transpose of an
+observation list produced by :func:`observation_columns` in one
+attribute-extraction pass, after which every per-observation lookup
+becomes a vectorized gather.
 """
 
 from __future__ import annotations
@@ -14,9 +20,17 @@ import enum
 from collections import Counter
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.fcc.bdc import ClaimKey
 
-__all__ = ["LabelSource", "Observation", "LabelledDataset"]
+__all__ = [
+    "LabelSource",
+    "Observation",
+    "ObservationColumns",
+    "LabelledDataset",
+    "observation_columns",
+]
 
 
 class LabelSource(enum.Enum):
@@ -44,6 +58,52 @@ class Observation:
     @property
     def claim_key(self) -> ClaimKey:
         return (self.provider_id, self.cell, self.technology)
+
+
+@dataclass(frozen=True)
+class ObservationColumns:
+    """Struct-of-arrays transpose of an observation batch.
+
+    Parallel arrays aligned with the source observation order — the form
+    batch feature building and scoring consume.
+    """
+
+    provider_id: np.ndarray  # int64
+    cell: np.ndarray  # uint64 (H3 ids use the full 64 bits)
+    technology: np.ndarray  # int64
+    state: np.ndarray  # object (state abbreviations)
+    unserved: np.ndarray  # int64 labels
+
+    def __len__(self) -> int:
+        return int(self.provider_id.size)
+
+
+def observation_columns(observations: list[Observation]) -> ObservationColumns:
+    """Transpose observations into parallel arrays in one pass.
+
+    This is the only per-observation Python loop left on the batch path;
+    it does pure attribute extraction, leaving all claim/test/encoder
+    lookups to vectorized gathers downstream.
+    """
+    n = len(observations)
+    provider_id = np.empty(n, dtype=np.int64)
+    cell = np.empty(n, dtype=np.uint64)
+    technology = np.empty(n, dtype=np.int64)
+    state = np.empty(n, dtype=object)
+    unserved = np.empty(n, dtype=np.int64)
+    for i, obs in enumerate(observations):
+        provider_id[i] = obs.provider_id
+        cell[i] = obs.cell
+        technology[i] = obs.technology
+        state[i] = obs.state
+        unserved[i] = obs.unserved
+    return ObservationColumns(
+        provider_id=provider_id,
+        cell=cell,
+        technology=technology,
+        state=state,
+        unserved=unserved,
+    )
 
 
 class LabelledDataset:

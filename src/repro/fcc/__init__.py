@@ -2,7 +2,7 @@
 Fabric, providers and their claim strategies, BDC filings, the challenge
 process, NBM releases/map diffs, and FRN registration data."""
 
-from repro.fcc.bdc import AvailabilityTable, ClaimKey, generate_filings
+from repro.fcc.bdc import AvailabilityTable, ClaimColumns, ClaimKey, generate_filings
 from repro.fcc.challenges import (
     ChallengeConfig,
     ChallengeOutcome,
@@ -47,6 +47,7 @@ from repro.fcc.states import (
 
 __all__ = [
     "AvailabilityTable",
+    "ClaimColumns",
     "ClaimKey",
     "generate_filings",
     "ChallengeConfig",

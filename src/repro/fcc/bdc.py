@@ -11,26 +11,99 @@ the ground truth the paper never observes directly, used here to drive the
 challenge process and to score the final model.  Speed clamping follows
 the NBM convention: download below 10 Mbps and upload below 1 Mbps are
 published as 0.
+
+Data layout (two granularities, both struct-of-arrays)
+------------------------------------------------------
+
+=======================  =====================================================
+Surface                  Contents
+=======================  =====================================================
+:class:`AvailabilityTable`  one row per (provider, BSL, technology) filing
+                            record: ids, cell, state, advertised speeds,
+                            latency tier, ``truly_served`` ground truth
+:class:`ClaimColumns`       frozen columnar roll-up to the hex grain — one
+                            row per distinct (provider, cell, technology)
+                            claim: claimed-BSL count, published max
+                            download/upload, low-latency flag
+=======================  =====================================================
+
+:meth:`AvailabilityTable.columnar` builds (and caches) the roll-up; its
+:meth:`ClaimColumns.positions` maps *arrays* of claim keys to row
+positions in one vectorized lookup (:class:`repro.utils.indexing.MultiColumnIndex`),
+so batch consumers — feature building above all — replace a Python
+``dict.get`` per observation with a handful of fancy-indexed gathers.
+The scalar ``dict``-shaped accessors remain as the readable reference
+path; property tests assert both agree exactly, including on keys absent
+from the table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.fcc.fabric import Fabric
 from repro.fcc.providers import ProviderUniverse
 from repro.fcc.states import STATES
+from repro.utils.indexing import MultiColumnIndex
 from repro.utils.rng import stream_rng
 
-__all__ = ["AvailabilityTable", "ClaimKey", "generate_filings", "NBM_SPEED_FLOORS"]
+__all__ = [
+    "AvailabilityTable",
+    "ClaimColumns",
+    "ClaimKey",
+    "generate_filings",
+    "NBM_SPEED_FLOORS",
+]
 
 #: NBM publication floors: below these, speeds are reported as 0.
 NBM_SPEED_FLOORS = (10.0, 1.0)  # (download Mbps, upload Mbps)
 
 #: Hex-level claim identity used across challenges / releases / datasets.
 ClaimKey = tuple[int, int, int]  # (provider_id, cell, technology)
+
+
+@dataclass(frozen=True)
+class ClaimColumns:
+    """Frozen columnar view of the distinct hex-level claims.
+
+    Parallel arrays, one row per (provider, cell, technology) claim in
+    lexicographic key order, carrying the aggregates feature building
+    consumes.  ``positions`` maps arrays of claim-key components to row
+    positions in one vectorized lookup (``-1`` for keys not in the
+    table), so callers gather ``claimed_count``/speed/latency columns by
+    fancy index instead of a per-key ``dict`` probe.
+    """
+
+    provider_id: np.ndarray  # int64
+    cell: np.ndarray  # uint64
+    technology: np.ndarray  # int16
+    claimed_count: np.ndarray  # int64 — BSL filing rows per claim
+    max_download_mbps: np.ndarray  # float64, published (post-floor) max
+    max_upload_mbps: np.ndarray  # float64, published (post-floor) max
+    low_latency: np.ndarray  # bool — any record low-latency
+    _index: MultiColumnIndex = field(repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return int(self.provider_id.size)
+
+    def positions(
+        self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
+    ) -> np.ndarray:
+        """Row position per queried claim key; ``-1`` marks a miss."""
+        return self._index.positions(
+            np.asarray(provider_id, dtype=np.int64),
+            np.asarray(cell, dtype=np.uint64),
+            np.asarray(technology, dtype=np.int64),
+        )
+
+    def key_at(self, row: int) -> ClaimKey:
+        return (
+            int(self.provider_id[row]),
+            int(self.cell[row]),
+            int(self.technology[row]),
+        )
 
 
 @dataclass
@@ -50,6 +123,10 @@ class AvailabilityTable:
     max_upload_mbps: np.ndarray  # float64
     low_latency: np.ndarray  # bool
     truly_served: np.ndarray  # bool
+    #: Cached hex-level columnar roll-up (built on first use).
+    _columnar: "ClaimColumns | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return int(self.provider_id.size)
@@ -92,6 +169,43 @@ class AvailabilityTable:
             (int(k["provider_id"]), int(k["cell"]), int(k["technology"]))
             for k in uniq
         ]
+
+    def columnar(self) -> ClaimColumns:
+        """The hex-level claims as frozen parallel arrays (cached).
+
+        Aggregation matches the scalar reference exactly: per claim, the
+        count of BSL filing rows, elementwise-max *published* speeds
+        (post NBM floors), and the OR of the low-latency flags.
+        """
+        if self._columnar is not None:
+            return self._columnar
+        keys = self.claim_keys()
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        n = uniq.size
+        counts = np.bincount(inverse, minlength=n)
+        down = np.zeros(n)
+        up = np.zeros(n)
+        lowlat = np.zeros(n, dtype=bool)
+        np.maximum.at(down, inverse, self.published_download())
+        np.maximum.at(up, inverse, self.published_upload())
+        np.logical_or.at(lowlat, inverse, self.low_latency)
+        provider_id = np.ascontiguousarray(uniq["provider_id"], dtype=np.int64)
+        cell = np.ascontiguousarray(uniq["cell"], dtype=np.uint64)
+        technology = np.ascontiguousarray(uniq["technology"], dtype=np.int16)
+        columns = ClaimColumns(
+            provider_id=provider_id,
+            cell=cell,
+            technology=technology,
+            claimed_count=counts.astype(np.int64),
+            max_download_mbps=down,
+            max_upload_mbps=up,
+            low_latency=lowlat,
+            _index=MultiColumnIndex(
+                provider_id, cell, technology.astype(np.int64)
+            ),
+        )
+        self._columnar = columns
+        return columns
 
     def rows_for_claim(self, key: ClaimKey) -> np.ndarray:
         """Row indices matching a hex-level claim (linear scan, test-sized)."""

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.fcc.states import STATES, StateInfo, state_by_abbr
 from repro.geo import hexgrid
+from repro.utils.indexing import ColumnIndex
 from repro.utils.rng import stream_rng
 
 __all__ = ["FabricConfig", "BSL", "Town", "Fabric", "generate_fabric"]
@@ -126,6 +127,10 @@ class Fabric:
         self._by_state: dict[str, np.ndarray] = {
             s.abbr: np.where(state_idx == i)[0] for i, s in enumerate(STATES)
         }
+        # Occupied-cell index + per-cell BSL counts for batched lookups.
+        occupied = sorted_cells[boundaries[:-1]].astype(np.uint64)
+        self._occupied_index = ColumnIndex(occupied)
+        self._occupied_counts = np.diff(boundaries).astype(np.int64)
 
     # -- size and row access ------------------------------------------------
 
@@ -159,6 +164,22 @@ class Fabric:
 
     def bsl_count_in_cell(self, cell: int) -> int:
         return int(self.bsls_in_cell(cell).size)
+
+    def bsl_counts_in_cells(self, cells: np.ndarray) -> np.ndarray:
+        """BSL count per queried cell (0 for unoccupied), vectorized.
+
+        One indexed lookup over the occupied-cell table replaces a
+        ``bsl_count_in_cell`` call per cell; equal to the scalar method
+        element-wise.
+        """
+        cells = np.asarray(cells, dtype=np.uint64)
+        if self._occupied_counts.size == 0 or cells.size == 0:
+            return np.zeros(cells.size, dtype=np.int64)
+        pos = self._occupied_index.positions(cells)
+        found = pos >= 0
+        return np.where(
+            found, self._occupied_counts[np.where(found, pos, 0)], 0
+        ).astype(np.int64)
 
     def bsls_in_state(self, abbr: str) -> np.ndarray:
         """Row indices of BSLs in a state."""

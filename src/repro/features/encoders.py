@@ -32,6 +32,17 @@ class StateOneHot:
         except KeyError:
             raise ValueError(f"unknown state {abbr!r}") from None
 
+    def index_array(self, abbrs) -> np.ndarray:
+        """Column index per state in a batch (one lookup per *distinct* state).
+
+        Element-wise equal to :meth:`index`; unknown abbreviations raise
+        ``ValueError`` exactly as the scalar path does.
+        """
+        abbrs = np.asarray(abbrs, dtype=object)
+        uniq, inverse = np.unique(abbrs, return_inverse=True)
+        mapped = np.array([self.index(str(a)) for a in uniq], dtype=np.intp)
+        return mapped[inverse]
+
     def encode(self, abbr: str) -> np.ndarray:
         vec = np.zeros(self.dim)
         vec[self.index(abbr)] = 1.0
@@ -59,6 +70,17 @@ class TechnologyOneHot:
             return self._index[int(code)]
         except KeyError:
             raise ValueError(f"unknown technology code {code!r}") from None
+
+    def index_array(self, codes) -> np.ndarray:
+        """Column index per technology code in a batch.
+
+        Element-wise equal to :meth:`index`; unknown codes raise
+        ``ValueError`` exactly as the scalar path does.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        mapped = np.array([self.index(int(c)) for c in uniq], dtype=np.intp)
+        return mapped[inverse] if uniq.size else np.empty(0, dtype=np.intp)
 
     def encode(self, code: int) -> np.ndarray:
         vec = np.zeros(self.dim)

@@ -20,14 +20,30 @@ Speed-test attributes deliberately exclude measured throughput — the paper
 avoids comparing in-home test results against advertised maxima, using the
 *presence* of tests instead.
 
-Batched vectorization is columnar: :meth:`FeatureBuilder.vectorize`
-preallocates the ``(n, d)`` matrix once and fills it by slice assignment —
-scalar claim attributes gathered in one pass, centroids and cached
-methodology embeddings grouped by unique cell/provider, and one-hot
-blocks set with a single fancy-index write — instead of building one
-row vector per observation and ``vstack``-ing them.
-:meth:`FeatureBuilder.vectorize_one` keeps the row-at-a-time construction
-as the readable reference; a regression test asserts both agree exactly.
+Batched vectorization is columnar end to end: observations are transposed
+into parallel arrays once (:func:`repro.dataset.observations.observation_columns`
+— the only remaining per-observation Python loop, pure attribute
+extraction), and every lookup that used to be a ``dict`` probe per row is
+a fancy-indexed gather over a columnar store:
+
+=======================  =====================================================
+Lookup                   Columnar source
+=======================  =====================================================
+Claim attributes         :meth:`repro.fcc.bdc.AvailabilityTable.columnar`
+                         (:class:`~repro.fcc.bdc.ClaimColumns.positions` +
+                         gathers; tier fallback per distinct missing
+                         (provider, technology) pair)
+BSLs per cell            :meth:`repro.fcc.fabric.Fabric.bsl_counts_in_cells`
+Ookla coverage scores    sorted cell/score arrays built at construction
+MLab test counts         :meth:`repro.dataset.likely_served.MLabLocalization.provider_test_counts`
+State / technology       ``index_array`` on the one-hot encoders
+Centroids, embeddings    one cached lookup per *distinct* cell / provider
+=======================  =====================================================
+
+:meth:`FeatureBuilder.vectorize` fills a preallocated ``(n, d)`` matrix by
+slice assignment from those gathers; :meth:`FeatureBuilder.vectorize_one`
+keeps the row-at-a-time construction as the readable reference, and a
+regression test asserts both agree bitwise.
 """
 
 from __future__ import annotations
@@ -35,13 +51,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dataset.likely_served import MLabLocalization
-from repro.dataset.observations import Observation
+from repro.dataset.observations import Observation, observation_columns
 from repro.fcc.bdc import AvailabilityTable, ClaimKey
 from repro.fcc.fabric import Fabric
 from repro.fcc.providers import ProviderUniverse
 from repro.features.embedding import TextEmbedder
 from repro.features.encoders import StateOneHot, TechnologyOneHot
 from repro.geo import hexgrid
+from repro.utils.indexing import ColumnIndex
 
 __all__ = ["FeatureBuilder", "CORE_FEATURES"]
 
@@ -78,7 +95,23 @@ class FeatureBuilder:
         self.embedder = embedder or TextEmbedder(dim=embedding_dim)
         self._state_encoder = StateOneHot()
         self._tech_encoder = TechnologyOneHot()
-        self._claim_attrs = self._precompute_claim_attrs(table)
+        self._claims = table.columnar()
+        # Scalar-path dict view of the same aggregates, built lazily on
+        # first vectorize_one/_claim_scalars use so batch-only consumers
+        # never pay the per-claim Python loop (the independent reference
+        # aggregation lives on in :meth:`_precompute_claim_attrs` for the
+        # equivalence tests).
+        self._claim_attrs_cache: (
+            dict[ClaimKey, tuple[int, float, float, bool]] | None
+        ) = None
+        # Coverage scores as a columnar (cell -> score) table.
+        cov_cells = np.fromiter(
+            coverage_scores.keys(), dtype=np.uint64, count=len(coverage_scores)
+        )
+        self._cov_index = ColumnIndex(cov_cells)
+        self._cov_values = np.fromiter(
+            coverage_scores.values(), dtype=np.float64, count=len(coverage_scores)
+        )
         self._embeddings: dict[int, np.ndarray] = {}
         self._centroids: dict[int, tuple[float, float]] = {}
 
@@ -167,6 +200,21 @@ class FeatureBuilder:
             ]
         )
 
+    @property
+    def _claim_attrs(self) -> dict[ClaimKey, tuple[int, float, float, bool]]:
+        if self._claim_attrs_cache is None:
+            claims = self._claims
+            self._claim_attrs_cache = {
+                claims.key_at(i): (
+                    int(claims.claimed_count[i]),
+                    float(claims.max_download_mbps[i]),
+                    float(claims.max_upload_mbps[i]),
+                    bool(claims.low_latency[i]),
+                )
+                for i in range(len(claims))
+            }
+        return self._claim_attrs_cache
+
     def _claim_scalars(
         self, obs: Observation
     ) -> tuple[int, float, float, bool]:
@@ -183,65 +231,106 @@ class FeatureBuilder:
         except KeyError:
             return 0, 0.0, 0.0, False
 
+    def _claim_columns(
+        self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`_claim_scalars`: (count, down, up, lowlat) arrays.
+
+        Claims present in the filing table resolve through one vectorized
+        :meth:`~repro.fcc.bdc.ClaimColumns.positions` lookup; absent ones
+        fall back to provider tier attributes, computed once per distinct
+        missing (provider, technology) pair.
+        """
+        claims = self._claims
+        pos = claims.positions(provider_id, cell, technology)
+        found = pos >= 0
+        safe = np.where(found, pos, 0)
+        n_claimed = np.where(found, claims.claimed_count[safe], 0)
+        down = np.where(found, claims.max_download_mbps[safe], 0.0)
+        up = np.where(found, claims.max_upload_mbps[safe], 0.0)
+        lowlat = np.where(found, claims.low_latency[safe], False)
+        if not found.all():
+            miss = np.where(~found)[0]
+            pairs = np.stack(
+                [provider_id[miss], technology[miss]], axis=1
+            ).astype(np.int64)
+            uniq_pairs, inv = np.unique(pairs, axis=0, return_inverse=True)
+            fb = np.empty((uniq_pairs.shape[0], 3))
+            for j, (pid, tech) in enumerate(uniq_pairs):
+                provider = self.universe.provider(int(pid))
+                try:
+                    tier = provider.tier_for(int(tech))
+                    fb[j] = (
+                        tier.max_download_mbps,
+                        tier.max_upload_mbps,
+                        float(tier.low_latency),
+                    )
+                except KeyError:
+                    fb[j] = (0.0, 0.0, 0.0)
+            down[miss] = fb[inv, 0]
+            up[miss] = fb[inv, 1]
+            lowlat[miss] = fb[inv, 2] != 0.0
+        return n_claimed, down, up, lowlat
+
     def vectorize(self, observations: list[Observation]) -> np.ndarray:
         """Vectorize a list of observations into an (n, d) matrix.
 
         Columnar fast path: equivalent to stacking
-        :meth:`vectorize_one` rows, but fills a preallocated matrix by
-        slice assignment (see module docstring).
+        :meth:`vectorize_one` rows, but transposes the batch once and
+        fills a preallocated matrix from vectorized gathers (see module
+        docstring).
         """
         if not observations:
             return np.empty((0, self.n_features))
-        n = len(observations)
+        cols = observation_columns(observations)
+        n = len(cols)
         n_core = len(CORE_FEATURES)
         state_off = n_core
         tech_off = state_off + self._state_encoder.dim
         emb_off = tech_off + self._tech_encoder.dim
         X = np.zeros((n, self.n_features))
 
-        core_rows = []
-        state_idx = np.empty(n, dtype=np.intp)
-        tech_idx = np.empty(n, dtype=np.intp)
-        cells = np.empty(n, dtype=np.uint64)  # H3 ids use the full 64 bits
-        provider_ids = np.empty(n, dtype=np.int64)
-        bsl_counts: dict[int, int] = {}
-        for i, obs in enumerate(observations):
-            n_claimed, down, up, lowlat = self._claim_scalars(obs)
-            cell = obs.cell
-            n_bsl = bsl_counts.get(cell)
-            if n_bsl is None:
-                n_bsl = self.fabric.bsl_count_in_cell(cell)
-                bsl_counts[cell] = n_bsl
-            core_rows.append(
-                (
-                    down,
-                    up,
-                    1.0 if lowlat else 0.0,
-                    n_claimed / n_bsl if n_bsl else 0.0,
-                    self.coverage_scores.get(cell, 0.0),
-                    float(
-                        self.localization.provider_test_count(obs.provider_id, cell)
-                    ),
-                )
-            )
-            state_idx[i] = self._state_encoder.index(obs.state)
-            tech_idx[i] = self._tech_encoder.index(obs.technology)
-            cells[i] = cell
-            provider_ids[i] = obs.provider_id
+        n_claimed, down, up, lowlat = self._claim_columns(
+            cols.provider_id, cols.cell, cols.technology
+        )
+        X[:, 0] = down
+        X[:, 1] = up
+        X[:, 2] = lowlat.astype(np.float64)
 
-        scalars = np.asarray(core_rows, dtype=np.float64)
-        X[:, 0:3] = scalars[:, 0:3]
-        X[:, 5:8] = scalars[:, 3:6]
+        # Claims percentage: claimed BSLs over Fabric BSLs in the cell.
+        n_bsl = self.fabric.bsl_counts_in_cells(cols.cell)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            X[:, 5] = np.where(
+                n_bsl > 0, n_claimed / n_bsl.astype(np.float64), 0.0
+            )
+
+        # Ookla coverage scores: one vectorized (cell -> score) lookup.
+        if self._cov_values.size:
+            cov_pos = self._cov_index.positions(cols.cell)
+            cov_found = cov_pos >= 0
+            X[:, 6] = np.where(
+                cov_found, self._cov_values[np.where(cov_found, cov_pos, 0)], 0.0
+            )
+
+        # MLab test counts: one two-column index lookup.
+        X[:, 7] = self.localization.provider_test_counts(
+            cols.provider_id, cols.cell
+        ).astype(np.float64)
+
         # Centroids: one lookup per distinct cell, broadcast back to rows.
-        uniq_cells, cell_inv = np.unique(cells, return_inverse=True)
+        uniq_cells, cell_inv = np.unique(cols.cell, return_inverse=True)
         centroids = np.array([self._centroid(int(c)) for c in uniq_cells])
         X[:, 3] = centroids[cell_inv, 0]
         X[:, 4] = centroids[cell_inv, 1]
+
         rows = np.arange(n)
-        X[rows, state_off + state_idx] = 1.0
-        X[rows, tech_off + tech_idx] = 1.0
+        X[rows, state_off + self._state_encoder.index_array(cols.state)] = 1.0
+        X[rows, tech_off + self._tech_encoder.index_array(cols.technology)] = 1.0
+
         # Embeddings: one (cached) embed per distinct provider.
-        uniq_providers, provider_inv = np.unique(provider_ids, return_inverse=True)
+        uniq_providers, provider_inv = np.unique(
+            cols.provider_id, return_inverse=True
+        )
         embeddings = np.vstack(
             [self._embedding_for(int(p)) for p in uniq_providers]
         )

@@ -211,8 +211,17 @@ def maximize(
     space: SearchSpace,
     n_iter: int = 25,
     seed: int = 0,
+    resources=None,
 ) -> tuple[dict[str, float], float, BayesianOptimizer]:
     """Maximize ``func(params_dict)`` over a search space.
+
+    ``resources``, when not ``None``, is handed to every trial as a
+    second argument — ``func(params, resources)`` — so expensive
+    trial-invariant artifacts are built once for the whole optimization
+    instead of once per trial.  The GBDT tuning loop uses this to share
+    one fitted :class:`repro.ml.tree.HistogramBinner` (and the matrices
+    it has already binned) across all trials; see
+    :meth:`repro.core.model.NBMIntegrityModel.tune`.
 
     Returns ``(best_params, best_value, optimizer)``.
     """
@@ -221,5 +230,6 @@ def maximize(
     opt = BayesianOptimizer(space, seed=seed)
     for _ in range(n_iter):
         params = opt.ask()
-        opt.tell(params, float(func(params)))
+        value = func(params) if resources is None else func(params, resources)
+        opt.tell(params, float(value))
     return opt.best_params, opt.best_value, opt

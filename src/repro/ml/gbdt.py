@@ -13,6 +13,29 @@ tree, and fitted models evaluate through a :class:`~repro.ml.tree.FlatEnsemble`
 — all trees' node arrays concatenated and traversed in one batched pass
 per prediction call.  The seed per-feature/per-tree loop kernels live on
 in :mod:`repro.ml._reference` as the equivalence oracle.
+
+Batch-scoring and tuning surfaces
+---------------------------------
+
+=============================================  ================================
+Call                                           Effect
+=============================================  ================================
+``fit(X, y)``                                  fits a fresh
+                                               :class:`~repro.ml.tree.HistogramBinner`
+                                               and bins ``X`` (seed behaviour)
+``fit(X, y, binner=fitted)``                   reuses a shared fitted binner —
+                                               Bayesian-optimization trials bin
+                                               the training matrix **once**
+``fit(Xb_codes, y, binner=fitted)``            ``Xb`` already uint8 bin codes:
+                                               skips the transform entirely
+``predict_margin(X)``                          float frontier traversal
+                                               (bitwise = seed)
+``predict_margin(X, binned=True)``             uint8 traversal with per-depth
+                                               active-set compaction; accepts
+                                               float rows (transformed by the
+                                               fit binner) or pre-binned codes;
+                                               bitwise = the float path
+=============================================  ================================
 """
 
 from __future__ import annotations
@@ -123,10 +146,34 @@ class GradientBoostedClassifier:
         y: np.ndarray,
         eval_set: tuple[np.ndarray, np.ndarray] | None = None,
         early_stopping_rounds: int | None = None,
+        *,
+        binner: HistogramBinner | None = None,
     ) -> "GradientBoostedClassifier":
-        """Fit the ensemble on float features (NaN = missing) and 0/1 labels."""
-        X = np.asarray(X, dtype=np.float64)
+        """Fit the ensemble on float features (NaN = missing) and 0/1 labels.
+
+        ``binner``, when given a *fitted* :class:`HistogramBinner`, is
+        reused instead of fitting a fresh one — the shared-binning hook
+        Bayesian-optimization tuning uses to bin the training matrix once
+        across all trials.  In that case ``X`` (and the eval-set features)
+        may also be passed as pre-binned uint8 codes from
+        ``binner.transform``, skipping the transform too.  Either way the
+        grown trees are identical to the unshared path, because every
+        trial's fresh binner would be fitted on the same matrix.
+        """
         y = np.asarray(y, dtype=np.float64)
+        if binner is not None:
+            if binner.split_values_ is None:
+                raise RuntimeError("shared binner is not fitted")
+            if binner.max_bins != self.params.max_bins:
+                raise ValueError(
+                    f"shared binner has max_bins={binner.max_bins}, "
+                    f"params require {self.params.max_bins}"
+                )
+        X = np.asarray(X)
+        shared = binner is not None
+        pre_binned = shared and X.dtype == np.uint8
+        if not pre_binned:
+            X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
             raise ValueError("X must be (n, d) and y must be (n,) with matching n")
         if not np.isin(y, (0.0, 1.0)).all():
@@ -137,8 +184,18 @@ class GradientBoostedClassifier:
         rng = np.random.default_rng(p.random_state)
         n, d = X.shape
 
-        binner = HistogramBinner(max_bins=p.max_bins)
-        Xb = binner.fit_transform(X)
+        if binner is None:
+            binner = HistogramBinner(max_bins=p.max_bins)
+            Xb = binner.fit_transform(X)
+        elif pre_binned:
+            if d != len(binner.split_values_):
+                raise ValueError(
+                    f"pre-binned X has {d} columns, binner expects "
+                    f"{len(binner.split_values_)}"
+                )
+            Xb = X
+        else:
+            Xb = binner.transform(X)
         pos_rate = float(np.clip(y.mean(), 1e-6, 1.0 - 1e-6))
         base_margin = float(np.log(pos_rate / (1.0 - pos_rate)))
         margin = np.full(n, base_margin)
@@ -147,9 +204,19 @@ class GradientBoostedClassifier:
         eval_margin = None
         y_eval = None
         if eval_set is not None:
-            X_eval = np.asarray(eval_set[0], dtype=np.float64)
+            X_eval = np.asarray(eval_set[0])
             y_eval = np.asarray(eval_set[1], dtype=np.float64)
-            eval_binned = binner.transform(X_eval)
+            if X_eval.dtype == np.uint8 and shared:
+                if X_eval.ndim != 2 or X_eval.shape[1] != len(binner.split_values_):
+                    raise ValueError(
+                        f"pre-binned eval X has shape {X_eval.shape}, binner "
+                        f"expects (n, {len(binner.split_values_)})"
+                    )
+                eval_binned = X_eval
+            else:
+                eval_binned = binner.transform(
+                    np.asarray(X_eval, dtype=np.float64)
+                )
             eval_margin = np.full(X_eval.shape[0], base_margin)
 
         growth = TreeGrowthParams(
@@ -165,6 +232,7 @@ class GradientBoostedClassifier:
         )
         best_eval = np.inf
         rounds_since_best = 0
+        codes_cache: dict = {}
 
         for _ in range(p.n_estimators):
             prob = _sigmoid(margin)
@@ -180,19 +248,31 @@ class GradientBoostedClassifier:
                 cols = np.sort(rng.choice(d, size=take, replace=False))
             else:
                 cols = np.arange(d)
-            # When every row trains the tree, the builder hands back each
-            # row's leaf value for free — no second traversal to refresh
-            # the training margin.
-            pred = np.empty(n) if rows.size == n else None
+            # The builder hands back each trained row's leaf value for
+            # free, so refreshing the training margin only ever traverses
+            # the rows the tree did NOT train on (none, without
+            # subsampling).
+            pred = np.empty(n)
             tree = grow_tree(
-                Xb, binner, grad, hess, rows, cols, growth, train_pred_out=pred
+                Xb,
+                binner,
+                grad,
+                hess,
+                rows,
+                cols,
+                growth,
+                train_pred_out=pred,
+                codes_cache=codes_cache,
             )
             tree.values *= p.learning_rate
             state.trees.append(tree)
-            if pred is not None:
+            if rows.size == n:
                 margin += pred * p.learning_rate
             else:
-                margin += tree.predict_binned(Xb)
+                held_out = np.ones(n, dtype=bool)
+                held_out[rows] = False
+                margin[rows] += pred[rows] * p.learning_rate
+                margin[held_out] += tree.predict_binned(Xb[held_out])
             state.train_loss.append(_logloss(y, _sigmoid(margin)))
             if eval_binned is not None:
                 eval_margin += tree.predict_binned(eval_binned)
@@ -259,24 +339,32 @@ class GradientBoostedClassifier:
     def eval_loss_curve(self) -> list[float]:
         return list(self._require_fitted().eval_loss)
 
-    def predict_margin(self, X: np.ndarray) -> np.ndarray:
+    def predict_margin(self, X: np.ndarray, *, binned: bool = False) -> np.ndarray:
         """Raw additive score (log-odds) per row.
 
         Evaluated through the flat ensemble: one batched (rows x trees)
         frontier traversal instead of a Python loop over trees, with
-        bitwise-identical output.
+        bitwise-identical output.  ``binned=True`` routes through the
+        uint8 binned path instead (see :mod:`repro.ml.tree`): ``X`` may
+        be float rows (quantized by the binner fitted during training) or
+        pre-binned uint8 codes from that binner's ``transform`` — the
+        margins are bitwise identical to the float path either way.
         """
         state = self._require_fitted()
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X) if binned else np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != state.n_features:
             raise ValueError(
                 f"X must be (n, {state.n_features}), got {np.shape(X)}"
             )
+        if binned:
+            return self.flat_ensemble.predict_margin(
+                X, base_margin=state.base_margin, binned=True, binner=state.binner
+            )
         return self.flat_ensemble.predict_margin(X, base_margin=state.base_margin)
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray, *, binned: bool = False) -> np.ndarray:
         """Probability of the positive class per row."""
-        return _sigmoid(self.predict_margin(X))
+        return _sigmoid(self.predict_margin(X, binned=binned))
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 predictions at a probability threshold."""

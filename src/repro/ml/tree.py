@@ -13,6 +13,18 @@ the core of XGBoost (Chen & Guestrin, KDD'16) that the paper relies on:
 Trees are stored as flat parallel arrays so prediction and SHAP can run
 without Python object traversal per node.
 
+========================  ====================================================
+Surface                   Role
+========================  ====================================================
+:class:`HistogramBinner`  quantile cuts; float matrix -> uint8 bin codes
+:func:`grow_tree`         one tree from binned data + gradients/hessians
+:class:`RegressionTree`   flat per-tree arrays; reference predict paths
+:class:`FlatEnsemble`     all trees concatenated; batched float traversal,
+                          binned traversal (:meth:`~FlatEnsemble.bind_binner`
+                          + ``predict_margin(..., binned=True)``), TreeSHAP
+                          substrate, expectations, gains
+========================  ====================================================
+
 Kernel design (the NumPy hot path)
 ----------------------------------
 
@@ -54,6 +66,29 @@ to global node ids) and routes all (row, tree) pairs simultaneously with
 a frontier traversal: ``max_depth`` vectorized gather/where steps replace
 the per-tree Python loop.  TreeSHAP (:mod:`repro.ml.shap`) walks the same
 flat arrays.
+
+**Binned batch inference.**  The float frontier traversal is
+gather-bound: every level gathers six node arrays plus a float64 feature
+column for *all* (row, tree) pairs, finished or not.
+:meth:`FlatEnsemble.bind_binner` pre-quantizes every split threshold
+against a fitted :class:`HistogramBinner` (validating that each
+threshold is exactly one of the binner's cut values, so routing cannot
+drift) and compiles each node into one packed int64 *route word*
+(comparison bound, code-matrix column, right-child offset — see the
+method docstring).  ``predict_margin(X, binned=True, binner=...)`` then
+traverses uint8 bin codes with **two** gathers per level (route word +
+code), missing-value handling folded into the column choice via a
+pre-incremented copy of the code matrix, leaves self-looping as all-zero
+words, and per-depth active-set compaction once enough (row, tree) pairs
+have finished.  Because ``x <= threshold`` is exactly equivalent to
+``code(x) <= threshold_bin`` when the threshold is one of the binner's
+cuts (and both paths send non-finite values to the node's default
+direction), the binned margin is bitwise identical to the float path —
+asserted by the equivalence tests and re-checked by the perf benchmark
+on every run.  The payoff is in the steady state where codes are already
+in hand — scoring pre-binned tuning/validation matrices, or re-scoring
+one binned batch many times; binning a fresh float batch first costs
+about as much as one float traversal.
 """
 
 from __future__ import annotations
@@ -79,6 +114,12 @@ _CODE_STRIDE = 256
 #: Soft cap on elements materialized per fused-histogram / binning block.
 _BLOCK_ELEMENTS = 1 << 22
 
+#: Ceiling on (rows x active features) for precomputing the per-tree
+#: offset-code matrix (int64 codes with the feature-slot offset already
+#: added): 2^24 elements = 128 MB.  Above it, nodes fall back to the
+#: gather-then-offset path so training memory stays bounded at NBM scale.
+_OFFSET_CODES_MAX_ELEMENTS = 1 << 24
+
 #: Widest padded cut matrix the broadcast binner beats per-feature
 #: searchsorted on: O(n_cuts) comparisons per element wins on call
 #: overhead below this, loses to O(log n_cuts) above it.
@@ -88,6 +129,16 @@ _BROADCAST_CUTS_MAX = 64
 #: each level must stay cache-resident or the batched gathers lose to the
 #: per-tree loop's contiguous column reads (measured crossover ~2^18).
 _TRAVERSAL_BLOCK_ELEMENTS = 1 << 16
+
+#: Row block for the cut-accumulation binning loop: one block of float64
+#: rows (~0.5 MB at 128 features) stays L2-resident across all cut
+#: passes.
+_BINNING_BLOCK_ROWS = 512
+
+#: Compact the binned-traversal frontier when the live fraction of
+#: (row, tree) pairs drops below this (compaction costs a few selects,
+#: so it must drop enough dead pairs to pay for itself).
+_COMPACTION_THRESHOLD = 0.6
 
 
 class HistogramBinner:
@@ -99,13 +150,15 @@ class HistogramBinner:
 
     ``transform`` bins all features at once when cut lists are narrow
     (≤ :data:`_BROADCAST_CUTS_MAX` cuts): the per-feature cut lists are
-    padded into one ``(d, max_cuts)`` matrix (padding ``+inf``) and the bin
-    code of every matrix element is the count of cuts strictly below it —
-    a single broadcast comparison instead of a per-feature
-    ``searchsorted`` loop, and bitwise-equivalent to it.  Wide cut lists
-    (large ``max_bins``) fall back to per-feature ``searchsorted``, whose
-    O(log) scan wins once the O(n_cuts) comparison tensor grows past the
-    call overhead it saves.
+    padded into one ``(d, max_cuts)`` matrix (padding ``+inf``) and the
+    bin code of every element is the count of cuts strictly below it,
+    accumulated one broadcast cut-column comparison at a time over
+    cache-resident row blocks — branch-free (quantile binning is
+    mispredict-bound under binary search) and bitwise-equivalent to a
+    per-feature ``searchsorted`` loop.  Wide cut lists (large
+    ``max_bins``) fall back to per-feature ``searchsorted``, whose
+    O(log) scan wins once the O(n_cuts) comparison work grows past the
+    branch misses it avoids.
     """
 
     def __init__(self, max_bins: int = 64):
@@ -163,14 +216,17 @@ class HistogramBinner:
                 codes[~np.isfinite(col)] = MISSING_BIN
                 out[:, f] = codes
             return out
-        # Chunk rows so the (rows, d, n_cuts) comparison block stays small.
-        step = max(1, _BLOCK_ELEMENTS // max(d * max(cuts.shape[1], 1), 1))
+        # Accumulate one broadcast comparison per cut column over a
+        # cache-resident row block: the bin code is the count of cuts
+        # strictly below the value (== searchsorted 'left'), and the
+        # (rows, d) accumulator never materializes the full
+        # (rows, d, n_cuts) tensor.
+        step = max(1, _BINNING_BLOCK_ROWS)
         for start in range(0, n, step):
             blk = X[start : start + step]
-            # count of cuts strictly below the value == searchsorted 'left'.
-            codes = np.sum(
-                cuts[None, :, :] < blk[:, :, None], axis=2, dtype=np.uint8
-            )
+            codes = np.zeros(blk.shape, dtype=np.uint8)
+            for j in range(cuts.shape[1]):
+                codes += cuts[:, j] < blk
             codes[~np.isfinite(blk)] = MISSING_BIN
             out[start : start + step] = codes
         return out
@@ -310,6 +366,12 @@ class FlatEnsemble:
     gain: np.ndarray
     roots: np.ndarray
     offsets: np.ndarray
+    #: Binner bound by :meth:`bind_binner` (packed route words, feature
+    #: count, and traversal depth bound).
+    _bound_binner: "HistogramBinner | None" = None
+    _route: np.ndarray | None = None
+    _route_n_features: int = 0
+    _max_depth: int = 0
 
     @classmethod
     def from_trees(cls, trees: list[RegressionTree]) -> "FlatEnsemble":
@@ -392,14 +454,200 @@ class FlatEnsemble:
             out[start : start + step] = self._leaves_block(X[start : start + step])
         return out
 
-    def predict_margin(self, X: np.ndarray, base_margin: float = 0.0) -> np.ndarray:
+    # -- binned inference ---------------------------------------------------
+
+    def bind_binner(self, binner: "HistogramBinner") -> None:
+        """Pre-quantize split thresholds against a fitted binner.
+
+        For every internal node with split feature ``f`` and threshold
+        ``t``, finds the bin index ``k`` with ``cuts_f[k] == t``, so that
+        ``x <= t``  ⇔  ``code(x) <= k`` for the binner's uint8 codes —
+        an exact equivalence, not an approximation.  Raises ``ValueError``
+        when a threshold is not one of the binner's cut values (i.e. the
+        ensemble was not trained against this binner), because routing
+        through a mismatched binner could silently diverge.
+
+        The quantized splits are compiled into one packed int64 *route
+        word* per node, so the traversal gathers a single array:
+
+        ==========  ===========================================================
+        Bits        Field
+        ==========  ===========================================================
+        0..8        strict comparison bound ``q2`` (``go left ⇔ code' < q2``)
+        9..25       column in the doubled code matrix — ``f`` for
+                    missing-goes-right nodes, ``f + d`` (the pre-incremented
+                    copy, uint8 wraparound sending :data:`MISSING_BIN` to 0)
+                    for missing-goes-left nodes
+        26..62      offset from the node to its right child
+        ==========  ===========================================================
+
+        Leaves are the all-zero word: their comparison ``code' < 0`` is
+        always false and their right-child offset is 0, so finished
+        (row, tree) pairs self-loop with no masking.  (The zero word is
+        unambiguous — an internal node's right child is at least two
+        nodes away, so its route word is nonzero.)
+        """
+        if binner.split_values_ is None:
+            raise RuntimeError("binner is not fitted")
+        d = len(binner.split_values_)
+        if d > (1 << 16):
+            raise ValueError(f"binned routing supports at most 65536 features, got {d}")
+        internal = self.children_left >= 0
+        features = self.feature[internal]
+        thresholds = self.threshold[internal]
+        quantized = np.full(features.size, -1, dtype=np.int64)
+        for f in np.unique(features):
+            cuts = binner.split_values_[int(f)]
+            sel = features == f
+            t = thresholds[sel]
+            if cuts.size == 0:
+                raise ValueError(
+                    f"feature {int(f)} has splits but the binner has no cuts "
+                    "for it; bind the binner the ensemble was trained with"
+                )
+            k = np.searchsorted(cuts, t, side="left")
+            bad = (k >= cuts.size) | (cuts[np.minimum(k, cuts.size - 1)] != t)
+            if bad.any():
+                raise ValueError(
+                    f"feature {int(f)}: {int(bad.sum())} split threshold(s) "
+                    "are not cut values of this binner; bind the binner the "
+                    "ensemble was trained with"
+                )
+            quantized[sel] = k
+
+        nodes = np.where(internal)[0]
+        default_left = self.default_left[internal]
+        # go_left ⇔ code + shift < qthr + shift + 2·0 + 1 with the shift
+        # realized by column choice (see docstring); strict '<' keeps the
+        # leaf word all-zero.
+        q2 = quantized + 1 + default_left
+        column = features.astype(np.int64) + default_left * d
+        rdelta = self.children_right[internal].astype(np.int64) - nodes
+        route = np.zeros(self.n_nodes, dtype=np.int64)
+        route[internal] = q2 | (column << 9) | (rdelta << 26)
+
+        # Deepest root-to-node path bounds the fixed-depth traversal loop.
+        depth = 0
+        frontier = self.roots[self.children_left[self.roots] >= 0]
+        while frontier.size:
+            depth += 1
+            children = np.concatenate(
+                [self.children_left[frontier], self.children_right[frontier]]
+            )
+            frontier = children[self.children_left[children] >= 0]
+
+        self._bound_binner = binner
+        self._route = route
+        self._route_n_features = d
+        self._max_depth = depth
+
+    def _leaves_block_binned(self, Xb2: np.ndarray) -> np.ndarray:
+        """Leaf ids for one block of doubled pre-binned rows (packed walk).
+
+        ``Xb2`` is a row block of the doubled code matrix (original codes
+        beside the pre-incremented copy).  Per level: one route-word
+        gather, one uint8 code gather, one comparison, one child-step
+        add.  When the live fraction of (row, tree) pairs drops below
+        :data:`_COMPACTION_THRESHOLD`, the frontier is compacted so
+        deeper levels only touch still-routing pairs.
+        """
+        m = Xb2.shape[0]
+        T = self.n_trees
+        d2 = Xb2.shape[1]
+        codes = Xb2.reshape(-1)
+        route = self._route
+        out = np.empty(m * T, dtype=np.int64)
+        pos = None  # frontier is dense until first compaction
+        cur = np.tile(self.roots, m)
+        base = np.repeat(np.arange(m, dtype=np.int64) * d2, T)
+        for _ in range(self._max_depth):
+            w = route[cur]
+            live = w != 0
+            n_live = int(np.count_nonzero(live))
+            if n_live == 0:
+                break
+            if n_live < _COMPACTION_THRESHOLD * cur.size:
+                done = ~live
+                if pos is None:
+                    out[done.nonzero()[0]] = cur[done]
+                    pos = live.nonzero()[0]
+                else:
+                    out[pos[done]] = cur[done]
+                    pos = pos[live]
+                cur = cur[live]
+                base = base[live]
+                w = w[live]
+            col = codes[base + ((w >> 9) & 0x1FFFF)]
+            go_left = col < (w & 0x1FF)
+            cur = cur + np.where(go_left, 1, w >> 26)
+        if pos is None:
+            return cur.reshape(m, T)
+        out[pos] = cur
+        return out.reshape(m, T)
+
+    def predict_leaves_binned(self, Xb: np.ndarray) -> np.ndarray:
+        """(n, n_trees) global leaf ids for pre-binned uint8 rows.
+
+        Requires :meth:`bind_binner` first; ``Xb`` must be codes produced
+        by the bound binner's :meth:`HistogramBinner.transform`.
+        """
+        if self._route is None:
+            raise RuntimeError("no binner bound; call bind_binner() first")
+        Xb = np.asarray(Xb)
+        if Xb.dtype != np.uint8 or Xb.ndim != 2:
+            raise ValueError("Xb must be a 2-D uint8 bin-code matrix")
+        if Xb.shape[1] != self._route_n_features:
+            raise ValueError(
+                f"Xb must have {self._route_n_features} columns, got {Xb.shape[1]}"
+            )
+        n = Xb.shape[0]
+        if self.n_trees == 0:
+            return np.empty((n, 0), dtype=np.int64)
+        # Doubled code matrix: columns d.. hold codes + 1 (uint8 wrap), the
+        # missing-goes-left view (MISSING_BIN wraps to 0 = "below any cut").
+        Xb2 = np.concatenate([Xb, Xb + np.uint8(1)], axis=1)
+        out = np.empty((n, self.n_trees), dtype=np.int64)
+        step = max(1, _TRAVERSAL_BLOCK_ELEMENTS // max(self.n_trees, 1))
+        for start in range(0, n, step):
+            out[start : start + step] = self._leaves_block_binned(
+                Xb2[start : start + step]
+            )
+        return out
+
+    def predict_margin(
+        self,
+        X: np.ndarray,
+        base_margin: float = 0.0,
+        *,
+        binned: bool = False,
+        binner: "HistogramBinner | None" = None,
+    ) -> np.ndarray:
         """Additive ensemble score per row via one batched traversal.
 
-        Leaf values are accumulated tree-by-tree (vectorized over rows) so
-        the result is bitwise identical to summing per-tree predictions in
-        ensemble order.
+        With ``binned=True`` the rows are routed through the binned path
+        (see the module docstring): ``binner`` (or one previously bound
+        with :meth:`bind_binner`) quantizes ``X`` to uint8 codes — or
+        pass ``X`` already binned as uint8 codes to skip the transform.
+        Both paths accumulate leaf values tree-by-tree (vectorized over
+        rows), so results are bitwise identical to each other and to
+        summing per-tree predictions in ensemble order.
         """
-        leaves = self.predict_leaves(X)
+        if binned:
+            if binner is not None and binner is not self._bound_binner:
+                self.bind_binner(binner)
+            X = np.asarray(X)
+            if X.dtype == np.uint8:
+                leaves = self.predict_leaves_binned(X)
+            else:
+                if self._bound_binner is None:
+                    raise RuntimeError(
+                        "binned=True requires a binner (argument or bind_binner)"
+                    )
+                leaves = self.predict_leaves_binned(
+                    self._bound_binner.transform(np.asarray(X, dtype=np.float64))
+                )
+        else:
+            leaves = self.predict_leaves(X)
         margin = np.full(leaves.shape[0], float(base_margin))
         for t in range(self.n_trees):
             margin += self.values[leaves[:, t]]
@@ -499,6 +747,7 @@ class _TreeBuilder:
         feature_indices: np.ndarray,
         sibling_subtraction: bool = True,
         train_pred_out: np.ndarray | None = None,
+        codes_cache: dict | None = None,
     ):
         self.Xb = Xb
         self.binner = binner
@@ -507,6 +756,7 @@ class _TreeBuilder:
         self.params = params
         self.sibling_subtraction = sibling_subtraction
         self.train_pred = train_pred_out
+        self.codes_cache = codes_cache
         self.nodes: list[dict] = []
 
         active = np.asarray(feature_indices, dtype=np.int64)
@@ -554,6 +804,19 @@ class _TreeBuilder:
             self.Xs = Xb[np.ix_(rows, self.active)]
             self.g = self.grad[rows]
             self.h = self.hess[rows]
+        # Offset-code matrix: int64 codes with the per-feature-slot offset
+        # pre-added, so node histograms skip the per-node astype + add.
+        # Bounded by _OFFSET_CODES_MAX_ELEMENTS; reused across trees (via
+        # codes_cache) when every tree sees the full matrix.
+        self.Xcodes: np.ndarray | None = None
+        if self.Xs.size <= _OFFSET_CODES_MAX_ELEMENTS and self.n_active:
+            cacheable = full_rows and full_cols and self.codes_cache is not None
+            if cacheable and "full" in self.codes_cache:
+                self.Xcodes = self.codes_cache["full"]
+            else:
+                self.Xcodes = self.Xs.astype(np.int64) + self._code_offset[None, :]
+                if cacheable:
+                    self.codes_cache["full"] = self.Xcodes
         self._grow(np.arange(rows.size), depth=0, hists=None)
         return self._to_arrays()
 
@@ -597,11 +860,19 @@ class _TreeBuilder:
         F = self.n_active
         size = F * _CODE_STRIDE
         m = idx.size
+
+        def _flat_codes(part: np.ndarray) -> np.ndarray:
+            if self.Xcodes is not None:
+                if part.size == self.Xcodes.shape[0]:
+                    return self.Xcodes.reshape(-1)  # root: free view, no gather
+                return self.Xcodes[part].reshape(-1)
+            codes = self.Xs[part].astype(np.int64)
+            codes += self._code_offset[None, :]
+            return codes.ravel()
+
         step = max(1, _BLOCK_ELEMENTS // max(F, 1))
         if m <= step or not self.sibling_subtraction:
-            codes = self.Xs[idx].astype(np.int64)
-            codes += self._code_offset[None, :]
-            flat = codes.ravel()
+            flat = _flat_codes(idx)
             g_hist = np.bincount(flat, weights=np.repeat(self.g[idx], F), minlength=size)
             h_hist = np.bincount(flat, weights=np.repeat(self.h[idx], F), minlength=size)
             n_hist = np.bincount(flat, minlength=size)
@@ -611,9 +882,7 @@ class _TreeBuilder:
             n_hist = np.zeros(size, dtype=np.int64)
             for start in range(0, m, step):
                 part = idx[start : start + step]
-                codes = self.Xs[part].astype(np.int64)
-                codes += self._code_offset[None, :]
-                flat = codes.ravel()
+                flat = _flat_codes(part)
                 g_hist += np.bincount(
                     flat, weights=np.repeat(self.g[part], F), minlength=size
                 )
@@ -791,13 +1060,16 @@ def grow_tree(
     params: TreeGrowthParams,
     sibling_subtraction: bool = True,
     train_pred_out: np.ndarray | None = None,
+    codes_cache: dict | None = None,
 ) -> RegressionTree:
     """Grow a single regression tree on binned data (see module docstring).
 
     ``train_pred_out``, when given an ``(n,)`` float array, is filled with
     the (unshrunk) leaf value reached by every row of ``row_indices`` —
     the boosting loop reuses it to update training margins without a
-    second traversal.  ``sibling_subtraction=False`` forces every node
+    second traversal.  ``codes_cache``, when given a dict, lets repeated
+    calls over the same full matrix share the precomputed offset-code
+    matrix (the boosting loop passes one dict for the whole fit).  ``sibling_subtraction=False`` forces every node
     histogram to be computed directly from rows in a single unblocked
     pass, making the grown tree bitwise identical to the seed kernel in
     :mod:`repro.ml._reference` at any input size (at the cost of
@@ -814,5 +1086,6 @@ def grow_tree(
         feature_indices,
         sibling_subtraction=sibling_subtraction,
         train_pred_out=train_pred_out,
+        codes_cache=codes_cache,
     )
     return builder.build(row_indices)

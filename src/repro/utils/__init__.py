@@ -1,5 +1,6 @@
 """Shared utilities: deterministic RNG streams, table rendering, validation."""
 
+from repro.utils.indexing import ColumnIndex, MultiColumnIndex
 from repro.utils.rng import SeedSequenceRegistry, stream_rng, stream_seed
 from repro.utils.tables import format_cdf, format_kv, format_series, format_table
 from repro.utils.validation import (
@@ -11,6 +12,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ColumnIndex",
+    "MultiColumnIndex",
     "SeedSequenceRegistry",
     "stream_rng",
     "stream_seed",

@@ -173,3 +173,20 @@ def test_train_validation_split(tiny_dataset):
     train, val = train_validation_split(split, validation_fraction=0.2, seed=0)
     assert not set(train) & set(val)
     assert set(train) | set(val) == set(split.train_idx)
+
+
+def test_provider_test_counts_matches_scalar(tiny_world):
+    import numpy as np
+
+    localization = tiny_world.localization
+    keys = list(localization.test_counts.keys())[:40]
+    # Mix of real (provider, cell) pairs and misses.
+    pids = np.array([k[0] for k in keys] + [-5, 10**6], dtype=np.int64)
+    cells = np.array([k[1] for k in keys] + [123, 456], dtype=np.uint64)
+    out = localization.provider_test_counts(pids, cells)
+    expected = [
+        localization.provider_test_count(int(p), int(c))
+        for p, c in zip(pids.tolist(), cells.tolist())
+    ]
+    assert out.tolist() == expected
+    assert out[-2:].tolist() == [0, 0]

@@ -105,3 +105,16 @@ def test_config_validation():
         FabricConfig(rural_fraction=1.5).validate()
     with pytest.raises(ValueError):
         FabricConfig(business_fraction=0.4, cai_fraction=0.2).validate()
+
+
+def test_bsl_counts_in_cells_matches_scalar(small_fabric):
+    import numpy as np
+
+    occupied = small_fabric.occupied_cells[:50]
+    unknown = [0, 2**63 + 123]
+    cells = np.array(occupied + unknown, dtype=np.uint64)
+    counts = small_fabric.bsl_counts_in_cells(cells)
+    expected = [small_fabric.bsl_count_in_cell(int(c)) for c in cells]
+    assert counts.tolist() == expected
+    assert counts[-2:].tolist() == [0, 0]
+    assert small_fabric.bsl_counts_in_cells(np.empty(0, dtype=np.uint64)).size == 0

@@ -164,3 +164,41 @@ def test_methodology_embedding_identical_for_same_provider(tiny_dataset, tiny_bu
     X = tiny_builder.vectorize(obs_list[:2])
     d = len(CORE_FEATURES) + 56 + 6
     np.testing.assert_array_equal(X[0, d:], X[1, d:])
+
+
+def test_encoder_index_array_matches_scalar():
+    state_enc = StateOneHot()
+    abbrs = ["NE", "ca", "NE", "PR"]
+    assert state_enc.index_array(abbrs).tolist() == [
+        state_enc.index(a) for a in abbrs
+    ]
+    with pytest.raises(ValueError):
+        state_enc.index_array(["NE", "ZZ"])
+    tech_enc = TechnologyOneHot()
+    codes = [50, 10, 50, 40]
+    assert tech_enc.index_array(codes).tolist() == [
+        tech_enc.index(c) for c in codes
+    ]
+    with pytest.raises(ValueError):
+        tech_enc.index_array([50, 99])
+
+
+def test_vectorize_missing_claim_tier_fallback(tiny_world, tiny_builder):
+    """Hypothetical claims (absent from filings) batch exactly like rows."""
+    from repro.dataset.observations import LabelSource, Observation
+
+    provider = tiny_world.universe.providers[0]
+    tech = provider.technologies[0]
+    state = tiny_world.fabric.towns[0].state
+    # A cell the provider never filed for: claim lookup must miss and fall
+    # back to tier attributes in both the scalar and batched paths.
+    probe = Observation(
+        provider_id=provider.provider_id,
+        cell=123456789,
+        technology=tech,
+        state=state,
+        unserved=0,
+        source=LabelSource.SYNTHETIC,
+    )
+    batched = tiny_builder.vectorize([probe])
+    np.testing.assert_array_equal(batched[0], tiny_builder.vectorize_one(probe))

@@ -1,0 +1,73 @@
+"""Docs smoke for CI: required files exist and internal links resolve.
+
+Checks that the top-level docs exist, extracts every markdown link from
+``README.md`` and ``docs/*.md``, and verifies that each *local* target
+(no URL scheme) resolves to a real file or directory relative to the
+linking document.  Anchors (``file.md#section``) are checked against the
+file only.
+
+Run::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+REQUIRED = [
+    "README.md",
+    os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "PERFORMANCE.md"),
+    "ROADMAP.md",
+]
+
+#: Inline markdown links: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _doc_files() -> list[str]:
+    docs = [os.path.join(REPO_ROOT, "README.md"), os.path.join(REPO_ROOT, "ROADMAP.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                docs.append(os.path.join(docs_dir, name))
+    return [d for d in docs if os.path.exists(d)]
+
+
+def main() -> int:
+    problems: list[str] = []
+    for rel in REQUIRED:
+        if not os.path.exists(os.path.join(REPO_ROOT, rel)):
+            problems.append(f"missing required doc: {rel}")
+
+    n_links = 0
+    for doc in _doc_files():
+        base = os.path.dirname(doc)
+        rel_doc = os.path.relpath(doc, REPO_ROOT)
+        for target in _LINK_RE.findall(open(doc, encoding="utf-8").read()):
+            if _SCHEME_RE.match(target) or target.startswith("#"):
+                continue  # external URL or intra-document anchor
+            path = target.split("#", 1)[0]
+            n_links += 1
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                problems.append(f"{rel_doc}: broken link -> {target}")
+
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}")
+        return 1
+    print(f"docs ok: {len(REQUIRED)} required files, {n_links} local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
