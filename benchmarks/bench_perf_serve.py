@@ -1,0 +1,145 @@
+"""Serving benchmark: store build time + micro-batched lookup throughput.
+
+Builds the ``tiny`` world, trains the integrity model, precomputes the
+:class:`~repro.serve.store.ClaimScoreStore` (timed — the deploy-time
+cost), then measures sustained scored-lookups/sec through the
+:class:`~repro.serve.service.AuditService` two ways over the same key
+set:
+
+* **single** — one ``score_claim`` call per key, the naive
+  request-per-claim serving pattern (each call pays a queue round-trip,
+  a 1-row composite-index probe, and a 1-row record build);
+* **batched** — ``score_claims`` on the whole key array, the
+  micro-batched pattern the HTTP layer reaches under concurrency (one
+  vectorized index probe for every key).
+
+Both paths are verified to return identical records; the acceptance bar
+is batched throughput >= 5x single.  Results merge into
+``BENCH_perf.json`` (section ``serve``), which
+``check_perf_regression.py`` replays in CI.
+
+Run standalone::
+
+    python benchmarks/bench_perf_serve.py           # all sizes
+    python benchmarks/bench_perf_serve.py --quick   # smallest only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    NBMIntegrityModel,
+    build_dataset,
+    build_world,
+    make_feature_builder,
+    tiny,
+)
+from repro.dataset import random_observation_split  # noqa: E402
+from repro.serve import AuditService, ClaimScoreStore  # noqa: E402
+
+#: (name, number of scored lookups per timed pass).
+SIZES = [("quick", 2_000), ("default", 20_000)]
+
+
+def _build_service():
+    world = build_world(tiny(seed=7))
+    dataset = build_dataset(world)
+    builder = make_feature_builder(world)
+    split = random_observation_split(dataset, seed=1)
+    model = NBMIntegrityModel(builder, params=world.config.model).fit(
+        dataset, split.train_idx
+    )
+    build_s, store = _perfutil.timed(
+        lambda: ClaimScoreStore.build(model.classifier, builder)
+    )
+    # Cache off so both paths score every lookup (pure throughput, no
+    # LRU hits); timer off so single calls flush deterministically.
+    service = AuditService.from_model(
+        model, store=store, cache_size=0, max_delay_s=0.0
+    )
+    return service, build_s
+
+
+def run(quick: bool = False) -> list[dict]:
+    service, build_s = _build_service()
+    store = service.store
+    claims = store.claims
+    n_claims = len(store)
+    print(
+        f"store: {n_claims:,} claims precomputed in {build_s:.2f}s "
+        f"({n_claims / build_s:,.0f} claims/s)"
+    )
+    rng = np.random.default_rng(0)
+    results = []
+    for name, n_lookups in SIZES[:1] if quick else SIZES:
+        rows = rng.integers(0, n_claims, size=n_lookups)
+        pid = claims.provider_id[rows]
+        cell = claims.cell[rows]
+        tech = claims.technology[rows]
+
+        def _single():
+            return [
+                service.score_claim(int(p), int(c), int(t))
+                for p, c, t in zip(pid, cell, tech)
+            ]
+
+        single_s, single_records = _perfutil.timed(_single)
+        batched_s, batched_records = _perfutil.timed(
+            lambda: service.score_claims(pid, cell, tech), repeats=3
+        )
+        if single_records != batched_records:
+            raise AssertionError(f"{name}: single and batched records diverged")
+        row = {
+            "size": name,
+            "n_claims": n_claims,
+            "n_lookups": n_lookups,
+            "store_build_seconds": build_s,
+            "single_seconds": single_s,
+            "batched_seconds": batched_s,
+            "single_lookups_per_s": n_lookups / single_s,
+            "batched_lookups_per_s": n_lookups / batched_s,
+            "lookup_speedup": single_s / batched_s,
+        }
+        results.append(row)
+        print(
+            f"{name:8s} lookups={n_lookups:6d}  "
+            f"single {row['single_lookups_per_s']:10,.0f}/s  "
+            f"batched {row['batched_lookups_per_s']:10,.0f}/s  "
+            f"({row['lookup_speedup']:.1f}x)"
+        )
+        if row["lookup_speedup"] < 5.0:
+            raise AssertionError(
+                f"{name}: micro-batched lookups only "
+                f"{row['lookup_speedup']:.1f}x the single-claim path "
+                "(acceptance bar is 5x)"
+            )
+    service.close()
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smallest size"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "serve", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote serve section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

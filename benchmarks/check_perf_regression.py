@@ -1,10 +1,11 @@
 """CI perf smoke: fail if the hot paths regress >2x vs. the baseline.
 
 Replays the quick variants of ``bench_perf_gbdt.py``,
-``bench_perf_vectorize.py``, and ``bench_perf_bayesopt.py`` on the
-current machine and compares the *speedup ratios* (vectorized kernel vs.
-seed reference, shared-binning tuning vs. per-trial binning, both sides
-measured fresh) against the committed ``BENCH_perf.json``.  Comparing
+``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``, and
+``bench_perf_serve.py`` on the current machine and compares the *speedup
+ratios* (vectorized kernel vs. seed reference, shared-binning tuning vs.
+per-trial binning, micro-batched vs. single-claim serving lookups, both
+sides measured fresh) against the committed ``BENCH_perf.json``.  Comparing
 ratios instead of wall times keeps the check meaningful across
 heterogeneous CI hardware: a genuine hot-path regression halves the
 measured speedup no matter how fast the runner is.  The quick GBDT
@@ -28,6 +29,7 @@ import sys
 import _perfutil
 import bench_perf_bayesopt
 import bench_perf_gbdt
+import bench_perf_serve
 import bench_perf_vectorize
 
 #: Fresh speedup must stay above baseline / REGRESSION_FACTOR.
@@ -73,6 +75,13 @@ def main() -> int:
         if expected is not None:
             checks.append(
                 ("bayesopt", row["size"], expected, row["tuning_speedup"])
+            )
+    serve_base = _baseline_speedups(baseline, "serve", "lookup_speedup")
+    for row in bench_perf_serve.run(quick=True):
+        expected = serve_base.get(row["size"])
+        if expected is not None:
+            checks.append(
+                ("serve", row["size"], expected, row["lookup_speedup"])
             )
 
     if not checks:

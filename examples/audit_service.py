@@ -1,0 +1,117 @@
+"""Audit service: train, save artifacts, serve claim scores over HTTP.
+
+The serving workflow end-to-end (~1-2 minutes):
+
+1. build the simulated BDC world and train the integrity model;
+2. save the model + precomputed claim-score store as a pickle-free
+   artifact bundle;
+3. reload the bundle into a standalone :class:`AuditService` (no world
+   in memory) and start the stdlib JSON HTTP server;
+4. run a scripted client session: health check, single-claim lookup,
+   bulk scoring, and the top-10 most suspicious claims of one state.
+
+    python examples/audit_service.py
+"""
+
+import json
+import tempfile
+import threading
+import urllib.request
+
+from repro.core import NBMIntegrityModel, build_dataset, build_world, make_feature_builder, tiny
+from repro.dataset import random_observation_split
+from repro.serve import AuditService, make_server
+
+
+def get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return json.load(resp)
+
+
+def post(base: str, path: str, doc: dict) -> dict:
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.load(resp)
+
+
+def main() -> None:
+    print("Building the simulated BDC world and training the model...")
+    world = build_world(tiny(seed=7))
+    dataset = build_dataset(world)
+    builder = make_feature_builder(world)
+    split = random_observation_split(dataset, test_fraction=0.1, seed=1)
+    model = NBMIntegrityModel(builder, params=world.config.model)
+    model.fit(dataset, split.train_idx)
+
+    print("Precomputing every claim's score and saving the artifact bundle...")
+    service = AuditService.from_model(model)
+    with tempfile.TemporaryDirectory(suffix=".audit-artifacts") as bundle:
+        service.save(bundle)
+        print(f"  bundle: {bundle} (manifest.json + npz arrays, no pickle)")
+
+        # Standalone reload: the server below holds no simulation world.
+        standalone = AuditService.from_artifacts(bundle)
+        server = make_server(standalone, port=0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        print(f"  serving at {base}  (try: curl '{base}/v1/top?k=3')\n")
+
+        health = get(base, "/healthz")
+        print(f"GET /healthz -> {health}")
+
+        top = get(base, "/v1/top?k=1")["results"][0]
+        claim_q = (
+            f"/v1/claim?provider_id={top['provider_id']}"
+            f"&cell={top['cell']}&technology={top['technology']}"
+        )
+        record = get(base, claim_q)
+        print(f"GET {claim_q}")
+        print(
+            f"  -> score={record['score']:.4f} "
+            f"percentile={record['percentile']:.1f} rank={record['rank']}"
+        )
+
+        bulk = post(
+            base,
+            "/v1/score",
+            {"claims": [
+                {k: top[k] for k in ("provider_id", "cell", "technology")},
+            ]},
+        )
+        print(f"POST /v1/score (1 claim) -> {len(bulk['results'])} result(s)")
+
+        state = top["state"]
+        summary = get(base, f"/v1/state/{state}/summary")
+        print(
+            f"\nState {state}: {summary['n_claims']:,} claims, "
+            f"{100 * summary['suspicious_share']:.1f}% over the suspicion "
+            f"threshold"
+        )
+        print(f"Top-10 most suspicious claims in {state} "
+              "(paper: red hexes a regulator would challenge first):")
+        print(f"  {'rank':>4}  {'provider':>8}  {'tech':>4}  "
+              f"{'score':>7}  {'pctile':>6}  cell")
+        for rec in get(base, f"/v1/top?k=10&state={state}")["results"]:
+            print(
+                f"  {rec['rank']:>4}  {rec['provider_id']:>8}  "
+                f"{rec['technology']:>4}  {rec['score']:>7.4f}  "
+                f"{rec['percentile']:>6.1f}  {rec['cell']:#x}"
+            )
+
+        stats = get(base, "/v1/stats")["batcher"]
+        print(
+            f"\nBatcher: {stats['requests']} requests, "
+            f"{stats['batches']} vectorized batches, "
+            f"{stats['cache_hits']} cache hits"
+        )
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    main()

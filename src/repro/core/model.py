@@ -63,12 +63,22 @@ class EvaluationResult:
 
 
 class NBMIntegrityModel:
-    """Gradient-boosted classifier over Table-4 observation features."""
+    """Gradient-boosted classifier over Table-4 observation features.
 
-    def __init__(self, builder: FeatureBuilder, params: GBDTParams | None = None):
+    ``builder`` may be ``None`` for models reloaded from an artifact
+    bundle (:meth:`load`): matrix-level scoring and explanation still
+    work through :attr:`classifier`, but observation-level entry points
+    need a live :class:`FeatureBuilder` and raise without one.
+    """
+
+    def __init__(
+        self, builder: FeatureBuilder | None, params: GBDTParams | None = None
+    ):
         self.builder = builder
         self.params = params or GBDTParams(n_estimators=120, max_depth=6, learning_rate=0.15)
         self._clf: GradientBoostedClassifier | None = None
+        #: Feature names restored from an artifact bundle (builder-less).
+        self._feature_names: tuple[str, ...] | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -79,6 +89,66 @@ class NBMIntegrityModel:
         if self._clf is None:
             raise RuntimeError("model is not fitted")
         return self._clf
+
+    def _require_builder(self) -> FeatureBuilder:
+        if self.builder is None:
+            raise RuntimeError(
+                "this model was loaded without a FeatureBuilder; "
+                "observation-level scoring needs a live world — pass "
+                "builder= to NBMIntegrityModel.load, or score matrices "
+                "through .classifier"
+            )
+        return self.builder
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Feature-column names (from the builder, or the saved bundle)."""
+        if self.builder is not None:
+            return self.builder.feature_names
+        if self._feature_names:
+            return list(self._feature_names)
+        raise RuntimeError("model has neither a builder nor saved feature names")
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Persist the fitted model as a versioned artifact bundle.
+
+        Writes the pickle-free bundle of :mod:`repro.serve.artifacts`
+        (flat-ensemble arrays, binner cuts, params, feature names, and
+        the builder's encoder/embedding caches) into directory ``path``.
+        A reloaded model's margins are bitwise identical on both the
+        float and binned inference paths.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot save an unfitted model; call fit() first")
+        from repro.serve.artifacts import save_model_artifacts
+
+        try:
+            names = self.feature_names
+        except RuntimeError:
+            names = None
+        return save_model_artifacts(
+            path, self.classifier, feature_names=names, builder=self.builder
+        )
+
+    @classmethod
+    def load(
+        cls, path: str, builder: FeatureBuilder | None = None
+    ) -> "NBMIntegrityModel":
+        """Reload a model saved with :meth:`save`.
+
+        ``builder``, when given, is attached to the model (and re-warmed
+        from the bundle's encoder caches) so observation-level scoring
+        works; without one the model scores feature matrices only.
+        """
+        from repro.serve.artifacts import load_model_artifacts
+
+        artifacts = load_model_artifacts(path, builder=builder)
+        model = cls(builder, params=artifacts.params)
+        model._clf = artifacts.classifier
+        model._feature_names = artifacts.feature_names or None
+        return model
 
     # -- training -------------------------------------------------------------
 
@@ -95,8 +165,9 @@ class NBMIntegrityModel:
         )
         if not observations:
             raise ValueError("no training observations")
-        X = self.builder.vectorize(observations)
-        y = self.builder.labels(observations)
+        builder = self._require_builder()
+        X = builder.vectorize(observations)
+        y = builder.labels(observations)
         self._clf = GradientBoostedClassifier(self.params).fit(X, y)
         return self
 
@@ -108,7 +179,7 @@ class NBMIntegrityModel:
         One columnar vectorization pass plus one batched flat-ensemble
         traversal, regardless of batch size.
         """
-        X = self.builder.vectorize(observations)
+        X = self._require_builder().vectorize(observations)
         return self.classifier.predict_proba(X)
 
     def predict(
@@ -121,7 +192,7 @@ class NBMIntegrityModel:
     def evaluate(self, dataset: LabelledDataset, split: Split) -> EvaluationResult:
         """Evaluate on a split's held-out observations (paper Fig. 5)."""
         test = split.test(dataset)
-        y = self.builder.labels(test)
+        y = self._require_builder().labels(test)
         scores = self.predict_proba(test)
         preds = (scores >= 0.5).astype(np.int64)
         fpr, tpr, _ = roc_curve(y, scores)
@@ -138,15 +209,15 @@ class NBMIntegrityModel:
         self, observations: list[Observation]
     ) -> SHAPExplanation:
         """Exact TreeSHAP attributions for a batch of observations."""
-        X = self.builder.vectorize(observations)
+        X = self._require_builder().vectorize(observations)
         return shap_values(
-            self.classifier, X, feature_names=tuple(self.builder.feature_names)
+            self.classifier, X, feature_names=tuple(self.feature_names)
         )
 
     def feature_importances(self, top_k: int | None = None) -> list[tuple[str, float]]:
         """Gain-based importances paired with feature names."""
         importances = self.classifier.feature_importances_
-        names = self.builder.feature_names
+        names = self.feature_names
         order = np.argsort(-importances)
         if top_k is not None:
             order = order[:top_k]
@@ -177,12 +248,13 @@ class NBMIntegrityModel:
         same matrix, and binned scoring is bitwise-equal to the float
         path — it just skips the redundant re-binning per trial.
         """
+        builder = self._require_builder()
         train_obs = [dataset[i] for i in train_idx]
         val_obs = [dataset[i] for i in val_idx]
-        X_train = self.builder.vectorize(train_obs)
-        y_train = self.builder.labels(train_obs)
-        X_val = self.builder.vectorize(val_obs)
-        y_val = self.builder.labels(val_obs)
+        X_train = builder.vectorize(train_obs)
+        y_train = builder.labels(train_obs)
+        X_val = builder.vectorize(val_obs)
+        y_val = builder.labels(val_obs)
 
         space = SearchSpace(
             {

@@ -83,10 +83,57 @@ class ClaimColumns:
     max_download_mbps: np.ndarray  # float64, published (post-floor) max
     max_upload_mbps: np.ndarray  # float64, published (post-floor) max
     low_latency: np.ndarray  # bool — any record low-latency
+    #: Filing state per claim (index into repro.fcc.states.STATES, from
+    #: the claim's first filing row — the labeling convention).
+    state_idx: np.ndarray  # int16
     _index: MultiColumnIndex = field(repr=False, compare=False)
+
+    #: Name and dtype of every exported column, in order.
+    EXPORT_FIELDS = (
+        ("provider_id", np.int64),
+        ("cell", np.uint64),
+        ("technology", np.int16),
+        ("claimed_count", np.int64),
+        ("max_download_mbps", np.float64),
+        ("max_upload_mbps", np.float64),
+        ("low_latency", bool),
+        ("state_idx", np.int16),
+    )
 
     def __len__(self) -> int:
         return int(self.provider_id.size)
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The parallel claim columns as a plain name->array dict.
+
+        The pickle-free payload the serve layer persists; composite-key
+        indexes are deterministic from the key columns, so
+        :meth:`from_arrays` rebuilds them rather than serializing them.
+        """
+        return {name: getattr(self, name) for name, _ in self.EXPORT_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "ClaimColumns":
+        """Rebuild a claim store (and its key index) from exported columns."""
+        fields = {
+            name: np.ascontiguousarray(np.asarray(arrays[name]), dtype=dtype)
+            for name, dtype in cls.EXPORT_FIELDS
+        }
+        n = fields["provider_id"].size
+        for name, _ in cls.EXPORT_FIELDS:
+            if fields[name].ndim != 1 or fields[name].size != n:
+                raise ValueError(
+                    f"claim column {name!r} must be 1-D with {n} rows, "
+                    f"got shape {fields[name].shape}"
+                )
+        return cls(
+            **fields,
+            _index=MultiColumnIndex(
+                fields["provider_id"],
+                fields["cell"],
+                fields["technology"].astype(np.int64),
+            ),
+        )
 
     def positions(
         self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
@@ -180,7 +227,7 @@ class AvailabilityTable:
         if self._columnar is not None:
             return self._columnar
         keys = self.claim_keys()
-        uniq, inverse = np.unique(keys, return_inverse=True)
+        uniq, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
         n = uniq.size
         counts = np.bincount(inverse, minlength=n)
         down = np.zeros(n)
@@ -200,6 +247,9 @@ class AvailabilityTable:
             max_download_mbps=down,
             max_upload_mbps=up,
             low_latency=lowlat,
+            # State of each claim's first filing row — identical to the
+            # labeling convention (dataset.labeling._claim_states).
+            state_idx=self.state_idx[first].astype(np.int16),
             _index=MultiColumnIndex(
                 provider_id, cell, technology.astype(np.int64)
             ),

@@ -272,18 +272,41 @@ class FeatureBuilder:
             lowlat[miss] = fb[inv, 2] != 0.0
         return n_claimed, down, up, lowlat
 
+    @property
+    def claims(self):
+        """The columnar claim store backing this builder (frozen arrays).
+
+        The distinct hex-level claims of the filing table —
+        :class:`repro.fcc.bdc.ClaimColumns` — which the serve layer
+        enumerates to precompute every claim's score.
+        """
+        return self._claims
+
     def vectorize(self, observations: list[Observation]) -> np.ndarray:
         """Vectorize a list of observations into an (n, d) matrix.
 
         Columnar fast path: equivalent to stacking
-        :meth:`vectorize_one` rows, but transposes the batch once and
-        fills a preallocated matrix from vectorized gathers (see module
-        docstring).
+        :meth:`vectorize_one` rows, but transposes the batch once
+        (:func:`~repro.dataset.observations.observation_columns`) and
+        delegates to :meth:`vectorize_columns`.
         """
         if not observations:
             return np.empty((0, self.n_features))
-        cols = observation_columns(observations)
+        return self.vectorize_columns(observation_columns(observations))
+
+    def vectorize_columns(self, cols) -> np.ndarray:
+        """Vectorize an :class:`~repro.dataset.observations.ObservationColumns`
+        batch into an (n, d) matrix.
+
+        The all-array entry point: consumers that already hold parallel
+        claim arrays (the serve layer's score store above all) skip
+        ``Observation`` object materialization entirely and fill a
+        preallocated matrix from vectorized gathers (see module
+        docstring).
+        """
         n = len(cols)
+        if n == 0:
+            return np.empty((0, self.n_features))
         n_core = len(CORE_FEATURES)
         state_off = n_core
         tech_off = state_off + self._state_encoder.dim
@@ -344,3 +367,92 @@ class FeatureBuilder:
             dtype=np.int64,
             count=len(observations),
         )
+
+    # -- persistence ----------------------------------------------------------
+
+    def export_encoder_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Encoder/embedding state as (JSON-safe manifest, array payload).
+
+        Captures everything vectorization derives from *fitted or cached*
+        state rather than the live world: the embedder spec, the one-hot
+        category orders, and the provider-embedding / cell-centroid caches
+        as parallel arrays.  :meth:`restore_encoder_state` on a compatible
+        builder reinstates the caches so vectorization of previously-seen
+        providers/cells is reproduced without recomputation (and bitwise
+        identical — both caches are deterministic).
+        """
+        manifest = {
+            "embedder": self.embedder.spec(),
+            "state_categories": list(self._state_encoder.categories),
+            "technology_categories": [
+                int(c) for c in self._tech_encoder.categories
+            ],
+        }
+        emb_ids = np.fromiter(
+            self._embeddings.keys(), dtype=np.int64, count=len(self._embeddings)
+        )
+        emb_matrix = (
+            np.vstack([self._embeddings[int(p)] for p in emb_ids])
+            if emb_ids.size
+            else np.empty((0, self.embedder.dim))
+        )
+        cen_cells = np.fromiter(
+            self._centroids.keys(), dtype=np.uint64, count=len(self._centroids)
+        )
+        cen_latlng = (
+            np.array([self._centroids[int(c)] for c in cen_cells])
+            if cen_cells.size
+            else np.empty((0, 2))
+        )
+        arrays = {
+            "embedding_provider_ids": emb_ids,
+            "embedding_matrix": emb_matrix,
+            "centroid_cells": cen_cells,
+            "centroid_latlng": cen_latlng,
+        }
+        return manifest, arrays
+
+    def restore_encoder_state(
+        self, manifest: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Reinstate caches exported by :meth:`export_encoder_state`.
+
+        Raises ``ValueError`` when the stored embedder spec or category
+        orders disagree with this builder's — restored caches would then
+        silently produce different feature columns.
+        """
+        if manifest["embedder"] != self.embedder.spec():
+            raise ValueError(
+                f"stored embedder spec {manifest['embedder']} does not match "
+                f"this builder's {self.embedder.spec()}"
+            )
+        if tuple(manifest["state_categories"]) != self._state_encoder.categories:
+            raise ValueError("stored state categories do not match this builder")
+        if (
+            tuple(manifest["technology_categories"])
+            != self._tech_encoder.categories
+        ):
+            raise ValueError(
+                "stored technology categories do not match this builder"
+            )
+        emb_ids = np.asarray(arrays["embedding_provider_ids"], dtype=np.int64)
+        emb_matrix = np.asarray(arrays["embedding_matrix"], dtype=np.float64)
+        if emb_matrix.shape != (emb_ids.size, self.embedder.dim):
+            raise ValueError(
+                f"embedding matrix must be ({emb_ids.size}, "
+                f"{self.embedder.dim}), got {emb_matrix.shape}"
+            )
+        for i, pid in enumerate(emb_ids):
+            self._embeddings[int(pid)] = emb_matrix[i].copy()
+        cen_cells = np.asarray(arrays["centroid_cells"], dtype=np.uint64)
+        cen_latlng = np.asarray(arrays["centroid_latlng"], dtype=np.float64)
+        if cen_latlng.shape != (cen_cells.size, 2):
+            raise ValueError(
+                f"centroid array must be ({cen_cells.size}, 2), "
+                f"got {cen_latlng.shape}"
+            )
+        for i, cell in enumerate(cen_cells):
+            self._centroids[int(cell)] = (
+                float(cen_latlng[i, 0]),
+                float(cen_latlng[i, 1]),
+            )

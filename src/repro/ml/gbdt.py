@@ -294,11 +294,49 @@ class GradientBoostedClassifier:
         self._state = state
         return self
 
+    # -- reconstruction ---------------------------------------------------
+
+    @classmethod
+    def from_components(
+        cls,
+        params: GBDTParams,
+        binner: HistogramBinner,
+        trees: list[RegressionTree],
+        base_margin: float,
+        n_features: int,
+        flat: FlatEnsemble | None = None,
+    ) -> "GradientBoostedClassifier":
+        """Assemble a fitted classifier from its persisted components.
+
+        The artifact loader (:mod:`repro.serve.artifacts`) uses this to
+        rebuild a classifier without pickling: ``binner`` must be fitted,
+        ``trees`` carry shrunk leaf values, and ``flat``, when given,
+        seeds the cached flat ensemble directly (it must describe the
+        same trees).  Loss curves and early-stopping state are training
+        history and are not restored.
+        """
+        if binner.split_values_ is None:
+            raise RuntimeError("binner is not fitted")
+        clf = cls(params)
+        clf._state = _FitState(
+            binner=binner,
+            trees=list(trees),
+            base_margin=float(base_margin),
+            n_features=int(n_features),
+            flat=flat,
+        )
+        return clf
+
     # -- inference --------------------------------------------------------
 
     @property
     def is_fitted(self) -> bool:
         return self._state is not None
+
+    @property
+    def binner(self) -> HistogramBinner:
+        """The fitted histogram binner (quantizer for the binned path)."""
+        return self._require_fitted().binner
 
     def _require_fitted(self) -> _FitState:
         if self._state is None:

@@ -188,13 +188,61 @@ class HistogramBinner:
                 qs = np.linspace(0, 1, self.max_bins + 1)[1:-1]
                 cuts = np.unique(np.quantile(finite, qs))
             splits.append(cuts.astype(np.float64))
+        self._set_splits(splits)
+        return self
+
+    def _set_splits(self, splits: list[np.ndarray]) -> None:
+        """Install fitted cuts and rebuild the padded broadcast matrix."""
         self.split_values_ = splits
         n_cuts = max((c.size for c in splits), default=0)
         padded = np.full((len(splits), n_cuts), np.inf)
         for f, cuts in enumerate(splits):
             padded[f, : cuts.size] = cuts
         self._padded_cuts = padded
-        return self
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Fitted cuts as flat arrays (the pickle-free artifact payload).
+
+        The ragged per-feature cut lists are packed into one float64 value
+        array plus an int64 offset array (``cut_offsets[f]:cut_offsets[f+1]``
+        delimits feature ``f``); :meth:`from_state` inverts the packing
+        exactly, so a round-tripped binner produces bitwise-identical codes.
+        """
+        if self.split_values_ is None:
+            raise RuntimeError("binner is not fitted")
+        sizes = [c.size for c in self.split_values_]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        values = (
+            np.concatenate(self.split_values_)
+            if offsets[-1]
+            else np.empty(0, dtype=np.float64)
+        ).astype(np.float64)
+        return {
+            "max_bins": np.int64(self.max_bins),
+            "cut_values": values,
+            "cut_offsets": offsets,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HistogramBinner":
+        """Rebuild a fitted binner from :meth:`export_state` arrays."""
+        binner = cls(max_bins=int(state["max_bins"]))
+        offsets = np.asarray(state["cut_offsets"], dtype=np.int64)
+        values = np.asarray(state["cut_values"], dtype=np.float64)
+        if offsets.size < 1 or offsets[0] != 0 or (np.diff(offsets) < 0).any():
+            raise ValueError("cut_offsets must start at 0 and be non-decreasing")
+        if offsets[-1] != values.size:
+            raise ValueError(
+                f"cut_offsets end at {int(offsets[-1])}, "
+                f"but {values.size} cut values were provided"
+            )
+        binner._set_splits(
+            [
+                values[offsets[f] : offsets[f + 1]].copy()
+                for f in range(offsets.size - 1)
+            ]
+        )
+        return binner
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Map a float matrix to uint8 bin codes (NaN -> MISSING_BIN)."""
@@ -409,6 +457,102 @@ class FlatEnsemble:
             roots=offsets[:-1].copy(),
             offsets=offsets,
         )
+
+    #: (name, dtype) of every array :meth:`export_arrays` emits, in order.
+    EXPORT_FIELDS = (
+        ("feature", np.int64),
+        ("threshold", np.float64),
+        ("threshold_bin", np.int64),
+        ("children_left", np.int64),
+        ("children_right", np.int64),
+        ("default_left", bool),
+        ("values", np.float64),
+        ("cover", np.float64),
+        ("gain", np.float64),
+        ("roots", np.int64),
+        ("offsets", np.int64),
+    )
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The concatenated node arrays as a plain name->array dict.
+
+        Everything inference, TreeSHAP, and gain importances need — the
+        pickle-free payload :func:`repro.serve.artifacts` writes to disk.
+        :meth:`from_arrays` reconstructs an ensemble whose traversals are
+        bitwise identical to this one's.
+        """
+        return {name: getattr(self, name) for name, _ in self.EXPORT_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "FlatEnsemble":
+        """Rebuild an ensemble from :meth:`export_arrays` output.
+
+        Validates structural sanity (array lengths, child ids in range,
+        node ranges partitioned by ``offsets``) so malformed or truncated
+        artifacts fail loudly instead of mis-routing traversals.
+        """
+        fields = {
+            name: np.ascontiguousarray(np.asarray(arrays[name]), dtype=dtype)
+            for name, dtype in cls.EXPORT_FIELDS
+        }
+        n_nodes = fields["feature"].size
+        per_node = (
+            "feature", "threshold", "threshold_bin", "children_left",
+            "children_right", "default_left", "values", "cover", "gain",
+        )
+        for name in per_node:
+            if fields[name].ndim != 1 or fields[name].size != n_nodes:
+                raise ValueError(
+                    f"ensemble array {name!r} must be 1-D with {n_nodes} "
+                    f"nodes, got shape {fields[name].shape}"
+                )
+        offsets = fields["offsets"]
+        roots = fields["roots"]
+        if offsets.size != roots.size + 1:
+            raise ValueError("offsets must have one more entry than roots")
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != n_nodes:
+            raise ValueError("offsets must run from 0 to n_nodes")
+        if (np.diff(offsets) <= 0).any():
+            raise ValueError("offsets must be strictly increasing (no empty trees)")
+        if not np.array_equal(roots, offsets[:-1]):
+            raise ValueError("roots must equal offsets[:-1]")
+        if (
+            (fields["children_left"] >= 0) != (fields["children_right"] >= 0)
+        ).any():
+            raise ValueError("children_left/children_right leaf markers disagree")
+        for side in ("children_left", "children_right"):
+            child = fields[side]
+            if child.max(initial=-1) >= n_nodes:
+                raise ValueError(f"{side} contains out-of-range node ids")
+        return cls(**fields)
+
+    def to_trees(self) -> list[RegressionTree]:
+        """Split the concatenated arrays back into per-tree objects.
+
+        Child ids are re-localized to each tree's node range (leaves stay
+        ``-1``); ``FlatEnsemble.from_trees(ensemble.to_trees())`` rebuilds
+        these exact arrays, which is how artifact loading restores the
+        classifier's per-tree view without pickling.
+        """
+        trees = []
+        for t in range(self.n_trees):
+            lo, hi = int(self.offsets[t]), int(self.offsets[t + 1])
+            left = self.children_left[lo:hi]
+            right = self.children_right[lo:hi]
+            trees.append(
+                RegressionTree(
+                    feature=self.feature[lo:hi].astype(np.int32),
+                    threshold=self.threshold[lo:hi].copy(),
+                    threshold_bin=self.threshold_bin[lo:hi].astype(np.int32),
+                    children_left=np.where(left >= 0, left - lo, -1).astype(np.int32),
+                    children_right=np.where(right >= 0, right - lo, -1).astype(np.int32),
+                    default_left=self.default_left[lo:hi].copy(),
+                    values=self.values[lo:hi].copy(),
+                    cover=self.cover[lo:hi].copy(),
+                    gain=self.gain[lo:hi].copy(),
+                )
+            )
+        return trees
 
     @property
     def n_trees(self) -> int:

@@ -1,0 +1,50 @@
+"""Online claim-audit serving: model artifacts, score store, batcher, API.
+
+The training side of the reproduction ends with a fitted
+:class:`~repro.core.model.NBMIntegrityModel` bound to a live simulated
+world.  This package turns that into a *serving* system — the consumption
+pattern of the Texas Broadband Truth Map and BQT-style policymaker query
+tools, and the ROADMAP's heavy-traffic north star:
+
+=======================  ====================================================
+Module                   Role
+=======================  ====================================================
+:mod:`~repro.serve.artifacts`  versioned on-disk model bundle (npz arrays +
+                               JSON manifest, no pickle) with bitwise-exact
+                               round-trips
+:mod:`~repro.serve.store`      :class:`ClaimScoreStore` — every distinct
+                               claim scored once through the binned path;
+                               frozen score/percentile/top-k arrays keyed by
+                               the columnar claim index
+:mod:`~repro.serve.batcher`    :class:`MicroBatcher` — coalesces concurrent
+                               single-claim requests into one vectorized
+                               batch per flush, with an LRU result cache
+:mod:`~repro.serve.service`    :class:`AuditService` — the query facade
+                               (claim lookups, filtered top-k, summaries)
+:mod:`~repro.serve.http`       stdlib JSON HTTP API over the service
+=======================  ====================================================
+"""
+
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA,
+    ModelArtifacts,
+    load_model_artifacts,
+    save_model_artifacts,
+)
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.http import AuditHTTPServer, make_server
+from repro.serve.service import AuditService
+from repro.serve.store import ClaimScoreStore
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ModelArtifacts",
+    "load_model_artifacts",
+    "save_model_artifacts",
+    "BatcherStats",
+    "MicroBatcher",
+    "AuditHTTPServer",
+    "make_server",
+    "AuditService",
+    "ClaimScoreStore",
+]

@@ -1,0 +1,204 @@
+"""Micro-batching request queue for the audit service.
+
+Serving traffic arrives one claim at a time, but every layer underneath
+— vectorization, the composite-key index, the binned ensemble traversal
+— is batch-oriented: the marginal cost of the 1000th row in a batch is
+orders of magnitude below the cost of a 1-row call.  The
+:class:`MicroBatcher` closes that gap:
+
+* **Coalescing** — concurrent ``submit`` calls accumulate in a pending
+  queue; the whole queue is scored in *one* vectorized call when it
+  reaches ``max_batch`` or when ``max_delay_s`` elapses (a daemon timer
+  armed by the first request of a batch), whichever comes first.
+* **Deduplication** — requests for a key already pending in the current
+  batch attach to the in-flight slot instead of adding a row.
+* **LRU cache** — completed results are cached by key (default 4096
+  entries), so hot claims skip scoring entirely.
+
+The batcher is scorer-agnostic: it queues opaque payloads and delivers
+``concurrent.futures.Future`` results, with the service supplying the
+``score_batch(payloads) -> results`` callable.  ``flush()`` may be called
+directly for deterministic draining (the bulk path and the tests do).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Counters exposed for monitoring (`/v1/stats` in the HTTP API)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    scored: int = 0
+    max_batch: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "scored": self.scored,
+            "max_batch": self.max_batch,
+        }
+
+
+class MicroBatcher:
+    """Coalesce single-item scoring requests into vectorized batches."""
+
+    def __init__(
+        self,
+        score_batch,
+        max_batch: int = 1024,
+        max_delay_s: float = 0.002,
+        cache_size: int = 4096,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self._score_batch = score_batch
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self.cache_size = int(cache_size)
+        self.stats = BatcherStats()
+        self._lock = threading.Lock()
+        #: Pending batch: parallel payloads / cache keys / future lists.
+        self._payloads: list = []
+        self._keys: list = []
+        self._futures: list[list[Future]] = []
+        #: cache key -> pending-slot index (dedup within one batch).
+        self._slot_by_key: dict = {}
+        self._cache: OrderedDict = OrderedDict()
+        self._timer: threading.Timer | None = None
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, payload, cache_key=None) -> Future:
+        """Enqueue one request; the Future resolves at the next flush.
+
+        ``cache_key``, when hashable and not ``None``, enables the LRU
+        cache and within-batch deduplication for this request.
+        """
+        fut: Future = Future()
+        flush_now = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self.stats.requests += 1
+            if cache_key is not None:
+                cached = self._cache.get(cache_key, _MISS)
+                if cached is not _MISS:
+                    self._cache.move_to_end(cache_key)
+                    self.stats.cache_hits += 1
+                    fut.set_result(cached)
+                    return fut
+                slot = self._slot_by_key.get(cache_key)
+                if slot is not None:
+                    self._futures[slot].append(fut)
+                    self.stats.coalesced += 1
+                    return fut
+                self._slot_by_key[cache_key] = len(self._payloads)
+            self._payloads.append(payload)
+            self._keys.append(cache_key)
+            self._futures.append([fut])
+            if len(self._payloads) >= self.max_batch:
+                flush_now = True
+            elif self._timer is None and self.max_delay_s > 0:
+                self._timer = threading.Timer(self.max_delay_s, self.flush)
+                self._timer.daemon = True
+                self._timer.start()
+        if flush_now:
+            self.flush()
+        return fut
+
+    def score_many(self, payloads: list, cache_keys: list | None = None) -> list:
+        """Submit a burst and drain it in one flush; returns results in order."""
+        if cache_keys is None:
+            cache_keys = [None] * len(payloads)
+        futures = [
+            self.submit(payload, cache_key=key)
+            for payload, key in zip(payloads, cache_keys)
+        ]
+        self.flush()
+        return [fut.result() for fut in futures]
+
+    # -- flushing -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Score everything pending now; returns the number of rows scored."""
+        with self._lock:
+            if not self._payloads:
+                return 0
+            payloads = self._payloads
+            keys = self._keys
+            futures = self._futures
+            self._payloads, self._keys, self._futures = [], [], []
+            self._slot_by_key = {}
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+        try:
+            results = self._score_batch(payloads)
+            if len(results) != len(payloads):
+                raise RuntimeError(
+                    f"scorer returned {len(results)} results for "
+                    f"{len(payloads)} payloads"
+                )
+        except BaseException as exc:  # deliver failures to every waiter
+            for waiters in futures:
+                for fut in waiters:
+                    fut.set_exception(exc)
+            return 0
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.scored += len(payloads)
+            self.stats.max_batch = max(self.stats.max_batch, len(payloads))
+            if self.cache_size > 0:
+                for key, result in zip(keys, results):
+                    if key is not None and not isinstance(result, BaseException):
+                        self._cache[key] = result
+                        self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        # A scorer may return an exception *instance* in a result slot:
+        # it fails just that payload's waiters (and is never cached),
+        # leaving the rest of the batch intact.
+        for waiters, result in zip(futures, results):
+            for fut in waiters:
+                if isinstance(result, BaseException):
+                    fut.set_exception(result)
+                else:
+                    fut.set_result(result)
+        return len(payloads)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached result (e.g. after swapping the score store)."""
+        with self._lock:
+            self._cache.clear()
+
+    def close(self) -> None:
+        """Flush pending work and refuse further submissions."""
+        self.flush()
+        with self._lock:
+            self._closed = True
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+
+
+#: Cache-miss sentinel (``None`` is a legitimate cached result).
+_MISS = object()

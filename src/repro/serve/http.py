@@ -1,0 +1,243 @@
+"""Dependency-free JSON HTTP API over :class:`~repro.serve.service.AuditService`.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly the shape the micro-batcher exploits:
+concurrent ``GET /v1/claim`` handlers block on Futures while their
+requests coalesce into one vectorized batch per flush.
+
+Routes
+------
+
+==============================================  =============================
+Route                                           Response
+==============================================  =============================
+``GET /healthz``                                liveness + store size
+``GET /v1/stats``                               service + batcher counters
+``GET /v1/claim?provider_id=&cell=``            one claim's score record
+``&technology=[&state=XX]``                     (``state`` enables the cold
+                                                path for unknown claims);
+                                                404 for unknown claims
+``GET /v1/top?[k=10][&provider_id=]``           top-k suspicious claims
+``[&state=][&technology=][&cell=]``             matching the filters
+``GET /v1/provider/{id}/summary``               provider score profile
+``GET /v1/state/{abbr}/summary``                state score profile
+``POST /v1/score``                              bulk scoring; JSON body
+                                                ``{"claims": [{...}, ...]}``,
+                                                each claim a key dict with
+                                                optional ``state``
+==============================================  =============================
+
+Example session (see ``examples/audit_service.py`` for a scripted one)::
+
+    server = make_server(service, port=8350)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    # curl 'http://127.0.0.1:8350/v1/top?k=10&state=TX'
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.service import AuditService
+
+__all__ = ["AuditHTTPServer", "make_server"]
+
+#: Cap on /v1/top's k and on bulk-scoring request size.
+MAX_RESULT_ROWS = 10_000
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 response with the message as the error body."""
+
+
+def _int_param(params: dict, name: str, default=None, required: bool = False):
+    values = params.get(name)
+    if not values:
+        if required:
+            raise _BadRequest(f"missing required parameter {name!r}")
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _BadRequest(f"parameter {name!r} must be an integer") from None
+
+
+def _str_param(params: dict, name: str, default=None):
+    values = params.get(name)
+    return values[0] if values else default
+
+
+class AuditHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`AuditService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: AuditService, verbose: bool = False):
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _AuditRequestHandler)
+
+
+class _AuditRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        service: AuditService = self.server.service
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/healthz":
+                self._send_json(
+                    200, {"status": "ok", "n_claims": len(service.store)}
+                )
+            elif url.path == "/v1/stats":
+                self._send_json(200, service.stats())
+            elif url.path == "/v1/claim":
+                self._claim(service, params)
+            elif url.path == "/v1/top":
+                self._top(service, params)
+            elif url.path.startswith("/v1/provider/") and url.path.endswith(
+                "/summary"
+            ):
+                pid = url.path[len("/v1/provider/") : -len("/summary")]
+                try:
+                    pid = int(pid)
+                except ValueError:
+                    raise _BadRequest("provider id must be an integer") from None
+                self._send_json(200, service.provider_summary(pid))
+            elif url.path.startswith("/v1/state/") and url.path.endswith(
+                "/summary"
+            ):
+                abbr = url.path[len("/v1/state/") : -len("/summary")]
+                self._send_json(200, service.state_summary(abbr))
+            else:
+                self._error(404, f"no route for {url.path}")
+        except (_BadRequest, ValueError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        service: AuditService = self.server.service
+        url = urlsplit(self.path)
+        try:
+            if url.path != "/v1/score":
+                self._error(404, f"no route for {url.path}")
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                doc = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                raise _BadRequest(f"invalid JSON body: {exc}") from None
+            claims = doc.get("claims")
+            if not isinstance(claims, list):
+                raise _BadRequest('body must be {"claims": [...]}')
+            if len(claims) > MAX_RESULT_ROWS:
+                raise _BadRequest(
+                    f"at most {MAX_RESULT_ROWS} claims per request"
+                )
+            payloads, keys = [], []
+            for entry in claims:
+                if not isinstance(entry, dict):
+                    raise _BadRequest("each claim must be an object")
+                try:
+                    payload = (
+                        int(entry["provider_id"]),
+                        int(entry["cell"]),
+                        int(entry["technology"]),
+                        entry.get("state"),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    raise _BadRequest(
+                        "each claim needs integer provider_id, cell, "
+                        "and technology"
+                    ) from None
+                payloads.append(payload)
+                keys.append(payload)
+            if any(p[3] is not None for p in payloads) and (
+                service.builder is None or service.classifier is None
+            ):
+                raise _BadRequest(
+                    "cold-path scoring (state given) is unavailable: "
+                    "service has no live feature builder"
+                )
+            results = service.batcher.score_many(payloads, cache_keys=keys)
+            self._send_json(200, {"results": results})
+        except (_BadRequest, ValueError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _claim(self, service: AuditService, params: dict) -> None:
+        provider_id = _int_param(params, "provider_id", required=True)
+        cell = _int_param(params, "cell", required=True)
+        technology = _int_param(params, "technology", required=True)
+        state = _str_param(params, "state")
+        if state is not None and (
+            service.builder is None or service.classifier is None
+        ):
+            raise _BadRequest(
+                "cold-path scoring (state given) is unavailable: "
+                "service has no live feature builder"
+            )
+        record = service.score_claim(provider_id, cell, technology, state)
+        if record is None:
+            self._error(
+                404,
+                "claim not in the score store (pass state=XX to score it "
+                "as a hypothetical filing)",
+            )
+            return
+        self._send_json(200, record)
+
+    def _top(self, service: AuditService, params: dict) -> None:
+        k = _int_param(params, "k", default=10)
+        if not 0 <= k <= MAX_RESULT_ROWS:
+            raise _BadRequest(f"k must be in [0, {MAX_RESULT_ROWS}]")
+        records = service.top_suspicious(
+            k=k,
+            provider_id=_int_param(params, "provider_id"),
+            state=_str_param(params, "state"),
+            technology=_int_param(params, "technology"),
+            cell=_int_param(params, "cell"),
+        )
+        self._send_json(200, {"results": records})
+
+
+def make_server(
+    service: AuditService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> AuditHTTPServer:
+    """Bind an :class:`AuditHTTPServer` (``port=0`` picks a free port).
+
+    The caller drives the loop: ``server.serve_forever()`` (typically on
+    a daemon thread) and ``server.shutdown()`` + ``server.server_close()``
+    to stop.
+    """
+    return AuditHTTPServer((host, port), service, verbose=verbose)

@@ -1,0 +1,338 @@
+"""The audit-service facade: query methods over the score store.
+
+:class:`AuditService` is the object the HTTP layer (and any embedding
+application) talks to.  It composes the three serving pieces:
+
+* a :class:`~repro.serve.store.ClaimScoreStore` answering precomputed
+  lookups, percentiles, and filtered top-k suspicion queries;
+* a :class:`~repro.serve.batcher.MicroBatcher` coalescing concurrent
+  single-claim requests — both precomputed lookups and *cold* requests
+  (hypothetical filings absent from the store) — into one vectorized
+  batch per flush;
+* optionally, the live classifier + feature builder, which enable the
+  cold path and the labelled slice reports of :mod:`repro.core.reports`.
+
+A service can be constructed three ways: :meth:`from_model` (live model,
+builds the store), the plain constructor (pre-built store), or
+:meth:`from_artifacts` (a bundle directory written by :meth:`save` —
+standalone serving with no world in memory; cold scoring then requires
+passing a live builder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.observations import ObservationColumns
+from repro.fcc.states import STATES
+from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
+from repro.serve.artifacts import load_model_artifacts, save_model_artifacts
+from repro.serve.batcher import MicroBatcher
+from repro.serve.store import ClaimScoreStore
+
+__all__ = ["AuditService"]
+
+_STATE_IDX = {s.abbr: i for i, s in enumerate(STATES)}
+
+
+def _state_index(state: str) -> int:
+    try:
+        return _STATE_IDX[state.upper()]
+    except KeyError:
+        raise ValueError(f"unknown state {state!r}") from None
+
+
+class AuditService:
+    """Queryable claim-audit service over a precomputed score store."""
+
+    def __init__(
+        self,
+        store: ClaimScoreStore,
+        classifier: GradientBoostedClassifier | None = None,
+        builder=None,
+        model=None,
+        threshold: float = 0.5,
+        max_batch: int = 1024,
+        max_delay_s: float = 0.002,
+        cache_size: int = 4096,
+    ):
+        self.store = store
+        self.classifier = classifier
+        self.builder = builder
+        #: The full NBMIntegrityModel when built from one (enables the
+        #: labelled slice reports of repro.core.reports).
+        self.model = model
+        self.threshold = float(threshold)
+        self.batcher = MicroBatcher(
+            self._score_batch,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            cache_size=cache_size,
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model, store: ClaimScoreStore | None = None, **kwargs):
+        """Build a service from a fitted :class:`NBMIntegrityModel`.
+
+        Scores every distinct claim of the model's builder up front
+        (unless a pre-built ``store`` is given).
+        """
+        if store is None:
+            store = ClaimScoreStore.build(model.classifier, model.builder)
+        return cls(
+            store,
+            classifier=model.classifier,
+            builder=model.builder,
+            model=model,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_artifacts(cls, path: str, builder=None, **kwargs):
+        """Load a standalone service from a bundle directory.
+
+        The bundle must contain both the model artifacts and the saved
+        score store (written by :meth:`save`).  ``builder``, when given a
+        compatible live :class:`FeatureBuilder`, is re-warmed from the
+        bundle's encoder state and enables cold-path scoring.
+        """
+        artifacts = load_model_artifacts(path, builder=builder)
+        store = ClaimScoreStore.load(path)
+        return cls(store, classifier=artifacts.classifier, builder=builder, **kwargs)
+
+    def save(self, path: str, feature_names=None) -> str:
+        """Persist model artifacts + score store into one bundle directory."""
+        if self.classifier is None:
+            raise RuntimeError("service has no classifier to save")
+        if feature_names is None and self.builder is not None:
+            feature_names = self.builder.feature_names
+        save_model_artifacts(
+            path, self.classifier, feature_names=feature_names, builder=self.builder
+        )
+        self.store.save(path)
+        return path
+
+    # -- single-claim path (micro-batched) ----------------------------------
+
+    def score_claim_async(
+        self,
+        provider_id: int,
+        cell: int,
+        technology: int,
+        state: str | None = None,
+    ):
+        """Enqueue one claim lookup; returns a Future resolving to the
+        score record (or ``None`` for an unknown claim with no ``state``).
+
+        Requests from concurrent callers coalesce into one vectorized
+        batch per flush.  ``state`` marks the request *cold-capable*:
+        a claim absent from the store is then scored live as a
+        hypothetical filing (requires a classifier and builder).
+        """
+        if state is not None:
+            state = state.upper()
+            _state_index(state)  # validate before queueing
+            if self.builder is None or self.classifier is None:
+                raise RuntimeError(
+                    "cold-path scoring requires a live classifier and "
+                    "FeatureBuilder (service was loaded without one)"
+                )
+        payload = (int(provider_id), int(cell), int(technology), state)
+        return self.batcher.submit(payload, cache_key=payload)
+
+    def score_claim(
+        self,
+        provider_id: int,
+        cell: int,
+        technology: int,
+        state: str | None = None,
+    ) -> dict | None:
+        """Synchronous :meth:`score_claim_async` (submits, flushes, waits)."""
+        fut = self.score_claim_async(provider_id, cell, technology, state)
+        if not fut.done():
+            self.batcher.flush()
+        return fut.result()
+
+    # -- bulk path (direct, no queue) ---------------------------------------
+
+    def score_claims(
+        self, provider_id, cell, technology
+    ) -> list[dict | None]:
+        """Score a batch of claim keys in one vectorized store lookup.
+
+        ``None`` marks keys absent from the store (bulk calls do not take
+        the cold path — use :meth:`score_claim` with ``state`` for
+        hypotheticals).
+        """
+        pos = self.store.positions(
+            np.asarray(provider_id, dtype=np.int64),
+            np.asarray(cell, dtype=np.uint64),
+            np.asarray(technology, dtype=np.int64),
+        )
+        return [self.store.record(int(p)) if p >= 0 else None for p in pos]
+
+    # -- the batch scorer ---------------------------------------------------
+
+    def _score_batch(self, payloads: list) -> list:
+        """Resolve one coalesced batch: store gathers + one cold batch.
+
+        Precomputed keys resolve through a single composite-index lookup;
+        the cold remainder (explicit ``state``, missing from the store) is
+        vectorized and scored in one classifier pass, with percentiles
+        placed on the precomputed distribution.
+        """
+        pid = np.fromiter((p[0] for p in payloads), dtype=np.int64, count=len(payloads))
+        cell = np.fromiter((p[1] for p in payloads), dtype=np.uint64, count=len(payloads))
+        tech = np.fromiter((p[2] for p in payloads), dtype=np.int64, count=len(payloads))
+        pos = self.store.positions(pid, cell, tech)
+        results: list[dict | None] = [
+            self.store.record(int(p)) if p >= 0 else None for p in pos
+        ]
+        cold = [
+            i for i, p in enumerate(pos) if p < 0 and payloads[i][3] is not None
+        ]
+        if not cold:
+            return results
+        if self.builder is None or self.classifier is None:
+            raise RuntimeError(
+                "cold-path scoring requires a live classifier and FeatureBuilder"
+            )
+        states = np.array([payloads[i][3] for i in cold], dtype=object)
+        try:
+            margin = self._cold_margins(pid[cold], cell[cold], tech[cold], states)
+        except Exception:
+            # A malformed hypothetical (unknown provider/technology) must
+            # not poison the coalesced batch it flushed with: rescore the
+            # cold payloads one at a time, turning each failure into that
+            # payload's own error (the batcher delivers exception
+            # instances per slot and never caches them).
+            margin = None
+        if margin is not None:
+            for j, i in enumerate(cold):
+                results[i] = self._cold_record(payloads[i], float(margin[j]))
+            return results
+        for j, i in enumerate(cold):
+            try:
+                one = self._cold_margins(
+                    pid[i : i + 1], cell[i : i + 1], tech[i : i + 1], states[j : j + 1]
+                )
+                results[i] = self._cold_record(payloads[i], float(one[0]))
+            except Exception as exc:
+                results[i] = ValueError(
+                    f"cold scoring failed for claim "
+                    f"(provider_id={int(pid[i])}, cell={int(cell[i])}, "
+                    f"technology={int(tech[i])}): {exc}"
+                )
+        return results
+
+    def _cold_margins(
+        self,
+        pid: np.ndarray,
+        cell: np.ndarray,
+        tech: np.ndarray,
+        states: np.ndarray,
+    ) -> np.ndarray:
+        """Live margins for hypothetical filings (one vectorized pass)."""
+        cols = ObservationColumns(
+            provider_id=pid,
+            cell=cell,
+            technology=tech,
+            state=states,
+            unserved=np.zeros(pid.size, dtype=np.int64),
+        )
+        return self.classifier.predict_margin(self.builder.vectorize_columns(cols))
+
+    def _cold_record(self, payload: tuple, margin: float) -> dict:
+        return {
+            "provider_id": payload[0],
+            "cell": payload[1],
+            "technology": payload[2],
+            "state": payload[3],
+            "score": float(_sigmoid(np.array([margin]))[0]),
+            "margin": margin,
+            "percentile": float(self.store.margin_percentile(np.array([margin]))[0]),
+            "rank": None,
+            "precomputed": False,
+        }
+
+    # -- top-k and summaries ------------------------------------------------
+
+    def top_suspicious(
+        self,
+        k: int = 10,
+        provider_id: int | None = None,
+        state: str | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+    ) -> list[dict]:
+        """The k most suspicious claims matching the filters, as records."""
+        rows = self.store.top_suspicious(
+            k=k,
+            provider_id=provider_id,
+            state_idx=_state_index(state) if state is not None else None,
+            technology=technology,
+            cell=cell,
+        )
+        return self.store.records(rows)
+
+    def _summary(self, mask: np.ndarray, head: dict, top_k: int) -> dict:
+        n = int(np.count_nonzero(mask))
+        if n == 0:
+            return {**head, "n_claims": 0}
+        store = self.store
+        scores = store.score[mask]
+        top_rows = store.sus_order[mask[store.sus_order]][:top_k]
+        return {
+            **head,
+            "n_claims": n,
+            "mean_score": float(scores.mean()),
+            "median_score": float(np.median(scores)),
+            "max_score": float(scores.max()),
+            "suspicious_share": float((scores >= self.threshold).mean()),
+            "top_claims": store.records(top_rows),
+        }
+
+    def provider_summary(self, provider_id: int, top_k: int = 5) -> dict:
+        """Score profile of one provider's claims (threshold-based mix)."""
+        mask = self.store.claims.provider_id == np.int64(provider_id)
+        return self._summary(mask, {"provider_id": int(provider_id)}, top_k)
+
+    def state_summary(self, state: str, top_k: int = 5) -> dict:
+        """Score profile of one state's claims."""
+        idx = _state_index(state)
+        mask = self.store.claims.state_idx == np.int16(idx)
+        return self._summary(mask, {"state": STATES[idx].abbr}, top_k)
+
+    # -- labelled reports (reuse repro.core.reports) ------------------------
+
+    def slice_report(self, observations, slice_name: str, **kwargs):
+        """Outcome-mix report for labelled observations (paper Tables 7–8).
+
+        Delegates to :func:`repro.core.reports.slice_report`; requires the
+        service to have been built :meth:`from_model` (labels and fresh
+        vectorization need the live model + builder).
+        """
+        if self.model is None:
+            raise RuntimeError(
+                "labelled slice reports require a service built from_model()"
+            )
+        from repro.core.reports import slice_report as _slice_report
+
+        return _slice_report(self.model, observations, slice_name, **kwargs)
+
+    # -- monitoring ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters for the monitoring endpoint."""
+        return {
+            "n_claims": len(self.store),
+            "threshold": self.threshold,
+            "cold_path_available": self.classifier is not None
+            and self.builder is not None,
+            "batcher": self.batcher.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        self.batcher.close()

@@ -1,0 +1,269 @@
+"""Precomputed per-claim score store (the serving read path).
+
+The NBM's unit of consumption is the distinct (provider, cell,
+technology) claim, and the set of claims only changes at filing
+deadlines — so the serving layer scores **every** claim once, up front,
+through the binned inference path, and answers queries from frozen
+parallel arrays:
+
+========================  ===================================================
+Array                     Contents
+========================  ===================================================
+``margin`` / ``score``    raw log-odds and P(suspicious) per claim
+``percentile``            empirical percentile of the claim's margin among
+                          all claims (ties share a value; max is 100)
+``sus_order``             claim rows in descending-suspicion order (ties
+                          broken by claim row for determinism)
+``sus_rank``              inverse of ``sus_order`` — 0 marks the most
+                          suspicious claim
+========================  ===================================================
+
+Lookups key through the claim store's existing composite index
+(:meth:`~repro.fcc.bdc.ClaimColumns.positions`), so a batch of claim keys
+resolves to scores with a handful of fancy-indexed gathers.  Filtered
+top-k queries (provider / state / technology / hex) walk ``sus_order``
+through a boolean mask — one vectorized pass, no sorting at query time.
+
+Percentiles are computed on margins, not probabilities: the sigmoid
+saturates to exactly 1.0 at large margins, which would collapse distinct
+suspicion levels into artificial ties.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.dataset.observations import ObservationColumns
+from repro.fcc.bdc import ClaimColumns
+from repro.fcc.states import STATES
+from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
+
+__all__ = ["ClaimScoreStore"]
+
+STORE_MANIFEST_NAME = "store.json"
+STORE_ARRAYS_NAME = "store.npz"
+
+#: Rows scored per vectorize-and-traverse block while building the store.
+_BUILD_BLOCK_ROWS = 32_768
+
+#: State abbreviation per STATES index, for claim-record rendering.
+_STATE_ABBRS = np.array([s.abbr for s in STATES], dtype=object)
+
+
+class ClaimScoreStore:
+    """Frozen scores, percentiles, and suspicion orderings for all claims."""
+
+    def __init__(self, claims: ClaimColumns, margin: np.ndarray):
+        margin = np.asarray(margin, dtype=np.float64)
+        if margin.ndim != 1 or margin.size != len(claims):
+            raise ValueError(
+                f"margin must be 1-D with {len(claims)} entries, "
+                f"got shape {margin.shape}"
+            )
+        self.claims = claims
+        self.margin = margin
+        self.score = _sigmoid(margin)
+        n = margin.size
+        # Descending suspicion; stable sort breaks ties by claim row.
+        self.sus_order = np.argsort(-margin, kind="stable")
+        self.sus_rank = np.empty(n, dtype=np.int64)
+        self.sus_rank[self.sus_order] = np.arange(n, dtype=np.int64)
+        # Kept for O(log n) percentile placement of cold-path margins.
+        self._sorted_margin = np.sort(margin)
+        self.percentile = (
+            100.0 * np.searchsorted(self._sorted_margin, margin, side="right") / n
+            if n
+            else np.empty(0)
+        )
+        for arr in (self.margin, self.score, self.sus_order, self.sus_rank,
+                    self.percentile, self._sorted_margin):
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.margin.size)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        classifier: GradientBoostedClassifier,
+        builder,
+        claims: ClaimColumns | None = None,
+        block_rows: int = _BUILD_BLOCK_ROWS,
+    ) -> "ClaimScoreStore":
+        """Score every distinct claim of a columnar store once.
+
+        Claims default to the builder's own claim store (every claim in
+        the filing table).  Rows are vectorized straight from the claim
+        arrays (:meth:`FeatureBuilder.vectorize_columns` — no per-claim
+        ``Observation`` objects) and scored through the binned route-word
+        path (:meth:`FlatEnsemble.bind_binner` +
+        ``predict_margin(binned=True)``), block by block so peak memory
+        stays bounded at NBM scale.
+        """
+        if claims is None:
+            claims = builder.claims
+        binner = classifier.binner
+        ensemble = classifier.flat_ensemble
+        ensemble.bind_binner(binner)
+        n = len(claims)
+        margin = np.empty(n)
+        states = _STATE_ABBRS[claims.state_idx]
+        step = max(1, int(block_rows))
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            cols = ObservationColumns(
+                provider_id=claims.provider_id[start:stop],
+                cell=claims.cell[start:stop],
+                technology=claims.technology[start:stop].astype(np.int64),
+                state=states[start:stop],
+                unserved=np.zeros(stop - start, dtype=np.int64),
+            )
+            X = builder.vectorize_columns(cols)
+            margin[start:stop] = ensemble.predict_margin(
+                binner.transform(X),
+                base_margin=classifier.base_margin,
+                binned=True,
+            )
+        return cls(claims, margin)
+
+    # -- lookups ------------------------------------------------------------
+
+    def positions(
+        self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
+    ) -> np.ndarray:
+        """Claim row per key through the composite index (``-1`` = miss)."""
+        return self.claims.positions(provider_id, cell, technology)
+
+    def record(self, row: int) -> dict:
+        """One claim's score record as a JSON-safe dict."""
+        claims = self.claims
+        return {
+            "provider_id": int(claims.provider_id[row]),
+            "cell": int(claims.cell[row]),
+            "technology": int(claims.technology[row]),
+            "state": str(_STATE_ABBRS[claims.state_idx[row]]),
+            "score": float(self.score[row]),
+            "margin": float(self.margin[row]),
+            "percentile": float(self.percentile[row]),
+            "rank": int(self.sus_rank[row]),
+            "claimed_count": int(claims.claimed_count[row]),
+            "max_download_mbps": float(claims.max_download_mbps[row]),
+            "max_upload_mbps": float(claims.max_upload_mbps[row]),
+            "low_latency": bool(claims.low_latency[row]),
+            "precomputed": True,
+        }
+
+    def records(self, rows: np.ndarray) -> list[dict]:
+        return [self.record(int(r)) for r in np.asarray(rows, dtype=np.int64)]
+
+    def margin_percentile(self, margin) -> np.ndarray:
+        """Percentile of arbitrary margins against the stored distribution.
+
+        The cold-path hook: a hypothetical claim's score is placed on the
+        same empirical scale as the precomputed claims.
+        """
+        if not len(self):
+            return np.zeros(np.asarray(margin, dtype=np.float64).size)
+        idx = np.searchsorted(
+            self._sorted_margin, np.asarray(margin, dtype=np.float64), side="right"
+        )
+        return 100.0 * idx / len(self)
+
+    # -- top-k --------------------------------------------------------------
+
+    def top_suspicious(
+        self,
+        k: int = 10,
+        provider_id: int | None = None,
+        state_idx: int | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+    ) -> np.ndarray:
+        """Claim rows of the k most suspicious claims matching the filters.
+
+        Walks the precomputed descending order through one boolean mask;
+        with no filters this is a pure slice of ``sus_order``.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        order = self.sus_order
+        if (
+            provider_id is None
+            and state_idx is None
+            and technology is None
+            and cell is None
+        ):
+            return order[:k].copy()
+        claims = self.claims
+        mask = np.ones(len(self), dtype=bool)
+        if provider_id is not None:
+            mask &= claims.provider_id == np.int64(provider_id)
+        if state_idx is not None:
+            mask &= claims.state_idx == np.int16(state_idx)
+        if technology is not None:
+            mask &= claims.technology == np.int16(technology)
+        if cell is not None:
+            mask &= claims.cell == np.uint64(cell)
+        sel = order[mask[order]]
+        return sel[:k]
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Write the store (claim columns + margins) into a bundle directory.
+
+        Derived arrays (score, percentile, orderings) are deterministic
+        from the margins, so only the margins are persisted; :meth:`load`
+        recomputes the rest bit-identically.
+        """
+        os.makedirs(path, exist_ok=True)
+        arrays = {
+            f"claims/{name}": arr
+            for name, arr in self.claims.export_arrays().items()
+        }
+        arrays["margin"] = self.margin
+        with open(os.path.join(path, STORE_ARRAYS_NAME), "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        manifest = {
+            "schema": 1,
+            "kind": "claim-score-store",
+            "n_claims": len(self),
+            "arrays": STORE_ARRAYS_NAME,
+        }
+        with open(
+            os.path.join(path, STORE_MANIFEST_NAME), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ClaimScoreStore":
+        """Rebuild a store from a bundle directory written by :meth:`save`."""
+        manifest_path = os.path.join(path, STORE_MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(f"no score-store manifest at {manifest_path}")
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("kind") != "claim-score-store":
+            raise ValueError(
+                f"artifact kind {manifest.get('kind')!r} is not a score store"
+            )
+        arrays_path = os.path.join(path, manifest.get("arrays", STORE_ARRAYS_NAME))
+        with np.load(arrays_path, allow_pickle=False) as payload:
+            claim_arrays = {}
+            margin = None
+            for key in payload.files:
+                group, _, name = key.partition("/")
+                if group == "claims":
+                    claim_arrays[name] = payload[key]
+                elif key == "margin":
+                    margin = payload[key]
+        if margin is None:
+            raise ValueError(f"{arrays_path} is missing the margin array")
+        return cls(ClaimColumns.from_arrays(claim_arrays), margin)

@@ -87,3 +87,12 @@ def tiny_model(tiny_world, tiny_dataset, tiny_builder):
         tiny_dataset, split.train_idx
     )
     return model, split
+
+
+@pytest.fixture(scope="session")
+def tiny_score_store(tiny_model, tiny_builder):
+    """Every distinct claim of the tiny world scored once (read-only)."""
+    from repro.serve import ClaimScoreStore
+
+    model, _ = tiny_model
+    return ClaimScoreStore.build(model.classifier, tiny_builder)

@@ -1,10 +1,15 @@
-"""Docs smoke for CI: required files exist and internal links resolve.
+"""Docs smoke for CI: files exist, links resolve, modules are documented.
 
-Checks that the top-level docs exist, extracts every markdown link from
-``README.md`` and ``docs/*.md``, and verifies that each *local* target
-(no URL scheme) resolves to a real file or directory relative to the
-linking document.  Anchors (``file.md#section``) are checked against the
-file only.
+Three checks:
+
+1. the top-level docs exist;
+2. every markdown link in ``README.md``, ``ROADMAP.md``, and
+   ``docs/*.md`` with a *local* target (no URL scheme) resolves to a
+   real file or directory relative to the linking document — anchors
+   (``file.md#section``) are checked against the file only;
+3. every public module under ``src/repro`` (non-underscore ``.py``
+   files) is mentioned by name somewhere in the combined docs, so new
+   subsystems cannot land undocumented.
 
 Run::
 
@@ -32,6 +37,31 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
 
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def _module_names() -> list[str]:
+    """Dotted names of every public module under ``src/repro``."""
+    out = []
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("__"))
+        for name in sorted(filenames):
+            if name.endswith(".py") and not name.startswith("_"):
+                rel = os.path.relpath(os.path.join(dirpath, name), SRC_ROOT)
+                out.append("repro." + rel[:-3].replace(os.sep, "."))
+    return out
+
+
+def _undocumented_modules(docs_text: str) -> list[str]:
+    """Public modules whose name never appears in the combined docs."""
+    missing = []
+    for module in _module_names():
+        basename = module.rsplit(".", 1)[-1]
+        if not re.search(rf"\b{re.escape(basename)}\b", docs_text):
+            missing.append(module)
+    return missing
+
+
 def _doc_files() -> list[str]:
     docs = [os.path.join(REPO_ROOT, "README.md"), os.path.join(REPO_ROOT, "ROADMAP.md")]
     docs_dir = os.path.join(REPO_ROOT, "docs")
@@ -49,10 +79,13 @@ def main() -> int:
             problems.append(f"missing required doc: {rel}")
 
     n_links = 0
+    docs_text = []
     for doc in _doc_files():
         base = os.path.dirname(doc)
         rel_doc = os.path.relpath(doc, REPO_ROOT)
-        for target in _LINK_RE.findall(open(doc, encoding="utf-8").read()):
+        text = open(doc, encoding="utf-8").read()
+        docs_text.append(text)
+        for target in _LINK_RE.findall(text):
             if _SCHEME_RE.match(target) or target.startswith("#"):
                 continue  # external URL or intra-document anchor
             path = target.split("#", 1)[0]
@@ -61,11 +94,20 @@ def main() -> int:
             if not os.path.exists(resolved):
                 problems.append(f"{rel_doc}: broken link -> {target}")
 
+    n_modules = len(_module_names())
+    for module in _undocumented_modules("\n".join(docs_text)):
+        problems.append(
+            f"module {module} is not mentioned in README.md/ROADMAP.md/docs/*.md"
+        )
+
     if problems:
         for p in problems:
             print(f"FAIL {p}")
         return 1
-    print(f"docs ok: {len(REQUIRED)} required files, {n_links} local links resolve")
+    print(
+        f"docs ok: {len(REQUIRED)} required files, {n_links} local links "
+        f"resolve, {n_modules} public modules documented"
+    )
     return 0
 
 
