@@ -1,0 +1,91 @@
+"""Adversarial-scenario sweep: per-scenario detection AUC + throughput.
+
+Runs every registered scenario of :mod:`repro.scenarios` through the
+end-to-end harness (mutated world → dataset → GBDT → score store →
+audit service) and records, per scenario:
+
+* ``auc_injected`` — AUC of the scenario-trained store's margins against
+  the scenario's ground-truth injected-claim mask (the paper-style "can
+  the model see this pathology" number);
+* ``ref_auc_injected`` — the same mask scored by the fixed baseline
+  classifier (how well a model trained on a *clean* world generalizes to
+  the pathology);
+* ``claims_per_s`` — store-build throughput on the scenario world;
+* injected/clean percentile separation and scenario sizes.
+
+Results merge into ``BENCH_perf.json`` (section ``scenarios``).  The
+sweep re-runs every invariant of :func:`repro.scenarios.check_invariants`
+and fails loudly on any violation, so a perf-motivated change that
+quietly breaks an adversarial regime can't update the baseline.
+
+Run standalone::
+
+    python benchmarks/bench_scenarios_sweep.py            # full registry
+    python benchmarks/bench_scenarios_sweep.py --quick    # smoke subset
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+from repro import scenarios  # noqa: E402
+
+#: The --quick subset (matches the tier-1 smoke scenarios).
+QUICK_SCENARIOS = ("phantom_provider", "challenge_suppressed_state")
+
+
+def run(quick: bool = False) -> list[dict]:
+    names = list(QUICK_SCENARIOS) if quick else scenarios.names()
+    baseline = scenarios.build_baseline()
+    results = []
+    for name in names:
+        scenario_run = scenarios.run_scenario(name, baseline)
+        failures = scenarios.check_invariants(scenario_run, baseline)
+        if failures:
+            raise AssertionError(f"{name}: " + "; ".join(failures))
+        m = scenario_run.metrics
+        row = {
+            "scenario": name,
+            "n_claims": m.n_claims,
+            "n_injected": m.n_injected,
+            "n_observations": m.n_observations,
+            "auc_injected": m.auc_injected,
+            "ref_auc_injected": m.ref_auc_injected,
+            "percentile_separation": m.percentile_separation,
+            "claims_per_s": m.claims_per_s,
+            "auc_floor": scenarios.get(name).auc_floor,
+        }
+        results.append(row)
+        print(
+            f"{name:30s} auc={m.auc_injected:.3f} "
+            f"(floor {row['auc_floor']:.2f})  "
+            f"ref={m.ref_auc_injected:.3f}  sep={m.percentile_separation:5.1f}  "
+            f"inj={m.n_injected:6d}/{m.n_claims:,}  "
+            f"{m.claims_per_s:,.0f} claims/s"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smoke scenarios"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "scenarios", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote scenarios section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

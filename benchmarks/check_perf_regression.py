@@ -35,12 +35,42 @@ import bench_perf_vectorize
 #: Fresh speedup must stay above baseline / REGRESSION_FACTOR.
 REGRESSION_FACTOR = 2.0
 
+#: Every section this check replays, with its speedup key and the
+#: command that regenerates it.  A baseline missing one of these fails
+#: with a clear message instead of silently skipping the section.
+REQUIRED_SECTIONS = {
+    "gbdt": ("fit_predict_speedup", "python benchmarks/bench_perf_gbdt.py"),
+    "vectorize": ("vectorize_speedup", "python benchmarks/bench_perf_vectorize.py"),
+    "bayesopt": ("tuning_speedup", "python benchmarks/bench_perf_bayesopt.py"),
+    "serve": ("lookup_speedup", "python benchmarks/bench_perf_serve.py"),
+}
+
 
 def _baseline_speedups(doc: dict, section: str, key: str) -> dict[str, float]:
-    return {
-        row["size"]: float(row[key])
-        for row in doc.get(section, {}).get("results", [])
-    }
+    rows = doc[section].get("results", [])
+    out: dict[str, float] = {}
+    for row in rows:
+        if "size" not in row or key not in row:
+            raise SystemExit(
+                f"error: malformed row in baseline section {section!r}: "
+                f"expected 'size' and {key!r} fields, got {sorted(row)}"
+            )
+        out[row["size"]] = float(row[key])
+    return out
+
+
+def _validate_baseline(baseline: dict, path: str) -> None:
+    """Fail loudly (not via KeyError or silent skip) on missing sections."""
+    missing = [s for s in REQUIRED_SECTIONS if s not in baseline]
+    if not missing:
+        return
+    lines = [
+        f"error: baseline {path} is missing required bench section(s): "
+        + ", ".join(missing),
+        "regenerate the missing section(s) with:",
+    ]
+    lines.extend(f"    {REQUIRED_SECTIONS[s][1]}" for s in missing)
+    raise SystemExit("\n".join(lines))
 
 
 def main() -> int:
@@ -51,8 +81,15 @@ def main() -> int:
         help="path to the committed BENCH_perf.json",
     )
     args = parser.parse_args()
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: no committed baseline at {args.baseline}; run the "
+            "bench_perf_*.py benchmarks to create it"
+        ) from None
+    _validate_baseline(baseline, args.baseline)
 
     checks: list[tuple[str, str, float, float]] = []
     gbdt_base = _baseline_speedups(baseline, "gbdt", "fit_predict_speedup")

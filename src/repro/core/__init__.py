@@ -11,6 +11,7 @@ from repro.core.casestudy import (
 from repro.core.config import ScenarioConfig, paper, small, tiny
 from repro.core.model import EvaluationResult, NBMIntegrityModel
 from repro.core.pipeline import (
+    PipelineHooks,
     SimulationWorld,
     build_dataset,
     build_world,
@@ -35,6 +36,7 @@ __all__ = [
     "tiny",
     "EvaluationResult",
     "NBMIntegrityModel",
+    "PipelineHooks",
     "SimulationWorld",
     "build_dataset",
     "build_world",

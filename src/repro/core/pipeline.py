@@ -21,6 +21,7 @@ layers underneath feature building and scoring.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.asn.matching import CrosswalkResult, match_providers_to_asns
 from repro.asn.whois import WhoisRegistry, build_whois_registry
@@ -48,7 +49,52 @@ from repro.geo.reproject import HexAggregate, OoklaTileAggregate, reproject_tile
 from repro.speedtests.mlab import MLabTest, generate_mlab_tests
 from repro.speedtests.ookla import generate_ookla_tiles
 
-__all__ = ["SimulationWorld", "build_world", "build_dataset", "make_feature_builder"]
+__all__ = [
+    "PipelineHooks",
+    "SimulationWorld",
+    "build_world",
+    "build_dataset",
+    "make_feature_builder",
+]
+
+
+@dataclass(frozen=True)
+class PipelineHooks:
+    """Stage hooks into :func:`build_world` — the scenario-mutator surface.
+
+    Each hook runs immediately after its stage produces an artifact and
+    may either mutate that artifact in place and return ``None``, or
+    return a replacement.  Downstream stages (challenges, Ookla tiles,
+    MLab tests, labels, ...) all consume the hooked artifact, so a
+    mutation propagates through the whole simulated world exactly as a
+    real filing pathology would propagate through the real data chain.
+
+    The scenario registry (:mod:`repro.scenarios`) builds adversarial
+    worlds exclusively through these hooks; the Jefferson County Cable
+    case study's ``mutate_universe`` is the ``post_universe`` special
+    case kept as a convenience parameter on :func:`build_world`.
+    """
+
+    #: ``(fabric, universe) -> ProviderUniverse | None`` — after provider
+    #: generation, before filings (add providers, rewrite footprints).
+    post_universe: Callable | None = None
+    #: ``(fabric, universe, table) -> AvailabilityTable | None`` — after
+    #: filing generation, before challenges and crowdsource signals.
+    post_filings: Callable | None = None
+    #: ``(table, universe, challenges) -> list[ChallengeRecord] | None``
+    #: — after the challenge simulation, before the release timeline.
+    post_challenges: Callable | None = None
+    #: ``(table, challenges, timeline) -> ReleaseTimeline | None`` —
+    #: after release-timeline assembly, before map-diff change inference.
+    post_timeline: Callable | None = None
+
+
+def _apply_hook(hook, artifact, *args):
+    """Run one stage hook; a ``None`` return keeps the (mutated) artifact."""
+    if hook is None:
+        return artifact
+    replacement = hook(*args, artifact)
+    return artifact if replacement is None else replacement
 
 
 @dataclass
@@ -81,24 +127,36 @@ class SimulationWorld:
         )
 
 
-def build_world(config: ScenarioConfig, mutate_universe=None) -> SimulationWorld:
+def build_world(
+    config: ScenarioConfig,
+    mutate_universe=None,
+    hooks: PipelineHooks | None = None,
+) -> SimulationWorld:
     """Run the full simulation chain for a scenario.
 
     ``mutate_universe(fabric, universe)``, when given, runs after provider
     generation and before filings — the hook the Jefferson County Cable
     case study uses to inject its deliberately-overclaiming provider.
+    ``hooks`` generalizes it to every pipeline stage
+    (:class:`PipelineHooks`); ``mutate_universe`` runs before
+    ``hooks.post_universe`` when both are given.
     """
     seed = config.seed
+    hooks = hooks or PipelineHooks()
     fabric = generate_fabric(config.fabric, seed=seed)
     universe = generate_providers(fabric, config.providers, seed=seed)
     if mutate_universe is not None:
         mutate_universe(fabric, universe)
+    universe = _apply_hook(hooks.post_universe, universe, fabric)
     table = generate_filings(fabric, universe, seed=seed)
+    table = _apply_hook(hooks.post_filings, table, fabric, universe)
     challenges = simulate_challenges(table, universe, config.challenges, seed=seed)
+    challenges = _apply_hook(hooks.post_challenges, challenges, table, universe)
     timeline = build_release_timeline(
         table, universe, challenges,
         n_minor_releases=config.challenges.n_minor_releases, seed=seed,
     )
+    timeline = _apply_hook(hooks.post_timeline, timeline, table, challenges)
     changes = infer_unarchived_changes(timeline, challenges)
     provider_table = build_provider_id_table(universe, seed=seed)
     registry = build_whois_registry(universe, config.whois, seed=seed)

@@ -349,6 +349,21 @@ class ProviderUniverse:
         for (state, tech), fp in footprints.items():
             self.footprints[(provider.provider_id, state.upper(), tech)] = fp
 
+    def replace_provider(self, provider: Provider) -> None:
+        """Swap an existing provider's record (scenario mutators).
+
+        Footprints are keyed by provider id and untouched; the provider's
+        identity fields, tiers, and methodology take effect everywhere
+        downstream of the swap.
+        """
+        if provider.provider_id not in self._by_id:
+            raise KeyError(f"unknown provider_id {provider.provider_id}")
+        for i, existing in enumerate(self.providers):
+            if existing.provider_id == provider.provider_id:
+                self.providers[i] = provider
+                break
+        self._by_id[provider.provider_id] = provider
+
     def provider(self, provider_id: int) -> Provider:
         try:
             return self._by_id[provider_id]

@@ -1,0 +1,61 @@
+"""Adversarial overclaim scenarios and the end-to-end invariant harness.
+
+The paper's detection problem is defined by its edge regimes — blanket
+DSL overclaims, "everywhere" filings, stale carryover, phantom providers
+— not by the average world.  This package names those regimes:
+
+* :mod:`repro.scenarios.registry` — the named-scenario registry and the
+  :class:`ScenarioWorld` contract (mutated world + injected-claim mask);
+* :mod:`repro.scenarios.mutators` — ~10 seeded world mutators layered on
+  :func:`repro.core.pipeline.build_world` via
+  :class:`~repro.core.pipeline.PipelineHooks`;
+* :mod:`repro.scenarios.harness` — runs each scenario through dataset →
+  features → GBDT → score store → audit service and checks metamorphic
+  invariants (monotonicity, AUC floors, binned/float equality, serving
+  consistency);
+* :mod:`repro.scenarios.goldens` — the committed golden-metric contract
+  and its tolerances.
+"""
+
+from repro.scenarios import mutators as _mutators  # noqa: F401 — registers scenarios
+from repro.scenarios.goldens import compare_all, compare_metrics, to_golden
+from repro.scenarios.harness import (
+    HarnessBaseline,
+    ScenarioMetrics,
+    ScenarioRun,
+    build_baseline,
+    check_invariants,
+    intensity_sweep,
+    run_scenario,
+    run_suite,
+    scenario_default_config,
+)
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    ScenarioWorld,
+    build_scenario,
+    get,
+    names,
+    register,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "register",
+    "get",
+    "names",
+    "build_scenario",
+    "HarnessBaseline",
+    "ScenarioMetrics",
+    "ScenarioRun",
+    "build_baseline",
+    "check_invariants",
+    "intensity_sweep",
+    "run_scenario",
+    "run_suite",
+    "scenario_default_config",
+    "compare_all",
+    "compare_metrics",
+    "to_golden",
+]

@@ -1,0 +1,135 @@
+"""Golden scenario metrics: the committed contract and its tolerances.
+
+The harness's per-scenario numbers are committed as one JSON document
+(``tests/goldens/scenario_metrics.json``) and checked by the tier-1 /
+sweep tests.  Counts must match exactly — they are pure functions of the
+seeded world — while learned quantities (AUCs, percentiles) carry small
+tolerances so heterogeneous BLAS/SIMD builds don't flake the suite.
+
+``tools/refresh_goldens.py`` regenerates the document and reports which
+metrics moved beyond tolerance before overwriting anything.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+__all__ = [
+    "GOLDEN_BASENAME",
+    "TOLERANCES",
+    "default_golden_path",
+    "to_golden",
+    "load_goldens",
+    "save_goldens",
+    "compare_metrics",
+    "compare_all",
+]
+
+GOLDEN_BASENAME = "scenario_metrics.json"
+
+#: Absolute tolerance per goldened metric; fields not listed must match
+#: exactly.  Timing fields are never goldened.
+TOLERANCES: dict[str, float] = {
+    "auc_injected": 0.02,
+    "ref_auc_injected": 0.02,
+    "mean_injected_percentile": 1.5,
+    "mean_clean_percentile": 1.5,
+    "percentile_separation": 2.0,
+    "ref_target_mean_percentile": 1.5,
+    "baseline_target_mean_percentile": 1.5,
+}
+
+#: Metrics excluded from the golden document (machine-dependent).
+_UNGOLDENED = ("claims_per_s",)
+
+
+def default_golden_path(repo_root: str | None = None) -> str:
+    """``tests/goldens/scenario_metrics.json`` under the repo root."""
+    if repo_root is None:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        )
+    return os.path.join(repo_root, "tests", "goldens", GOLDEN_BASENAME)
+
+
+def to_golden(metrics) -> dict:
+    """One scenario's golden payload (timing fields dropped)."""
+    doc = metrics.as_dict()
+    for field in _UNGOLDENED:
+        doc.pop(field, None)
+    return doc
+
+
+def load_goldens(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != "scenario-goldens":
+        raise ValueError(f"{path} is not a scenario-goldens document")
+    return doc["scenarios"]
+
+
+def save_goldens(path: str, metrics_by_name: dict[str, dict]) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    doc = {
+        "kind": "scenario-goldens",
+        "schema": 1,
+        "tolerances": TOLERANCES,
+        "scenarios": {name: metrics_by_name[name] for name in sorted(metrics_by_name)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _match(field: str, fresh, golden) -> bool:
+    tol = TOLERANCES.get(field)
+    if fresh is None or golden is None:
+        return fresh is None and golden is None
+    if isinstance(fresh, float) and isinstance(golden, (int, float)):
+        if math.isnan(fresh) or math.isnan(float(golden)):
+            return math.isnan(fresh) and math.isnan(float(golden))
+        if tol is not None:
+            return abs(fresh - float(golden)) <= tol
+        return fresh == float(golden)
+    return fresh == golden
+
+
+def compare_metrics(fresh: dict, golden: dict) -> list[str]:
+    """Out-of-tolerance fields for one scenario, as readable messages."""
+    failures: list[str] = []
+    for field in sorted(set(fresh) | set(golden)):
+        if field in _UNGOLDENED:
+            continue
+        if field not in fresh:
+            failures.append(f"{field}: missing from fresh metrics")
+            continue
+        if field not in golden:
+            failures.append(f"{field}: missing from golden file (refresh goldens)")
+            continue
+        if not _match(field, fresh[field], golden[field]):
+            tol = TOLERANCES.get(field)
+            suffix = f" (tol {tol})" if tol is not None else " (exact)"
+            failures.append(
+                f"{field}: fresh {fresh[field]!r} vs golden {golden[field]!r}{suffix}"
+            )
+    return failures
+
+
+def compare_all(
+    fresh_by_name: dict[str, dict], golden_by_name: dict[str, dict]
+) -> dict[str, list[str]]:
+    """Per-scenario failures across a whole run (missing scenarios included)."""
+    out: dict[str, list[str]] = {}
+    for name in sorted(set(fresh_by_name) | set(golden_by_name)):
+        if name not in golden_by_name:
+            out[name] = ["scenario missing from golden file (refresh goldens)"]
+        elif name not in fresh_by_name:
+            out[name] = ["scenario missing from fresh run"]
+        else:
+            failures = compare_metrics(fresh_by_name[name], golden_by_name[name])
+            if failures:
+                out[name] = failures
+    return out

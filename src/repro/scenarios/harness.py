@@ -1,0 +1,324 @@
+"""End-to-end invariant harness over the scenario registry.
+
+For every named scenario the harness runs the complete production path —
+mutated world → labelled dataset → columnar features → GBDT →
+:class:`~repro.serve.store.ClaimScoreStore` →
+:class:`~repro.serve.service.AuditService` — and measures it against the
+scenario's ground-truth injected-claim mask.  Two kinds of checks come
+out of a run:
+
+**Metamorphic invariants** (:func:`check_invariants`):
+
+1. the binned route-word inference path used by the store is bitwise
+   equal to the float path *on the scenario world* (not just the happy
+   path the perf suite exercises);
+2. scenario AUC — store margin against the injected mask — clears the
+   scenario's registered floor;
+3. injected claims sit measurably above clean claims on the percentile
+   scale (separation floor per scenario);
+4. **monotonicity**: scoring the scenario world with a *fixed* reference
+   classifier (the baseline model), the targeted providers' mean
+   suspicion percentile must not drop below their baseline-world value —
+   injecting more overclaims for a provider must never make it look
+   cleaner (``intensity_sweep`` extends this across intensities);
+5. the :class:`AuditService` read path agrees with the store record for
+   injected claims, and filtered top-k output is sorted by suspicion.
+
+**Golden metrics** (:class:`ScenarioMetrics`): the per-scenario numbers
+committed under ``tests/goldens/`` and refreshed by
+``tools/refresh_goldens.py``; see :mod:`repro.scenarios.goldens` for the
+tolerance contract.
+
+Everything is seeded, so two consecutive runs of the harness produce
+identical metrics — the seed-stability regression test pins that
+property for :func:`repro.core.pipeline.build_world` itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.model import NBMIntegrityModel
+from repro.core.pipeline import SimulationWorld, build_dataset, build_world, make_feature_builder
+from repro.dataset.splits import Split, random_observation_split
+from repro.fcc.fabric import FabricConfig
+from repro.fcc.providers import ProviderConfig
+from repro.ml.gbdt import GBDTParams
+from repro.ml.metrics import roc_auc_score
+from repro.scenarios import registry
+from repro.scenarios.registry import ScenarioSpec, ScenarioWorld
+from repro.serve.service import AuditService
+from repro.serve.store import ClaimScoreStore
+
+__all__ = [
+    "scenario_default_config",
+    "HarnessBaseline",
+    "ScenarioMetrics",
+    "ScenarioRun",
+    "build_baseline",
+    "run_scenario",
+    "run_suite",
+    "check_invariants",
+    "intensity_sweep",
+]
+
+#: Tolerance (percentile points) on the cross-world monotonicity check.
+MONOTONICITY_TOL = 2.0
+
+
+def scenario_default_config(seed: int = 7) -> ScenarioConfig:
+    """The harness scale: smaller than ``tiny`` so a full scenario sweep
+    (one world build + train + two score stores per scenario) stays
+    test-suite-affordable, while keeping every marginal the paper's
+    presets preserve."""
+    return ScenarioConfig(
+        seed=seed,
+        fabric=FabricConfig(locations_per_million=60),
+        providers=ProviderConfig(n_providers=28),
+        model=GBDTParams(n_estimators=40, max_depth=4, learning_rate=0.25),
+        embedding_dim=16,
+    )
+
+
+@dataclass
+class HarnessBaseline:
+    """The unmutated reference world and its trained model + store."""
+
+    config: ScenarioConfig
+    world: SimulationWorld
+    dataset: object
+    split: Split
+    builder: object
+    model: NBMIntegrityModel
+    store: ClaimScoreStore
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """One scenario's end-to-end numbers (the golden-file payload)."""
+
+    name: str
+    intensity: float
+    n_claims: int
+    n_injected: int
+    n_observations: int
+    #: AUC of the scenario-trained store's margins vs. the injected mask.
+    auc_injected: float
+    #: Same AUC under the fixed baseline classifier (reference scoring).
+    ref_auc_injected: float
+    mean_injected_percentile: float
+    mean_clean_percentile: float
+    percentile_separation: float
+    #: Targeted providers' mean percentile under the *fixed* reference
+    #: classifier, on the scenario world vs. on the baseline world
+    #: (``baseline_target_mean_percentile`` is None for providers the
+    #: scenario created from nothing).
+    ref_target_mean_percentile: float
+    baseline_target_mean_percentile: float | None
+    binned_equals_float: bool
+    #: Store-build throughput (claims scored per second; not goldened).
+    claims_per_s: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one scenario run produced."""
+
+    scenario: ScenarioWorld
+    spec: ScenarioSpec
+    builder: object
+    model: NBMIntegrityModel
+    store: ClaimScoreStore
+    #: Scenario claims scored by the fixed baseline classifier.
+    ref_store: ClaimScoreStore
+    service: AuditService
+    mask: np.ndarray
+    metrics: ScenarioMetrics
+
+
+def build_baseline(config: ScenarioConfig | None = None) -> HarnessBaseline:
+    """Build and train the unmutated reference world once."""
+    config = config or scenario_default_config()
+    world = build_world(config)
+    dataset = build_dataset(world)
+    builder = make_feature_builder(world)
+    split = random_observation_split(dataset, seed=1)
+    model = NBMIntegrityModel(builder, params=config.model).fit(
+        dataset, split.train_idx
+    )
+    store = ClaimScoreStore.build(model.classifier, builder)
+    return HarnessBaseline(
+        config=config,
+        world=world,
+        dataset=dataset,
+        split=split,
+        builder=builder,
+        model=model,
+        store=store,
+    )
+
+
+def _provider_mean_percentile(store: ClaimScoreStore, provider_ids) -> float | None:
+    mask = np.isin(store.claims.provider_id, np.array(sorted(provider_ids), dtype=np.int64))
+    if not mask.any():
+        return None
+    return float(store.percentile[mask].mean())
+
+
+def run_scenario(
+    name: str, baseline: HarnessBaseline, intensity: float = 1.0
+) -> ScenarioRun:
+    """Run one scenario end to end: world → dataset → GBDT → store → service."""
+    spec = registry.get(name)
+    scenario = registry.build_scenario(name, baseline.config, intensity)
+    world = scenario.world
+    dataset = build_dataset(world)
+    builder = make_feature_builder(world)
+    split = random_observation_split(dataset, seed=1)
+    model = NBMIntegrityModel(builder, params=baseline.config.model).fit(
+        dataset, split.train_idx
+    )
+    t0 = time.perf_counter()
+    store = ClaimScoreStore.build(model.classifier, builder)
+    build_s = time.perf_counter() - t0
+    ref_store = ClaimScoreStore.build(baseline.model.classifier, builder)
+    service = AuditService(
+        store, classifier=model.classifier, builder=builder, model=model
+    )
+
+    mask = scenario.injected_mask()
+    labels = mask.astype(np.int64)
+    both_classes = 0 < int(mask.sum()) < mask.size
+    auc = roc_auc_score(labels, store.margin) if both_classes else float("nan")
+    ref_auc = roc_auc_score(labels, ref_store.margin) if both_classes else float("nan")
+    # The same blocked scorer, routed through the float traversal — any
+    # divergence from the binned production path fails the invariant.
+    float_store = ClaimScoreStore.build(model.classifier, builder, binned=False)
+    binned_ok = bool(np.array_equal(store.margin, float_store.margin))
+    ref_target = _provider_mean_percentile(ref_store, scenario.target_provider_ids)
+    baseline_target = _provider_mean_percentile(
+        baseline.store, scenario.target_provider_ids
+    )
+    metrics = ScenarioMetrics(
+        name=name,
+        intensity=float(intensity),
+        n_claims=len(store),
+        n_injected=int(mask.sum()),
+        n_observations=len(dataset),
+        auc_injected=float(auc),
+        ref_auc_injected=float(ref_auc),
+        mean_injected_percentile=float(store.percentile[mask].mean()) if mask.any() else float("nan"),
+        mean_clean_percentile=float(store.percentile[~mask].mean()) if (~mask).any() else float("nan"),
+        percentile_separation=float(
+            store.percentile[mask].mean() - store.percentile[~mask].mean()
+        )
+        if both_classes
+        else float("nan"),
+        ref_target_mean_percentile=float(ref_target) if ref_target is not None else float("nan"),
+        baseline_target_mean_percentile=baseline_target,
+        binned_equals_float=binned_ok,
+        claims_per_s=float(len(store) / build_s) if build_s > 0 else float("inf"),
+    )
+    return ScenarioRun(
+        scenario=scenario,
+        spec=spec,
+        builder=builder,
+        model=model,
+        store=store,
+        ref_store=ref_store,
+        service=service,
+        mask=mask,
+        metrics=metrics,
+    )
+
+
+def check_invariants(run: ScenarioRun, baseline: HarnessBaseline) -> list[str]:
+    """Every violated invariant as a human-readable message (empty = pass)."""
+    failures: list[str] = []
+    m = run.metrics
+    spec = run.spec
+    if m.n_injected == 0:
+        failures.append("scenario injected no claims that materialized")
+        return failures
+    if not m.binned_equals_float:
+        failures.append("binned store margins differ from the float path")
+    if not m.auc_injected >= spec.auc_floor:
+        failures.append(
+            f"scenario AUC {m.auc_injected:.3f} below floor {spec.auc_floor:.2f}"
+        )
+    if not m.percentile_separation >= spec.min_separation:
+        failures.append(
+            f"percentile separation {m.percentile_separation:.1f} below "
+            f"floor {spec.min_separation:.1f}"
+        )
+    if m.baseline_target_mean_percentile is not None:
+        if m.ref_target_mean_percentile < (
+            m.baseline_target_mean_percentile - MONOTONICITY_TOL
+        ):
+            failures.append(
+                "monotonicity violated: target providers' mean percentile "
+                f"dropped from {m.baseline_target_mean_percentile:.1f} "
+                f"(baseline) to {m.ref_target_mean_percentile:.1f} (scenario) "
+                "under the fixed reference classifier"
+            )
+    else:
+        # A provider invented by the scenario has no baseline footprint to
+        # compare against (and may copy a legitimate one, as the duplicate
+        # FRN does); its *injected* claims must land in the suspicious half.
+        if m.mean_injected_percentile < 50.0:
+            failures.append(
+                "injected claims' mean percentile "
+                f"{m.mean_injected_percentile:.1f} is below the median"
+            )
+    failures.extend(_service_consistency(run))
+    return failures
+
+
+def _service_consistency(run: ScenarioRun, sample: int = 5) -> list[str]:
+    """The serving read path must agree with the store on injected claims."""
+    failures: list[str] = []
+    rows = np.nonzero(run.mask)[0][:sample]
+    for row in rows:
+        key = run.store.claims.key_at(int(row))
+        record = run.service.score_claim(*key)
+        if record is None:
+            failures.append(f"service returned no record for injected claim {key}")
+            continue
+        if record["margin"] != float(run.store.margin[row]):
+            failures.append(f"service margin mismatch for injected claim {key}")
+    top = run.service.top_suspicious(k=min(10, len(run.store)))
+    scores = [r["score"] for r in top]
+    if scores != sorted(scores, reverse=True):
+        failures.append("top_suspicious output is not sorted by score")
+    return failures
+
+
+def run_suite(
+    baseline: HarnessBaseline,
+    names: list[str] | None = None,
+    intensity: float = 1.0,
+) -> dict[str, ScenarioRun]:
+    """Run (a subset of) the registry; returns runs keyed by scenario name."""
+    out: dict[str, ScenarioRun] = {}
+    for name in names if names is not None else registry.names():
+        out[name] = run_scenario(name, baseline, intensity)
+    return out
+
+
+def intensity_sweep(
+    name: str,
+    baseline: HarnessBaseline,
+    intensities: tuple[float, ...] = (0.5, 1.0),
+) -> list[ScenarioMetrics]:
+    """The metamorphic sweep behind invariant 4: as a scenario's intensity
+    rises, the targeted providers' mean suspicion percentile under the
+    fixed reference classifier must be non-decreasing (within tolerance)."""
+    runs = [run_scenario(name, baseline, i) for i in sorted(intensities)]
+    return [r.metrics for r in runs]

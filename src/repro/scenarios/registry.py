@@ -1,0 +1,152 @@
+"""The named-scenario registry: adversarial world shapes by name.
+
+The paper's premise is that low-quality availability claims arrive in
+*recognizable adversarial patterns* — blanket DSL overclaims, satellite
+"everywhere" filings, stale coverage that outlives its removal, phantom
+providers with no plant at all.  Each registered scenario reproduces one
+such pattern as a seeded **world mutator** layered on
+:func:`repro.core.pipeline.build_world` through
+:class:`~repro.core.pipeline.PipelineHooks`, and returns a
+:class:`ScenarioWorld`: the mutated world *plus* the ground-truth set of
+injected claims, so every downstream consumer (model, score store, audit
+service) can be measured against exactly the claims the scenario poisoned.
+
+Usage::
+
+    from repro import scenarios
+
+    scenarios.names()                       # all registered scenario names
+    sw = scenarios.build_scenario("phantom_provider", config)
+    mask = sw.injected_mask()               # bool over the columnar claims
+
+``intensity`` scales how hard a scenario leans on the world (1.0 = the
+documented default; lower values inject proportionally fewer claims),
+which is what the harness's metamorphic monotonicity checks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import ScenarioConfig
+from repro.core.pipeline import SimulationWorld
+from repro.fcc.bdc import ClaimKey
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "register",
+    "get",
+    "names",
+    "build_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered adversarial scenario."""
+
+    name: str
+    description: str
+    #: Builds the scenario: ``(config, intensity) -> ScenarioWorld``.
+    build: Callable[[ScenarioConfig, float], "ScenarioWorld"]
+    #: Harness floor for the scenario AUC (store margin vs. injected mask).
+    auc_floor: float = 0.65
+    #: Harness floor for mean injected-minus-clean percentile separation.
+    min_separation: float = 5.0
+    #: Free-form tags ("filing", "challenge", "release", ...).
+    tags: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioWorld:
+    """A mutated world plus the ground truth of what was injected."""
+
+    name: str
+    world: SimulationWorld
+    #: Hex-level claims the scenario injected/poisoned, restricted to
+    #: claims that actually materialized in the filing table.
+    injected_keys: frozenset[ClaimKey]
+    #: Providers the scenario targets (injected into or mutated).
+    target_provider_ids: frozenset[int]
+    intensity: float = 1.0
+    #: Scenario-specific extras (suppressed states, inflated tiers, ...).
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected_keys)
+
+    def injected_mask(self) -> np.ndarray:
+        """Boolean mask over the world's columnar claims (injected = True)."""
+        claims = self.world.table.columnar()
+        mask = np.zeros(len(claims), dtype=bool)
+        if not self.injected_keys:
+            return mask
+        keys = sorted(self.injected_keys)
+        pos = claims.positions(
+            np.array([k[0] for k in keys], dtype=np.int64),
+            np.array([k[1] for k in keys], dtype=np.uint64),
+            np.array([k[2] for k in keys], dtype=np.int64),
+        )
+        mask[pos[pos >= 0]] = True
+        return mask
+
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register(
+    name: str,
+    *,
+    description: str,
+    auc_floor: float = 0.65,
+    min_separation: float = 5.0,
+    tags: tuple[str, ...] = (),
+):
+    """Decorator registering a ``(config, intensity) -> ScenarioWorld`` builder."""
+
+    def _decorator(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            build=fn,
+            auc_floor=auc_floor,
+            min_separation=min_separation,
+            tags=tags,
+        )
+        return fn
+
+    return _decorator
+
+
+def get(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_scenario(
+    name: str, config: ScenarioConfig, intensity: float = 1.0
+) -> ScenarioWorld:
+    """Build one named scenario world at the given intensity."""
+    if not 0.0 < intensity <= 1.0:
+        raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+    sw = get(name).build(config, intensity)
+    if sw.name != name:
+        raise RuntimeError(
+            f"scenario builder for {name!r} returned world named {sw.name!r}"
+        )
+    return sw

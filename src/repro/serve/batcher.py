@@ -191,13 +191,20 @@ class MicroBatcher:
             self._cache.clear()
 
     def close(self) -> None:
-        """Flush pending work and refuse further submissions."""
-        self.flush()
+        """Refuse further submissions, then flush everything pending.
+
+        Ordering matters: the closed flag is set *before* the final
+        drain, so a ``submit`` racing ``close`` either lands in the final
+        batch (accepted strictly before the flag flipped) or raises —
+        flushing first would leave a payload accepted in that window
+        queued forever, its Future never resolving.
+        """
         with self._lock:
             self._closed = True
             if self._timer is not None:
                 self._timer.cancel()
                 self._timer = None
+        self.flush()
 
 
 #: Cache-miss sentinel (``None`` is a legitimate cached result).

@@ -27,6 +27,10 @@ Route                                           Response
                                                 optional ``state``
 ==============================================  =============================
 
+Every failure is a JSON body ``{"error": "..."}`` — 400 for malformed
+parameters, bodies, or unknown states; 404 for unknown routes and
+claims; 413 for oversized bodies.  A traceback never reaches the wire.
+
 Example session (see ``examples/audit_service.py`` for a scripted one)::
 
     server = make_server(service, port=8350)
@@ -47,9 +51,16 @@ __all__ = ["AuditHTTPServer", "make_server"]
 #: Cap on /v1/top's k and on bulk-scoring request size.
 MAX_RESULT_ROWS = 10_000
 
+#: Cap on POST body size (a full 10k-claim bulk request fits comfortably).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
 
 class _BadRequest(ValueError):
     """Maps to a 400 response with the message as the error body."""
+
+
+class _PayloadTooLarge(ValueError):
+    """Maps to a 413 response with the message as the error body."""
 
 
 def _int_param(params: dict, name: str, default=None, required: bool = False):
@@ -95,6 +106,10 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # An error path left the request body unread: tell the client
+            # this keep-alive socket is done rather than desyncing it.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -139,18 +154,48 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"{type(exc).__name__}: {exc}")
 
+    def _body_length(self) -> int:
+        """Validated Content-Length (400 on garbage, 413 on oversize).
+
+        Every error path here leaves the request body unread, so the
+        connection must not be reused: stale body bytes would be parsed
+        as the next request line on this keep-alive socket.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            self.close_connection = True
+            raise _BadRequest("Content-Length must be an integer") from None
+        if length < 0:
+            self.close_connection = True
+            raise _BadRequest("Content-Length must be >= 0")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            raise _PayloadTooLarge(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        return length
+
     def do_POST(self) -> None:  # noqa: N802
         service: AuditService = self.server.service
         url = urlsplit(self.path)
         try:
             if url.path != "/v1/score":
+                # The body stays unread on this branch too — don't let a
+                # keep-alive client reuse the desynced socket.
+                self.close_connection = True
                 self._error(404, f"no route for {url.path}")
                 return
-            length = int(self.headers.get("Content-Length") or 0)
+            length = self._body_length()
             try:
                 doc = json.loads(self.rfile.read(length) or b"{}")
             except json.JSONDecodeError as exc:
                 raise _BadRequest(f"invalid JSON body: {exc}") from None
+            if not isinstance(doc, dict):
+                raise _BadRequest('body must be a JSON object {"claims": [...]}')
             claims = doc.get("claims")
             if not isinstance(claims, list):
                 raise _BadRequest('body must be {"claims": [...]}')
@@ -162,12 +207,17 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
             for entry in claims:
                 if not isinstance(entry, dict):
                     raise _BadRequest("each claim must be an object")
+                state = entry.get("state")
+                if state is not None and not isinstance(state, str):
+                    raise _BadRequest(
+                        "claim state must be a string state abbreviation"
+                    )
                 try:
                     payload = (
                         int(entry["provider_id"]),
                         int(entry["cell"]),
                         int(entry["technology"]),
-                        entry.get("state"),
+                        state,
                     )
                 except (KeyError, TypeError, ValueError):
                     raise _BadRequest(
@@ -185,6 +235,8 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
                 )
             results = service.batcher.score_many(payloads, cache_keys=keys)
             self._send_json(200, {"results": results})
+        except _PayloadTooLarge as exc:
+            self._error(413, str(exc))
         except (_BadRequest, ValueError) as exc:
             self._error(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive

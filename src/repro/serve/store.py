@@ -94,6 +94,7 @@ class ClaimScoreStore:
         builder,
         claims: ClaimColumns | None = None,
         block_rows: int = _BUILD_BLOCK_ROWS,
+        binned: bool = True,
     ) -> "ClaimScoreStore":
         """Score every distinct claim of a columnar store once.
 
@@ -103,13 +104,16 @@ class ClaimScoreStore:
         ``Observation`` objects) and scored through the binned route-word
         path (:meth:`FlatEnsemble.bind_binner` +
         ``predict_margin(binned=True)``), block by block so peak memory
-        stays bounded at NBM scale.
+        stays bounded at NBM scale.  ``binned=False`` scores the same
+        blocks through the float traversal instead — the reference the
+        scenario harness compares the production path against bitwise.
         """
         if claims is None:
             claims = builder.claims
         binner = classifier.binner
         ensemble = classifier.flat_ensemble
-        ensemble.bind_binner(binner)
+        if binned:
+            ensemble.bind_binner(binner)
         n = len(claims)
         margin = np.empty(n)
         states = _STATE_ABBRS[claims.state_idx]
@@ -124,11 +128,14 @@ class ClaimScoreStore:
                 unserved=np.zeros(stop - start, dtype=np.int64),
             )
             X = builder.vectorize_columns(cols)
-            margin[start:stop] = ensemble.predict_margin(
-                binner.transform(X),
-                base_margin=classifier.base_margin,
-                binned=True,
-            )
+            if binned:
+                margin[start:stop] = ensemble.predict_margin(
+                    binner.transform(X),
+                    base_margin=classifier.base_margin,
+                    binned=True,
+                )
+            else:
+                margin[start:stop] = classifier.predict_margin(X)
         return cls(claims, margin)
 
     # -- lookups ------------------------------------------------------------

@@ -96,3 +96,38 @@ def tiny_score_store(tiny_model, tiny_builder):
 
     model, _ = tiny_model
     return ClaimScoreStore.build(model.classifier, tiny_builder)
+
+
+class ScenarioSuiteCache:
+    """Lazily build (and cache) the scenario-harness baseline and runs.
+
+    Scenario worlds are the most expensive fixtures in the suite, so they
+    build on first use only: under ``-m "not slow"`` just the tier-1
+    smoke scenarios materialize, while the slow sweep reuses whatever the
+    smoke tests already built.
+    """
+
+    def __init__(self):
+        self._baseline = None
+        self._runs = {}
+
+    @property
+    def baseline(self):
+        if self._baseline is None:
+            from repro import scenarios
+
+            self._baseline = scenarios.build_baseline()
+        return self._baseline
+
+    def run(self, name: str):
+        if name not in self._runs:
+            from repro import scenarios
+
+            self._runs[name] = scenarios.run_scenario(name, self.baseline)
+        return self._runs[name]
+
+
+@pytest.fixture(scope="session")
+def scenario_suite():
+    """Shared lazy cache of scenario-harness runs (read-only)."""
+    return ScenarioSuiteCache()

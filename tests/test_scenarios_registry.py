@@ -1,0 +1,128 @@
+"""Registry-level scenario tests: cheap, no world builds."""
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.core.pipeline import PipelineHooks, _apply_hook
+from repro.fcc.bdc import AvailabilityTable
+from repro.scenarios.registry import ScenarioWorld, register
+
+
+def test_registry_has_the_documented_scenarios():
+    names = scenarios.names()
+    assert len(names) >= 8
+    for expected in (
+        "blanket_dsl_overclaim",
+        "satellite_everywhere",
+        "stale_release_carryover",
+        "phantom_provider",
+        "border_hex_spillover",
+        "challenge_suppressed_state",
+        "duplicate_frn_filing",
+        "speed_tier_inflation",
+    ):
+        assert expected in names
+
+
+def test_specs_are_well_formed():
+    for name in scenarios.names():
+        spec = scenarios.get(name)
+        assert spec.name == name
+        assert spec.description
+        assert 0.5 <= spec.auc_floor < 1.0
+        assert spec.min_separation >= 0.0
+        assert callable(spec.build)
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="phantom_provider"):
+        scenarios.get("no_such_scenario")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register("phantom_provider", description="dup")(lambda config, intensity: None)
+
+
+def test_build_scenario_validates_intensity():
+    config = scenarios.scenario_default_config()
+    with pytest.raises(ValueError, match="intensity"):
+        scenarios.build_scenario("phantom_provider", config, intensity=0.0)
+    with pytest.raises(ValueError, match="intensity"):
+        scenarios.build_scenario("phantom_provider", config, intensity=1.5)
+
+
+def test_apply_hook_semantics():
+    calls = []
+
+    def mutate_in_place(ctx, artifact):
+        calls.append((ctx, artifact))
+        artifact.append("mutated")
+
+    artifact = ["original"]
+    out = _apply_hook(mutate_in_place, artifact, "ctx")
+    assert out is artifact and out == ["original", "mutated"]
+
+    replaced = _apply_hook(lambda ctx, artifact: ["replacement"], artifact, "ctx")
+    assert replaced == ["replacement"]
+
+    assert _apply_hook(None, artifact) is artifact
+
+
+def test_pipeline_hooks_default_to_noops():
+    hooks = PipelineHooks()
+    assert hooks.post_universe is None
+    assert hooks.post_filings is None
+    assert hooks.post_challenges is None
+    assert hooks.post_timeline is None
+
+
+def _toy_table() -> AvailabilityTable:
+    return AvailabilityTable(
+        provider_id=np.array([1, 1, 2, 2], dtype=np.int64),
+        bsl_id=np.arange(4, dtype=np.int64),
+        technology=np.array([50, 50, 40, 40], dtype=np.int16),
+        cell=np.array([10, 11, 10, 12], dtype=np.uint64),
+        state_idx=np.zeros(4, dtype=np.int16),
+        max_download_mbps=np.full(4, 100.0),
+        max_upload_mbps=np.full(4, 20.0),
+        low_latency=np.ones(4, dtype=bool),
+        truly_served=np.array([True, False, True, False]),
+    )
+
+
+class _WorldStub:
+    def __init__(self, table):
+        self.table = table
+
+
+def test_injected_mask_matches_materialized_keys_only():
+    table = _toy_table()
+    sw = ScenarioWorld(
+        name="toy",
+        world=_WorldStub(table),
+        injected_keys=frozenset(
+            {
+                (1, 11, 50),  # present
+                (2, 12, 40),  # present
+                (9, 99, 10),  # never filed -> ignored
+            }
+        ),
+        target_provider_ids=frozenset({1, 2}),
+    )
+    mask = sw.injected_mask()
+    claims = table.columnar()
+    assert mask.sum() == 2
+    for row in np.nonzero(mask)[0]:
+        assert claims.key_at(int(row)) in sw.injected_keys
+
+
+def test_injected_mask_empty_when_nothing_injected():
+    sw = ScenarioWorld(
+        name="toy",
+        world=_WorldStub(_toy_table()),
+        injected_keys=frozenset(),
+        target_provider_ids=frozenset(),
+    )
+    assert not sw.injected_mask().any()

@@ -1,0 +1,48 @@
+"""Seed-stability regression: ``build_world(config)`` is a pure function.
+
+Scenario goldens are reproducible *by construction* only if the world
+underneath them is: building the same config twice must yield bitwise
+identical filings, identical challenge/timeline records, and identical
+crowdsource artifacts.  A drift here (an unseeded RNG, dict-order
+dependence, a global cache leaking between builds) would silently
+invalidate every committed golden, so it fails loudly instead.
+"""
+
+import numpy as np
+
+from repro.core import build_world
+
+_TABLE_ARRAYS = (
+    "provider_id",
+    "bsl_id",
+    "technology",
+    "cell",
+    "state_idx",
+    "max_download_mbps",
+    "max_upload_mbps",
+    "low_latency",
+    "truly_served",
+)
+
+
+def test_build_world_twice_is_bitwise_identical(scenario_suite):
+    first = scenario_suite.baseline.world
+    again = build_world(first.config)
+
+    for name in _TABLE_ARRAYS:
+        a, b = getattr(first.table, name), getattr(again.table, name)
+        assert a.dtype == b.dtype, f"table.{name} dtype drifted"
+        assert np.array_equal(a, b), f"table.{name} not bitwise identical"
+
+    assert first.challenges == again.challenges
+    assert first.timeline.initial_claims == again.timeline.initial_claims
+    assert first.timeline.removals == again.timeline.removals
+    assert first.timeline.n_minor_releases == again.timeline.n_minor_releases
+    assert first.changes == again.changes
+    assert first.coverage_scores == again.coverage_scores
+    assert first.mlab_tests == again.mlab_tests
+    assert first.ookla_tiles == again.ookla_tiles
+    assert [p.provider_id for p in first.universe.providers] == [
+        p.provider_id for p in again.universe.providers
+    ]
+    assert first.universe.footprints == again.universe.footprints

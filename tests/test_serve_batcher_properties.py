@@ -1,0 +1,197 @@
+"""Hypothesis property tests for :class:`repro.serve.batcher.MicroBatcher`.
+
+Two liveness/safety properties the unit tests can't pin down:
+
+1. **Exactly-once under submit/close races** — with submitter threads
+   racing ``close()``, every accepted payload is scored exactly once and
+   its Future resolves; every rejected submit raises, and nothing is
+   stranded in the queue with a forever-pending Future.
+2. **Poison isolation** — a payload whose result slot is an exception
+   instance fails *only* its own waiters: batchmates resolve normally,
+   and the poisoned result is never cached (a retry rescrores it).
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.batcher import MicroBatcher
+
+
+class _RecordingScorer:
+    """Scores payloads to ("ok", payload), recording every batch."""
+
+    def __init__(self, poison=frozenset()):
+        self.batches = []
+        self.poison = frozenset(poison)
+        self._lock = threading.Lock()
+
+    def __call__(self, payloads):
+        with self._lock:
+            self.batches.append(list(payloads))
+        return [
+            ValueError(f"poisoned payload {p}") if p in self.poison else ("ok", p)
+            for p in payloads
+        ]
+
+    @property
+    def scored(self):
+        with self._lock:
+            return [p for batch in self.batches for p in batch]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_threads=st.integers(min_value=1, max_value=6),
+    per_thread=st.integers(min_value=1, max_value=12),
+    max_batch=st.integers(min_value=1, max_value=8),
+    close_after=st.integers(min_value=0, max_value=40),
+)
+def test_close_race_delivers_every_accepted_payload_exactly_once(
+    n_threads, per_thread, max_batch, close_after
+):
+    """Submitters racing close(): accepted => scored once and resolved;
+    rejected => RuntimeError; no Future left pending."""
+    scorer = _RecordingScorer()
+    # max_delay_s=0 disables the timer: the only flush paths are the
+    # max_batch trigger and close()'s final drain, so a payload stranded
+    # by a close/submit race would hang its Future forever.
+    batcher = MicroBatcher(scorer, max_batch=max_batch, max_delay_s=0.0)
+    accepted: dict[int, Future] = {}
+    rejected: list[int] = []
+    lock = threading.Lock()
+    start = threading.Barrier(n_threads + 1)
+
+    def submitter(base):
+        start.wait()
+        for i in range(per_thread):
+            payload = base * 1000 + i
+            try:
+                fut = batcher.submit(payload, cache_key=payload)
+            except RuntimeError:
+                with lock:
+                    rejected.append(payload)
+            else:
+                with lock:
+                    accepted[payload] = fut
+
+    threads = [
+        threading.Thread(target=submitter, args=(t,)) for t in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    start.wait()
+    # Let roughly close_after submissions land before closing.
+    while close_after and len(accepted) + len(rejected) < min(
+        close_after, n_threads * per_thread
+    ):
+        pass
+    batcher.close()
+    for thread in threads:
+        thread.join()
+
+    # Everything accepted resolved to its own result; nothing pending.
+    for payload, fut in accepted.items():
+        assert fut.done(), f"payload {payload} stranded with a pending Future"
+        assert fut.result(timeout=0) == ("ok", payload)
+    # Exactly-once scoring: accepted payloads each appear in exactly one
+    # batch; rejected payloads never reach the scorer.
+    scored = scorer.scored
+    assert sorted(scored) == sorted(accepted)
+    assert not set(rejected) & set(scored)
+    with pytest.raises(RuntimeError):
+        batcher.submit(-1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payloads=st.lists(
+        st.integers(min_value=0, max_value=99), min_size=1, max_size=30, unique=True
+    ),
+    data=st.data(),
+)
+def test_poisoned_payload_never_leaks_to_batchmates(payloads, data):
+    poison = data.draw(st.sets(st.sampled_from(payloads)))
+    scorer = _RecordingScorer(poison=poison)
+    batcher = MicroBatcher(scorer, max_batch=len(payloads) + 1, max_delay_s=0.0)
+    futures = {p: batcher.submit(p, cache_key=p) for p in payloads}
+    batcher.flush()
+
+    for payload, fut in futures.items():
+        if payload in poison:
+            with pytest.raises(ValueError, match=f"poisoned payload {payload}"):
+                fut.result(timeout=0)
+        else:
+            assert fut.result(timeout=0) == ("ok", payload)
+
+    # Clean results were cached; poisoned ones were not, so a retry
+    # rescrores exactly the poisoned payloads.
+    retry = {p: batcher.submit(p, cache_key=p) for p in payloads}
+    batcher.flush()
+    rescored = [p for batch in scorer.batches[1:] for p in batch]
+    assert sorted(rescored) == sorted(poison)
+    for payload, fut in retry.items():
+        if payload in poison:
+            with pytest.raises(ValueError):
+                fut.result(timeout=0)
+        else:
+            assert fut.result(timeout=0) == ("ok", payload)
+    batcher.close()
+
+
+def test_submit_racing_the_final_close_flush_is_never_stranded():
+    """Deterministic interleaving of the close/submit race.
+
+    The scorer blocks mid-way through close()'s final drain while another
+    thread submits.  The batcher must linearize the race: the submit
+    either raises (close won) or its payload is delivered — it must not
+    be silently accepted into a queue nothing will ever flush again.
+    """
+    in_score = threading.Event()
+    submitted = threading.Event()
+    raced = []
+
+    def scorer(payloads):
+        if not raced:
+            raced.append(True)
+            in_score.set()
+            assert submitted.wait(timeout=5)
+        return [("ok", p) for p in payloads]
+
+    batcher = MicroBatcher(scorer, max_batch=100, max_delay_s=0.0)
+    batcher.submit(1, cache_key=1)
+    outcome = {}
+
+    def racer():
+        assert in_score.wait(timeout=5)
+        try:
+            outcome["fut"] = batcher.submit(2, cache_key=2)
+        except RuntimeError as exc:
+            outcome["rejected"] = exc
+        finally:
+            submitted.set()
+
+    thread = threading.Thread(target=racer)
+    thread.start()
+    batcher.close()
+    thread.join()
+
+    if "fut" in outcome:
+        fut = outcome["fut"]
+        assert fut.done(), "payload accepted during close was stranded forever"
+        assert fut.result(timeout=0) == ("ok", 2)
+    else:
+        assert isinstance(outcome["rejected"], RuntimeError)
+
+
+def test_close_is_idempotent_and_drains():
+    scorer = _RecordingScorer()
+    batcher = MicroBatcher(scorer, max_batch=100, max_delay_s=0.0)
+    fut = batcher.submit(7, cache_key=7)
+    batcher.close()
+    assert fut.result(timeout=0) == ("ok", 7)
+    batcher.close()  # second close is a no-op, not an error
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(8)

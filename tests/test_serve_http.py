@@ -1,0 +1,279 @@
+"""HTTP API tests: every endpoint's success path and failure modes.
+
+The contract under test: failures are always JSON ``{"error": ...}``
+bodies with the right status (400 malformed, 404 unknown, 413 oversize)
+— malformed input must never surface as a 500 or a traceback.
+"""
+
+import json
+import threading
+
+import http.client
+
+import pytest
+
+from repro.serve import AuditService, make_server
+
+
+@pytest.fixture(scope="module")
+def served(tiny_model, tiny_builder, tiny_score_store):
+    """A live server over the tiny world's score store (cold path on)."""
+    model, _split = tiny_model
+    service = AuditService.from_model(model, store=tiny_score_store)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def store_only_served(tiny_score_store):
+    """A live server with no live classifier/builder (no cold path)."""
+    service = AuditService(tiny_score_store)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _request(server, method, path, body=None, headers=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, response.getheader("Content-Type"), payload
+    finally:
+        conn.close()
+
+
+def _json(server, method, path, body=None, headers=None):
+    status, ctype, payload = _request(server, method, path, body, headers)
+    assert ctype == "application/json", f"{method} {path} returned {ctype}"
+    return status, json.loads(payload)
+
+
+def _known_key(store):
+    row = int(store.sus_order[0])
+    return store.claims.key_at(row)
+
+
+# -- success paths -----------------------------------------------------------
+
+
+def test_healthz_and_stats(served):
+    server, service = served
+    status, doc = _json(server, "GET", "/healthz")
+    assert status == 200 and doc == {"status": "ok", "n_claims": len(service.store)}
+    status, doc = _json(server, "GET", "/v1/stats")
+    assert status == 200 and doc["n_claims"] == len(service.store)
+    assert doc["cold_path_available"] is True
+
+
+def test_claim_lookup_roundtrip(served, tiny_score_store):
+    server, _service = served
+    pid, cell, tech = _known_key(tiny_score_store)
+    status, doc = _json(
+        server, "GET", f"/v1/claim?provider_id={pid}&cell={cell}&technology={tech}"
+    )
+    assert status == 200
+    assert doc["provider_id"] == pid and doc["precomputed"] is True
+    assert doc["rank"] == 0
+
+
+def test_claim_cold_path_for_unknown_claim(served, tiny_score_store):
+    import numpy as np
+
+    server, _service = served
+    pid, cell, _tech = _known_key(tiny_score_store)
+    missing = next(
+        t
+        for t in (10, 40, 50, 70, 71)
+        if tiny_score_store.positions(
+            np.array([pid]), np.array([cell], dtype=np.uint64), np.array([t])
+        )[0]
+        < 0
+    )
+    status, doc = _json(
+        server,
+        "GET",
+        f"/v1/claim?provider_id={pid}&cell={cell}&technology={missing}&state=TX",
+    )
+    assert status == 200 and doc["precomputed"] is False
+    assert 0.0 <= doc["percentile"] <= 100.0
+
+
+def test_top_and_summaries(served, tiny_score_store):
+    server, _service = served
+    status, doc = _json(server, "GET", "/v1/top?k=3")
+    assert status == 200 and len(doc["results"]) == 3
+    scores = [r["score"] for r in doc["results"]]
+    assert scores == sorted(scores, reverse=True)
+
+    pid, _cell, _tech = _known_key(tiny_score_store)
+    status, doc = _json(server, "GET", f"/v1/provider/{pid}/summary")
+    assert status == 200 and doc["provider_id"] == pid and doc["n_claims"] > 0
+    state = doc["top_claims"][0]["state"]
+    status, doc = _json(server, "GET", f"/v1/state/{state}/summary")
+    assert status == 200 and doc["state"] == state
+
+
+def test_bulk_score_mixes_hits_and_misses(served, tiny_score_store):
+    server, _service = served
+    pid, cell, tech = _known_key(tiny_score_store)
+    body = json.dumps(
+        {
+            "claims": [
+                {"provider_id": pid, "cell": cell, "technology": tech},
+                {"provider_id": 1, "cell": 2, "technology": 3},
+            ]
+        }
+    )
+    status, doc = _json(server, "POST", "/v1/score", body=body)
+    assert status == 200
+    hit, miss = doc["results"]
+    assert hit["provider_id"] == pid and miss is None
+
+
+# -- failure modes, GET ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        "/v1/claim",  # all params missing
+        "/v1/claim?provider_id=1&cell=2",  # technology missing
+        "/v1/claim?provider_id=abc&cell=2&technology=3",  # non-integer
+        "/v1/claim?provider_id=1&cell=2&technology=3&state=NOWHERE",
+        "/v1/top?k=abc",
+        "/v1/top?k=-1",
+        "/v1/top?k=999999",
+        "/v1/provider/abc/summary",
+        "/v1/state/NOWHERE/summary",
+    ],
+)
+def test_get_failure_modes_return_400_json(served, path):
+    server, _service = served
+    status, doc = _json(server, "GET", path)
+    assert status == 400 and "error" in doc
+
+
+def test_unknown_routes_return_404_json(served):
+    server, _service = served
+    for method, path in (
+        ("GET", "/nope"),
+        ("GET", "/v1/score"),
+        ("POST", "/v1/claim"),
+        ("POST", "/nope"),
+    ):
+        status, doc = _json(server, method, path)
+        assert status == 404 and "error" in doc, f"{method} {path}"
+
+
+def test_unknown_claim_without_state_returns_404(served):
+    server, _service = served
+    status, doc = _json(
+        server, "GET", "/v1/claim?provider_id=1&cell=2&technology=3"
+    )
+    assert status == 404 and "state=XX" in doc["error"]
+
+
+# -- failure modes, POST /v1/score ------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "{not json",  # malformed JSON
+        "[1, 2, 3]",  # valid JSON, not an object (used to 500)
+        '"claims"',  # JSON scalar
+        '{"claims": "nope"}',  # claims not a list
+        '{"claims": [42]}',  # entry not an object
+        '{"claims": [{"cell": 2, "technology": 3}]}',  # missing field
+        '{"claims": [{"provider_id": "abc", "cell": 2, "technology": 3}]}',
+        '{"claims": [{"provider_id": 1, "cell": 2, "technology": 3, "state": 7}]}',
+        '{"claims": [{"provider_id": 1, "cell": 2, "technology": 3, "state": "ZZ"}]}',
+    ],
+)
+def test_post_failure_modes_return_400_json(served, body):
+    server, _service = served
+    status, doc = _json(server, "POST", "/v1/score", body=body)
+    assert status == 400 and "error" in doc
+
+
+def test_post_too_many_claims_rejected(served):
+    server, _service = served
+    claims = [{"provider_id": 1, "cell": 2, "technology": 3}] * 10_001
+    status, doc = _json(server, "POST", "/v1/score", body=json.dumps({"claims": claims}))
+    assert status == 400 and "at most" in doc["error"]
+
+
+def test_post_bad_content_length_rejected(served):
+    server, _service = served
+    for bad in ("abc", "-5"):
+        status, doc = _json(
+            server,
+            "POST",
+            "/v1/score",
+            body="{}",
+            headers={"Content-Length": bad},
+        )
+        assert status == 400 and "Content-Length" in doc["error"]
+
+
+def test_post_oversized_body_rejected_without_reading_it(served):
+    server, _service = served
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(
+            "POST",
+            "/v1/score",
+            body="",
+            headers={"Content-Length": str(64 * 1024 * 1024)},
+        )
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 413 and "exceeds" in doc["error"]
+        # The body was never read, so the server must refuse to reuse
+        # this keep-alive socket (stale bytes would desync the next
+        # request on it).
+        assert response.getheader("Connection") == "close"
+    finally:
+        conn.close()
+
+
+def test_empty_post_body_is_a_clean_400(served):
+    server, _service = served
+    status, doc = _json(server, "POST", "/v1/score", body="")
+    assert status == 400 and "error" in doc
+
+
+# -- cold path unavailable ---------------------------------------------------
+
+
+def test_cold_path_unavailable_is_400_not_500(store_only_served, tiny_score_store):
+    server, service = store_only_served
+    assert service.stats()["cold_path_available"] is False
+    status, doc = _json(
+        server, "GET", "/v1/claim?provider_id=1&cell=2&technology=3&state=TX"
+    )
+    assert status == 400 and "cold-path" in doc["error"]
+    body = json.dumps(
+        {"claims": [{"provider_id": 1, "cell": 2, "technology": 3, "state": "TX"}]}
+    )
+    status, doc = _json(server, "POST", "/v1/score", body=body)
+    assert status == 400 and "cold-path" in doc["error"]
+    # Precomputed lookups still work without a live model.
+    pid, cell, tech = _known_key(tiny_score_store)
+    status, doc = _json(
+        server, "GET", f"/v1/claim?provider_id={pid}&cell={cell}&technology={tech}"
+    )
+    assert status == 200 and doc["precomputed"] is True

@@ -28,6 +28,7 @@ REQUIRED = [
     "README.md",
     os.path.join("docs", "ARCHITECTURE.md"),
     os.path.join("docs", "PERFORMANCE.md"),
+    os.path.join("docs", "TESTING.md"),
     "ROADMAP.md",
 ]
 

@@ -1,0 +1,107 @@
+"""Regenerate (or verify) the committed scenario golden metrics.
+
+Runs the full scenario harness — baseline world + every registered
+scenario end to end — and compares the fresh metrics against the
+committed ``tests/goldens/scenario_metrics.json`` using the tolerance
+contract of :mod:`repro.scenarios.goldens`.  Every metric that moved
+beyond tolerance is printed *before* anything is overwritten, so a
+behavioural regression can't silently re-baseline itself.
+
+Run::
+
+    python tools/refresh_goldens.py            # report drift, then rewrite
+    python tools/refresh_goldens.py --check    # report drift, never write
+    python tools/refresh_goldens.py --scenario phantom_provider  # subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import scenarios  # noqa: E402
+from repro.scenarios.goldens import (  # noqa: E402
+    compare_all,
+    default_golden_path,
+    load_goldens,
+    save_goldens,
+    to_golden,
+)
+
+GOLDEN_PATH = default_golden_path(REPO_ROOT)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh metrics against the committed goldens and exit "
+        "non-zero on out-of-tolerance drift; never write",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="restrict to named scenario(s); the golden file keeps every "
+        "other scenario's committed entry",
+    )
+    args = parser.parse_args()
+
+    names = args.scenario if args.scenario else scenarios.names()
+    for name in names:
+        scenarios.get(name)  # fail fast on typos
+
+    print(f"building baseline world ({len(names)} scenario(s) to run)...")
+    baseline = scenarios.build_baseline()
+    fresh: dict[str, dict] = {}
+    invariant_failures = 0
+    for name in names:
+        run = scenarios.run_scenario(name, baseline)
+        failures = scenarios.check_invariants(run, baseline)
+        invariant_failures += len(failures)
+        fresh[name] = to_golden(run.metrics)
+        status = "ok" if not failures else "INVARIANT-FAIL"
+        print(
+            f"  {name:30s} auc={run.metrics.auc_injected:.3f} "
+            f"sep={run.metrics.percentile_separation:5.1f} "
+            f"inj={run.metrics.n_injected:5d} -> {status}"
+        )
+        for failure in failures:
+            print(f"      {failure}")
+
+    committed: dict[str, dict] = {}
+    if os.path.exists(GOLDEN_PATH):
+        committed = load_goldens(GOLDEN_PATH)
+        drift = compare_all(fresh, {n: committed[n] for n in committed if n in fresh})
+        if drift:
+            print("\nout-of-tolerance drift vs committed goldens:")
+            for name, failures in drift.items():
+                for failure in failures:
+                    print(f"  {name}: {failure}")
+        else:
+            print("\nall fresh metrics within tolerance of committed goldens")
+        if args.check:
+            return 1 if (drift or invariant_failures) else 0
+    elif args.check:
+        print(f"no committed goldens at {GOLDEN_PATH}")
+        return 1
+
+    if invariant_failures:
+        print(
+            f"\nrefusing to write goldens: {invariant_failures} invariant "
+            "failure(s) above — fix the scenario (or its floors) first"
+        )
+        return 1
+    merged = {**committed, **fresh}
+    save_goldens(GOLDEN_PATH, merged)
+    print(f"\nwrote {len(merged)} scenario golden(s) to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
