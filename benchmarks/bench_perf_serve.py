@@ -1,10 +1,12 @@
-"""Serving benchmark: store build time + micro-batched lookup throughput.
+"""Serving benchmark: lookup throughput, in-process and over the wire.
 
 Builds the ``tiny`` world, trains the integrity model, precomputes the
 :class:`~repro.serve.store.ClaimScoreStore` (timed — the deploy-time
-cost), then measures sustained scored-lookups/sec through the
-:class:`~repro.serve.service.AuditService` two ways over the same key
-set:
+cost), then measures two layers:
+
+**In-process** (section ``serve``): sustained scored-lookups/sec through
+the :class:`~repro.serve.service.AuditService` two ways over the same
+key set:
 
 * **single** — one ``score_claim`` call per key, the naive
   request-per-claim serving pattern (each call pays a queue round-trip,
@@ -14,9 +16,22 @@ set:
   vectorized index probe for every key).
 
 Both paths are verified to return identical records; the acceptance bar
-is batched throughput >= 5x single.  Results merge into
-``BENCH_perf.json`` (section ``serve``), which
-``check_perf_regression.py`` replays in CI.
+is batched throughput >= 5x single.
+
+**Over the wire** (section ``serve_http``): a live
+:class:`~repro.serve.http.AuditHTTPServer` driven through one
+keep-alive connection:
+
+* **v1 bulk** — ``POST /v1/score`` in fixed-size chunks (every key
+  rides the micro-batcher's Future machinery);
+* **v2 batch** — ``POST /v2/claims:batchScore`` over the same chunks
+  (precomputed keys take one vectorized gather, skipping the queue) —
+  the acceptance bar is v2 >= the v1 path;
+* **v2 list** — a cursor-paginated ``GET /v2/claims`` walk, recorded as
+  rows/sec.
+
+Results merge into ``BENCH_perf.json`` (sections ``serve`` and
+``serve_http``), which ``check_perf_regression.py`` replays in CI.
 
 Run standalone::
 
@@ -47,6 +62,9 @@ from repro.serve import AuditService, ClaimScoreStore  # noqa: E402
 #: (name, number of scored lookups per timed pass).
 SIZES = [("quick", 2_000), ("default", 20_000)]
 
+#: (name, lookups per timed HTTP pass, claims per POST chunk, page limit).
+HTTP_SIZES = [("quick", 4_000, 1_000, 500), ("default", 20_000, 1_000, 1_000)]
+
 
 def _build_service():
     world = build_world(tiny(seed=7))
@@ -67,8 +85,14 @@ def _build_service():
     return service, build_s
 
 
-def run(quick: bool = False) -> list[dict]:
-    service, build_s = _build_service()
+def run(quick: bool = False, service=None, build_s: float | None = None) -> list[dict]:
+    """In-process lookups.  ``service`` lets a caller (``main``,
+    ``check_perf_regression``) share one built world across ``run`` and
+    ``run_http`` instead of paying the build twice; when given, the
+    caller owns its lifecycle."""
+    own_service = service is None
+    if own_service:
+        service, build_s = _build_service()
     store = service.store
     claims = store.claims
     n_claims = len(store)
@@ -120,7 +144,140 @@ def run(quick: bool = False) -> list[dict]:
                 f"{row['lookup_speedup']:.1f}x the single-claim path "
                 "(acceptance bar is 5x)"
             )
-    service.close()
+    if own_service:
+        service.close()
+    return results
+
+
+def _post_chunks(conn, path: str, chunks: list[bytes]) -> None:
+    """POST every chunk over one keep-alive connection; sanity-check 200s."""
+    for body in chunks:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        if response.status != 200:
+            raise AssertionError(
+                f"{path} returned {response.status}: {payload[:200]!r}"
+            )
+
+
+def run_http(quick: bool = False, service=None) -> list[dict]:
+    """The over-the-wire section: v1 bulk vs v2 batch, plus the paginated
+    list walk, through a live server on one keep-alive connection.
+
+    ``service`` shares an already-built world (see :func:`run`)."""
+    import http.client
+    import json
+    import time
+
+    from repro.serve import make_server
+
+    own_service = service is None
+    if own_service:
+        service, _build_s = _build_service()
+    store = service.store
+    claims = store.claims
+    n_claims = len(store)
+    server = make_server(service, port=0)
+    import threading
+
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    rng = np.random.default_rng(1)
+    results = []
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        for name, n_lookups, chunk_rows, page_limit in (
+            HTTP_SIZES[:1] if quick else HTTP_SIZES
+        ):
+            rows = rng.integers(0, n_claims, size=n_lookups)
+            keys = [
+                {
+                    "provider_id": int(claims.provider_id[r]),
+                    "cell": int(claims.cell[r]),
+                    "technology": int(claims.technology[r]),
+                }
+                for r in rows
+            ]
+            chunks = [
+                json.dumps(
+                    {"claims": keys[start : start + chunk_rows]}
+                ).encode()
+                for start in range(0, n_lookups, chunk_rows)
+            ]
+            # Warm both endpoints once, then best-of-3 timed passes.
+            _post_chunks(conn, "/v1/score", chunks[:1])
+            _post_chunks(conn, "/v2/claims:batchScore", chunks[:1])
+            v1_s, _ = _perfutil.timed(
+                lambda: _post_chunks(conn, "/v1/score", chunks), repeats=3
+            )
+            v2_s, _ = _perfutil.timed(
+                lambda: _post_chunks(conn, "/v2/claims:batchScore", chunks),
+                repeats=3,
+            )
+
+            # Cursor-paginated walk: follow next_cursor to the end (but cap
+            # the walked rows at n_lookups to keep the pass bounded).
+            def _walk_pages() -> int:
+                walked = 0
+                path = f"/v2/claims?limit={page_limit}"
+                while walked < n_lookups:
+                    conn.request("GET", path)
+                    response = conn.getresponse()
+                    doc = json.loads(response.read())
+                    if response.status != 200:
+                        raise AssertionError(f"list walk failed: {doc}")
+                    walked += len(doc["items"])
+                    cursor = doc["next_cursor"]
+                    if cursor is None:
+                        break
+                    path = f"/v2/claims?limit={page_limit}&cursor={cursor}"
+                return walked
+
+            start = time.perf_counter()
+            paged_rows = _walk_pages()
+            list_s = time.perf_counter() - start
+
+            row = {
+                "size": name,
+                "n_claims": n_claims,
+                "n_lookups": n_lookups,
+                "batch_rows": chunk_rows,
+                "v1_bulk_seconds": v1_s,
+                "v2_batch_seconds": v2_s,
+                "v1_bulk_claims_per_s": n_lookups / v1_s,
+                "v2_batch_claims_per_s": n_lookups / v2_s,
+                "batch_v2_vs_v1": v1_s / v2_s,
+                "page_limit": page_limit,
+                "paged_rows": paged_rows,
+                "list_rows_per_s": paged_rows / list_s,
+            }
+            results.append(row)
+            print(
+                f"{name:8s} http lookups={n_lookups:6d}  "
+                f"v1 {row['v1_bulk_claims_per_s']:10,.0f}/s  "
+                f"v2 {row['v2_batch_claims_per_s']:10,.0f}/s  "
+                f"({row['batch_v2_vs_v1']:.2f}x)  "
+                f"list {row['list_rows_per_s']:10,.0f} rows/s"
+            )
+            # The committed (full-run) acceptance bar is v2 >= v1; quick
+            # CI replays tolerate some wall-clock noise — the halving
+            # guard in check_perf_regression.py still covers them.
+            floor = 0.8 if quick else 1.0
+            if row["batch_v2_vs_v1"] < floor:
+                raise AssertionError(
+                    f"{name}: v2 batch endpoint is slower than the v1 bulk "
+                    f"path ({row['batch_v2_vs_v1']:.2f}x; acceptance bar "
+                    f"is >= {floor}x)"
+                )
+        conn.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+        if own_service:
+            service.close()
     return results
 
 
@@ -133,12 +290,20 @@ def main() -> None:
         "--no-write", action="store_true", help="skip updating BENCH_perf.json"
     )
     args = parser.parse_args()
-    results = run(quick=args.quick)
+    service, build_s = _build_service()
+    try:
+        results = run(quick=args.quick, service=service, build_s=build_s)
+        http_results = run_http(quick=args.quick, service=service)
+    finally:
+        service.close()
     if not args.no_write:
         _perfutil.merge_section(
             "serve", _perfutil.round_floats({"results": results})
         )
-        print(f"wrote serve section to {_perfutil.BENCH_JSON}")
+        _perfutil.merge_section(
+            "serve_http", _perfutil.round_floats({"results": http_results})
+        )
+        print(f"wrote serve + serve_http sections to {_perfutil.BENCH_JSON}")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@ Replays the quick variants of ``bench_perf_gbdt.py``,
 ``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``, and
 ``bench_perf_serve.py`` on the current machine and compares the *speedup
 ratios* (vectorized kernel vs. seed reference, shared-binning tuning vs.
-per-trial binning, micro-batched vs. single-claim serving lookups, both
+per-trial binning, micro-batched vs. single-claim serving lookups, the
+v2 batch endpoint vs. the v1 bulk path over HTTP, both
 sides measured fresh) against the committed ``BENCH_perf.json``.  Comparing
 ratios instead of wall times keeps the check meaningful across
 heterogeneous CI hardware: a genuine hot-path regression halves the
@@ -43,6 +44,7 @@ REQUIRED_SECTIONS = {
     "vectorize": ("vectorize_speedup", "python benchmarks/bench_perf_vectorize.py"),
     "bayesopt": ("tuning_speedup", "python benchmarks/bench_perf_bayesopt.py"),
     "serve": ("lookup_speedup", "python benchmarks/bench_perf_serve.py"),
+    "serve_http": ("batch_v2_vs_v1", "python benchmarks/bench_perf_serve.py"),
 }
 
 
@@ -114,12 +116,25 @@ def main() -> int:
                 ("bayesopt", row["size"], expected, row["tuning_speedup"])
             )
     serve_base = _baseline_speedups(baseline, "serve", "lookup_speedup")
-    for row in bench_perf_serve.run(quick=True):
-        expected = serve_base.get(row["size"])
-        if expected is not None:
-            checks.append(
-                ("serve", row["size"], expected, row["lookup_speedup"])
-            )
+    http_base = _baseline_speedups(baseline, "serve_http", "batch_v2_vs_v1")
+    serve_service, serve_build_s = bench_perf_serve._build_service()
+    try:
+        for row in bench_perf_serve.run(
+            quick=True, service=serve_service, build_s=serve_build_s
+        ):
+            expected = serve_base.get(row["size"])
+            if expected is not None:
+                checks.append(
+                    ("serve", row["size"], expected, row["lookup_speedup"])
+                )
+        for row in bench_perf_serve.run_http(quick=True, service=serve_service):
+            expected = http_base.get(row["size"])
+            if expected is not None:
+                checks.append(
+                    ("serve_http", row["size"], expected, row["batch_v2_vs_v1"])
+                )
+    finally:
+        serve_service.close()
 
     if not checks:
         print("no comparable baseline entries found in", args.baseline)

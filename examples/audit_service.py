@@ -1,41 +1,27 @@
-"""Audit service: train, save artifacts, serve claim scores over HTTP.
+"""Audit service: train, save artifacts, serve claim scores over HTTP v2.
 
 The serving workflow end-to-end (~1-2 minutes):
 
 1. build the simulated BDC world and train the integrity model;
 2. save the model + precomputed claim-score store as a pickle-free
    artifact bundle;
-3. reload the bundle into a standalone :class:`AuditService` (no world
-   in memory) and start the stdlib JSON HTTP server;
-4. run a scripted client session: health check, single-claim lookup,
-   bulk scoring, and the top-10 most suspicious claims of one state.
+3. reload the bundle into a standalone :class:`AuditService` through the
+   model registry (no world in memory) and start the stdlib JSON HTTP
+   server;
+4. run a scripted session with the typed :class:`AuditClient` SDK:
+   health check, single-claim lookup, batch scoring, a cursor-paginated
+   walk of one state's most suspicious claims, and the model registry.
 
     python examples/audit_service.py
 """
 
-import json
 import tempfile
 import threading
-import urllib.request
 
+from repro.client import AuditClient
 from repro.core import NBMIntegrityModel, build_dataset, build_world, make_feature_builder, tiny
 from repro.dataset import random_observation_split
 from repro.serve import AuditService, make_server
-
-
-def get(base: str, path: str) -> dict:
-    with urllib.request.urlopen(base + path, timeout=30) as resp:
-        return json.load(resp)
-
-
-def post(base: str, path: str, doc: dict) -> dict:
-    req = urllib.request.Request(
-        base + path,
-        data=json.dumps(doc).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(req, timeout=30) as resp:
-        return json.load(resp)
 
 
 def main() -> None:
@@ -54,39 +40,43 @@ def main() -> None:
         print(f"  bundle: {bundle} (manifest.json + npz arrays, no pickle)")
 
         # Standalone reload: the server below holds no simulation world.
-        standalone = AuditService.from_artifacts(bundle)
+        standalone = AuditService.from_artifacts(bundle, version_name="2024-06")
         server = make_server(standalone, port=0)
         host, port = server.server_address[:2]
         base = f"http://{host}:{port}"
         threading.Thread(target=server.serve_forever, daemon=True).start()
-        print(f"  serving at {base}  (try: curl '{base}/v1/top?k=3')\n")
+        print(f"  serving at {base}  (try: curl '{base}/v2/claims?limit=3')\n")
 
-        health = get(base, "/healthz")
+        client = AuditClient(base)
+        health = client.health()
         print(f"GET /healthz -> {health}")
 
-        top = get(base, "/v1/top?k=1")["results"][0]
-        claim_q = (
-            f"/v1/claim?provider_id={top['provider_id']}"
-            f"&cell={top['cell']}&technology={top['technology']}"
-        )
-        record = get(base, claim_q)
-        print(f"GET {claim_q}")
+        models = client.models()
+        default = models["default"]
         print(
-            f"  -> score={record['score']:.4f} "
-            f"percentile={record['percentile']:.1f} rank={record['rank']}"
+            f"GET /v2/models -> default={default!r}, "
+            f"{len(models['versions'])} version(s) registered"
         )
 
-        bulk = post(
-            base,
-            "/v1/score",
-            {"claims": [
-                {k: top[k] for k in ("provider_id", "cell", "technology")},
-            ]},
+        top = next(client.iter_claims(page_size=1))
+        print(
+            f"GET /v2/claims/{top.provider_id}/{top.cell}/{top.technology}"
         )
-        print(f"POST /v1/score (1 claim) -> {len(bulk['results'])} result(s)")
+        record = client.get_claim(top.provider_id, top.cell, top.technology)
+        print(
+            f"  -> score={record.score:.4f} "
+            f"percentile={record.percentile:.1f} rank={record.rank}"
+        )
 
-        state = top["state"]
-        summary = get(base, f"/v1/state/{state}/summary")
+        batch = client.batch_score([record.key])
+        print(
+            f"POST /v2/claims:batchScore (1 claim) -> "
+            f"{len(batch.results)} result(s) from version "
+            f"{batch.model_version!r}"
+        )
+
+        state = top.state
+        summary = client.state_summary(state)
         print(
             f"\nState {state}: {summary['n_claims']:,} claims, "
             f"{100 * summary['suspicious_share']:.1f}% over the suspicion "
@@ -96,21 +86,25 @@ def main() -> None:
               "(paper: red hexes a regulator would challenge first):")
         print(f"  {'rank':>4}  {'provider':>8}  {'tech':>4}  "
               f"{'score':>7}  {'pctile':>6}  cell")
-        for rec in get(base, f"/v1/top?k=10&state={state}")["results"]:
+        # A cursor-paginated walk through the state's suspicion order
+        # (tiny pages on purpose, to show the cursors in action).
+        for rec in client.iter_claims(state=state, page_size=4, max_items=10):
             print(
-                f"  {rec['rank']:>4}  {rec['provider_id']:>8}  "
-                f"{rec['technology']:>4}  {rec['score']:>7.4f}  "
-                f"{rec['percentile']:>6.1f}  {rec['cell']:#x}"
+                f"  {rec.rank:>4}  {rec.provider_id:>8}  "
+                f"{rec.technology:>4}  {rec.score:>7.4f}  "
+                f"{rec.percentile:>6.1f}  {rec.cell:#x}"
             )
 
-        stats = get(base, "/v1/stats")["batcher"]
+        stats = client.stats()["batcher"]
         print(
             f"\nBatcher: {stats['requests']} requests, "
             f"{stats['batches']} vectorized batches, "
             f"{stats['cache_hits']} cache hits"
         )
+        client.close()
         server.shutdown()
         server.server_close()
+        standalone.close()
 
 
 if __name__ == "__main__":

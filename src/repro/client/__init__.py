@@ -1,0 +1,10 @@
+"""Python SDK for the audit API (:mod:`repro.serve.http`).
+
+Stdlib-only: :class:`AuditClient` speaks the typed v2 wire contract of
+:mod:`repro.serve.schemas` over persistent HTTP connections, with
+retries, cursor-pagination iterators, and batch scoring.
+"""
+
+from repro.client.audit import AuditAPIError, AuditClient
+
+__all__ = ["AuditAPIError", "AuditClient"]

@@ -1,0 +1,326 @@
+"""`AuditClient` — a typed, stdlib-only SDK for the audit HTTP API.
+
+The client speaks the v2 wire contract defined by
+:mod:`repro.serve.schemas` and returns the same typed objects the server
+encodes (:class:`ScoreRecord`, :class:`Page`,
+:class:`BatchScoreResponse`), so a scripted consumer never touches raw
+JSON dicts:
+
+    client = AuditClient("http://127.0.0.1:8350")
+    record = client.get_claim(100043, 0x8a44e1, 50)
+    for rec in client.iter_claims(state="TX"):      # full cursor walk
+        ...
+    response = client.batch_score([(100043, 0x8a44e1, 50), ...])
+
+Transport
+---------
+
+One persistent ``http.client.HTTPConnection`` **per thread**
+(keep-alive; the server is HTTP/1.1), transparently reopened after
+drops.  Requests are retried on transport failures and 502/503/504
+responses with exponential backoff — every API call here is a pure read
+or an idempotent swap, so retries are always safe.  API failures raise
+:class:`AuditAPIError` carrying the HTTP status and the server's
+``{"error": ...}`` message; a 404 on a single-claim lookup is returned
+as ``None`` instead (an unknown claim is an answer, not a failure).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.serve.schemas import (
+    BatchScoreResponse,
+    ClaimKey,
+    ErrorBody,
+    Page,
+    SchemaError,
+    ScoreRecord,
+)
+
+__all__ = ["AuditAPIError", "AuditClient"]
+
+#: Response statuses worth retrying (transient server/gateway states).
+_RETRY_STATUSES = frozenset({502, 503, 504})
+
+
+class AuditAPIError(Exception):
+    """An audit API call failed.
+
+    ``status`` is the HTTP status of the failure, or ``None`` when the
+    request never completed (transport failure after all retries).
+    """
+
+    def __init__(self, message: str, status: int | None = None, path: str = ""):
+        super().__init__(message)
+        self.status = status
+        self.path = path
+
+
+def _as_claim_key(entry, where: str) -> ClaimKey:
+    if isinstance(entry, ClaimKey):
+        return entry
+    if isinstance(entry, dict):
+        return ClaimKey.from_dict(entry, where)
+    if isinstance(entry, (tuple, list)) and len(entry) in (3, 4):
+        return ClaimKey(*entry)
+    raise SchemaError(
+        f"{where} must be a ClaimKey, a mapping, or a "
+        "(provider_id, cell, technology[, state]) tuple"
+    )
+
+
+class AuditClient:
+    """Typed client for one audit-service base URL.
+
+    Thread-safe: connections are per-thread, so one client instance can
+    be shared across concurrent readers (the shape the micro-batched
+    server is built for).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
+    ):
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        #: Path prefix for proxied deployments (http://gw/audit -> /audit).
+        self._prefix = parts.path.rstrip("/")
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff_s = float(retry_backoff_s)
+        self._local = threading.local()
+
+    # -- transport ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        """One API call with retries; returns (status, decoded JSON)."""
+        path = self._prefix + path
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        last_error: Exception | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                time.sleep(self._backoff_s * (2 ** (attempt - 1)))
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                if response.will_close:
+                    self._drop_connection()
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop_connection()
+                last_error = exc
+                continue
+            if response.status in _RETRY_STATUSES:
+                last_error = AuditAPIError(
+                    self._error_message(raw, response.status),
+                    status=response.status,
+                    path=path,
+                )
+                continue
+            try:
+                doc = json.loads(raw) if raw else None
+            except json.JSONDecodeError as exc:
+                raise AuditAPIError(
+                    f"invalid JSON in response: {exc}",
+                    status=response.status,
+                    path=path,
+                ) from None
+            if response.status >= 400:
+                raise AuditAPIError(
+                    self._error_message(raw, response.status),
+                    status=response.status,
+                    path=path,
+                )
+            return response.status, doc
+        if isinstance(last_error, AuditAPIError):
+            raise last_error
+        raise AuditAPIError(
+            f"request failed after {self._retries + 1} attempt(s): {last_error}",
+            status=None,
+            path=path,
+        ) from last_error
+
+    @staticmethod
+    def _error_message(raw: bytes, status: int) -> str:
+        try:
+            return ErrorBody.from_dict(json.loads(raw)).error
+        except (ValueError, SchemaError):
+            return f"HTTP {status}"
+
+    def _get(self, path: str, params: dict | None = None):
+        if params:
+            query = urlencode(
+                {k: v for k, v in params.items() if v is not None}
+            )
+            if query:
+                path = f"{path}?{query}"
+        return self._request("GET", path)[1]
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on GC/exit)."""
+        self._drop_connection()
+
+    # -- meta ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get("/healthz")
+
+    def stats(self) -> dict:
+        return self._get("/v1/stats")
+
+    def models(self) -> dict:
+        """Registry versions + per-version stats (``GET /v2/models``)."""
+        return self._get("/v2/models")
+
+    def activate_model(self, name: str) -> dict:
+        """Atomically make ``name`` the default serving version."""
+        return self._request(
+            "POST", f"/v2/models/{quote(name, safe='')}:activate"
+        )[1]
+
+    # -- claims -------------------------------------------------------------
+
+    def get_claim(
+        self,
+        provider_id: int,
+        cell: int,
+        technology: int,
+        state: str | None = None,
+    ) -> ScoreRecord | None:
+        """One claim's score record; ``None`` for a claim the store does
+        not know (pass ``state`` to score it as a hypothetical filing)."""
+        path = f"/v2/claims/{int(provider_id)}/{int(cell)}/{int(technology)}"
+        try:
+            doc = self._get(path, {"state": state})
+        except AuditAPIError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        return ScoreRecord.from_dict(doc.get("record"), "record")
+
+    def page_claims(
+        self,
+        provider_id: int | None = None,
+        state: str | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+        limit: int | None = None,
+        cursor: str | None = None,
+    ) -> Page:
+        """One page of the descending-suspicion walk (``GET /v2/claims``)."""
+        doc = self._get(
+            "/v2/claims",
+            {
+                "provider_id": provider_id,
+                "state": state,
+                "technology": technology,
+                "cell": cell,
+                "limit": limit,
+                "cursor": cursor,
+            },
+        )
+        return Page.from_dict(doc)
+
+    def iter_pages(
+        self,
+        provider_id: int | None = None,
+        state: str | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+        page_size: int | None = None,
+    ):
+        """Generator over pages, following cursors until the walk ends."""
+        cursor = None
+        while True:
+            page = self.page_claims(
+                provider_id=provider_id,
+                state=state,
+                technology=technology,
+                cell=cell,
+                limit=page_size,
+                cursor=cursor,
+            )
+            yield page
+            cursor = page.next_cursor
+            if cursor is None:
+                return
+
+    def iter_claims(
+        self,
+        provider_id: int | None = None,
+        state: str | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+        page_size: int | None = None,
+        max_items: int | None = None,
+    ):
+        """Generator over :class:`ScoreRecord` in descending suspicion,
+        transparently following pagination cursors."""
+        emitted = 0
+        for page in self.iter_pages(
+            provider_id=provider_id,
+            state=state,
+            technology=technology,
+            cell=cell,
+            page_size=page_size,
+        ):
+            for record in page.items:
+                yield record
+                emitted += 1
+                if max_items is not None and emitted >= max_items:
+                    return
+
+    def batch_score(self, claims) -> BatchScoreResponse:
+        """Score many claim keys in one request
+        (``POST /v2/claims:batchScore``).
+
+        ``claims`` entries may be :class:`ClaimKey`, mappings, or
+        ``(provider_id, cell, technology[, state])`` tuples.
+        """
+        keys = [
+            _as_claim_key(entry, f"claims[{i}]") for i, entry in enumerate(claims)
+        ]
+        _, doc = self._request(
+            "POST",
+            "/v2/claims:batchScore",
+            body={"claims": [key.to_dict() for key in keys]},
+        )
+        return BatchScoreResponse.from_dict(doc)
+
+    # -- summaries ----------------------------------------------------------
+
+    def provider_summary(self, provider_id: int) -> dict:
+        return self._get(f"/v2/providers/{int(provider_id)}")
+
+    def state_summary(self, abbr: str) -> dict:
+        return self._get(f"/v2/states/{quote(abbr, safe='')}")

@@ -282,7 +282,14 @@ def check_invariants(run: ScenarioRun, baseline: HarnessBaseline) -> list[str]:
 
 
 def _service_consistency(run: ScenarioRun, sample: int = 5) -> list[str]:
-    """The serving read path must agree with the store on injected claims."""
+    """The serving read path must agree with the store on injected claims.
+
+    Checked twice: directly against the :class:`AuditService` facade, and
+    over the wire — a live HTTP server walked with the typed
+    :class:`~repro.client.AuditClient` — so every scenario sweep
+    exercises the full v2 surface (router, schemas, pagination, batch
+    scoring), not just the in-process facade.
+    """
     failures: list[str] = []
     rows = np.nonzero(run.mask)[0][:sample]
     for row in rows:
@@ -297,6 +304,49 @@ def _service_consistency(run: ScenarioRun, sample: int = 5) -> list[str]:
     scores = [r["score"] for r in top]
     if scores != sorted(scores, reverse=True):
         failures.append("top_suspicious output is not sorted by score")
+    failures.extend(_http_consistency(run, rows))
+    return failures
+
+
+def _http_consistency(run: ScenarioRun, rows: np.ndarray) -> list[str]:
+    """Drive the v2 HTTP API + client SDK against the scenario store."""
+    import threading
+
+    from repro.client import AuditClient
+    from repro.serve.http import make_server
+
+    failures: list[str] = []
+    store = run.store
+    server = make_server(run.service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = AuditClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        keys = [store.claims.key_at(int(row)) for row in rows]
+        for row, key in zip(rows, keys):
+            record = client.get_claim(*key)
+            if record is None or record.margin != float(store.margin[row]):
+                failures.append(
+                    f"v2 claim endpoint disagrees with the store for {key}"
+                )
+        page = client.page_claims(limit=min(10, len(store)))
+        expected = [float(store.margin[r]) for r in store.sus_order[: len(page.items)]]
+        if [r.margin for r in page.items] != expected:
+            failures.append(
+                "v2 paginated list disagrees with the store's suspicion order"
+            )
+        if keys:
+            response = client.batch_score(keys)
+            batch_margins = [
+                None if r is None else r.margin for r in response.results
+            ]
+            if batch_margins != [float(store.margin[r]) for r in rows]:
+                failures.append(
+                    "v2 batch scoring disagrees with the store margins"
+                )
+    finally:
+        client.close()
+        server.shutdown()
+        server.server_close()
     return failures
 
 

@@ -1,4 +1,4 @@
-"""Online claim-audit serving: model artifacts, score store, batcher, API.
+"""Online claim-audit serving: artifacts, score store, registry, API.
 
 The training side of the reproduction ends with a fitted
 :class:`~repro.core.model.NBMIntegrityModel` bound to a live simulated
@@ -14,15 +14,28 @@ Module                   Role
                                round-trips
 :mod:`~repro.serve.store`      :class:`ClaimScoreStore` — every distinct
                                claim scored once through the binned path;
-                               frozen score/percentile/top-k arrays keyed by
-                               the columnar claim index
+                               frozen score/percentile/top-k arrays plus
+                               cursor pagination over the suspicion order
 :mod:`~repro.serve.batcher`    :class:`MicroBatcher` — coalesces concurrent
                                single-claim requests into one vectorized
                                batch per flush, with an LRU result cache
+:mod:`~repro.serve.schemas`    typed request/response dataclasses
+                               (:class:`ClaimKey`, :class:`ScoreRecord`,
+                               :class:`Page`, batch request/response) with
+                               canonical JSON encode/decode + cursor codec
+:mod:`~repro.serve.registry`   :class:`ModelRegistry` — named (model, store)
+                               versions with atomic hot-swap of the default
+                               and per-version stats
 :mod:`~repro.serve.service`    :class:`AuditService` — the query facade
-                               (claim lookups, filtered top-k, summaries)
-:mod:`~repro.serve.http`       stdlib JSON HTTP API over the service
+                               (claim lookups, filtered top-k, pagination,
+                               summaries), bound through the registry
+:mod:`~repro.serve.router`     declarative route table (method, pattern,
+                               typed query spec, handler)
+:mod:`~repro.serve.http`       stdlib JSON HTTP API: versioned ``/v2``
+                               resource routes + frozen ``/v1`` adapters
 =======================  ====================================================
+
+The matching client SDK lives in :mod:`repro.client`.
 """
 
 from repro.serve.artifacts import (
@@ -32,7 +45,35 @@ from repro.serve.artifacts import (
     save_model_artifacts,
 )
 from repro.serve.batcher import BatcherStats, MicroBatcher
-from repro.serve.http import AuditHTTPServer, make_server
+from repro.serve.http import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_BODY_BYTES,
+    MAX_RESULT_ROWS,
+    AuditHTTPServer,
+    build_router,
+    make_server,
+)
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.router import (
+    ApiError,
+    BadRequest,
+    NotFound,
+    PayloadTooLarge,
+    QueryParam,
+    Route,
+    Router,
+)
+from repro.serve.schemas import (
+    BatchScoreRequest,
+    BatchScoreResponse,
+    ClaimKey,
+    ErrorBody,
+    Page,
+    SchemaError,
+    ScoreRecord,
+    decode_cursor,
+    encode_cursor,
+)
 from repro.serve.service import AuditService
 from repro.serve.store import ClaimScoreStore
 
@@ -44,7 +85,29 @@ __all__ = [
     "BatcherStats",
     "MicroBatcher",
     "AuditHTTPServer",
+    "build_router",
     "make_server",
+    "DEFAULT_PAGE_LIMIT",
+    "MAX_BODY_BYTES",
+    "MAX_RESULT_ROWS",
+    "ModelRegistry",
+    "ModelVersion",
+    "ApiError",
+    "BadRequest",
+    "NotFound",
+    "PayloadTooLarge",
+    "QueryParam",
+    "Route",
+    "Router",
+    "BatchScoreRequest",
+    "BatchScoreResponse",
+    "ClaimKey",
+    "ErrorBody",
+    "Page",
+    "SchemaError",
+    "ScoreRecord",
+    "decode_cursor",
+    "encode_cursor",
     "AuditService",
     "ClaimScoreStore",
 ]

@@ -2,30 +2,49 @@
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly the shape the micro-batcher exploits:
-concurrent ``GET /v1/claim`` handlers block on Futures while their
-requests coalesce into one vectorized batch per flush.
+concurrent single-claim handlers block on Futures while their requests
+coalesce into one vectorized batch per flush.
 
-Routes
-------
+Dispatch is a declarative route table (:mod:`repro.serve.router`): each
+route declares its method, path pattern with ``{param}`` captures, and a
+typed query-param spec.  Request/response payloads follow the typed
+schemas of :mod:`repro.serve.schemas`, and every data route serves from
+one atomic :class:`~repro.serve.registry.ModelVersion` snapshot, so
+responses stay internally consistent across hot-swaps.
 
-==============================================  =============================
-Route                                           Response
-==============================================  =============================
-``GET /healthz``                                liveness + store size
-``GET /v1/stats``                               service + batcher counters
-``GET /v1/claim?provider_id=&cell=``            one claim's score record
-``&technology=[&state=XX]``                     (``state`` enables the cold
-                                                path for unknown claims);
-                                                404 for unknown claims
-``GET /v1/top?[k=10][&provider_id=]``           top-k suspicious claims
-``[&state=][&technology=][&cell=]``             matching the filters
-``GET /v1/provider/{id}/summary``               provider score profile
-``GET /v1/state/{abbr}/summary``                state score profile
-``POST /v1/score``                              bulk scoring; JSON body
-                                                ``{"claims": [{...}, ...]}``,
-                                                each claim a key dict with
-                                                optional ``state``
-==============================================  =============================
+v2 routes (resource-oriented, the current surface)
+--------------------------------------------------
+
+====================================================  =======================
+Route                                                 Response
+====================================================  =======================
+``GET /v2/claims/{provider_id}/{cell}/{technology}``  one claim's record
+``[?state=XX]``                                       (``state`` enables the
+                                                      cold path); 404 unknown
+``GET /v2/claims?[filters]&limit=&cursor=``           cursor-paginated walk
+                                                      of the suspicion order
+                                                      (filters: provider_id,
+                                                      state, technology,
+                                                      cell)
+``POST /v2/claims:batchScore``                        bulk scoring; body
+                                                      ``{"claims": [...]}``
+``GET /v2/providers/{provider_id}``                   provider score profile
+``GET /v2/states/{abbr}``                             state score profile
+``GET /v2/models``                                    registry versions +
+                                                      per-version stats
+``POST /v2/models/{name}:activate``                   atomic default swap
+``GET /healthz``                                      liveness + limits
+====================================================  =======================
+
+v1 routes (deprecated, frozen)
+------------------------------
+
+``/v1/stats``, ``/v1/claim``, ``/v1/top``, ``/v1/provider/{id}/summary``,
+``/v1/state/{abbr}/summary``, and ``POST /v1/score`` are kept as thin
+adapters over the same stack with **bitwise-identical** response bodies
+(pinned by the golden compatibility tests).  New clients should use v2:
+it adds pagination, model versioning, and typed schemas that v1 will
+never grow.
 
 Every failure is a JSON body ``{"error": "..."}`` — 400 for malformed
 parameters, bodies, or unknown states; 404 for unknown routes and
@@ -35,49 +54,371 @@ Example session (see ``examples/audit_service.py`` for a scripted one)::
 
     server = make_server(service, port=8350)
     threading.Thread(target=server.serve_forever, daemon=True).start()
-    # curl 'http://127.0.0.1:8350/v1/top?k=10&state=TX'
+    # curl 'http://127.0.0.1:8350/v2/claims?state=TX&limit=10'
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.serve.registry import ModelVersion, state_index, validate_key_range
+from repro.serve.router import (
+    ApiError,
+    BadRequest,
+    NotFound,
+    PayloadTooLarge,
+    QueryParam,
+    Router,
+    parse_query,
+)
+from repro.serve.schemas import (
+    BatchScoreRequest,
+    SchemaError,
+    decode_cursor,
+    encode_cursor,
+    filter_fingerprint,
+)
 from repro.serve.service import AuditService
 
-__all__ = ["AuditHTTPServer", "make_server"]
+__all__ = ["AuditHTTPServer", "make_server", "build_router"]
 
-#: Cap on /v1/top's k and on bulk-scoring request size.
+#: Cap on top-k, page limits, and bulk-scoring request size — enforced
+#: uniformly across the v1 and v2 read/score endpoints.
 MAX_RESULT_ROWS = 10_000
 
 #: Cap on POST body size (a full 10k-claim bulk request fits comfortably).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
-
-class _BadRequest(ValueError):
-    """Maps to a 400 response with the message as the error body."""
-
-
-class _PayloadTooLarge(ValueError):
-    """Maps to a 413 response with the message as the error body."""
+#: Page size of ``GET /v2/claims`` when the client does not pass one.
+DEFAULT_PAGE_LIMIT = 100
 
 
-def _int_param(params: dict, name: str, default=None, required: bool = False):
-    values = params.get(name)
-    if not values:
-        if required:
-            raise _BadRequest(f"missing required parameter {name!r}")
-        return default
+@dataclass
+class RequestContext:
+    """Everything one matched request needs, version-snapshotted."""
+
+    service: AuditService
+    path: dict[str, str]
+    query: dict
+    body: object | None = None
+    _version: ModelVersion | None = field(default=None, repr=False)
+
+    @property
+    def version(self) -> ModelVersion:
+        """The model version serving this request — resolved once, so the
+        whole response is consistent with exactly one registry entry."""
+        if self._version is None:
+            self._version = self.service.registry.default
+            self._version.count_request()
+        return self._version
+
+    def int_path(self, name: str, label: str | None = None) -> int:
+        raw = self.path[name]
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequest(
+                f"{label or f'path parameter {name!r}'} must be an integer"
+            ) from None
+
+
+# -- shared pieces ------------------------------------------------------------
+
+_COLD_UNAVAILABLE = (
+    "cold-path scoring (state given) is unavailable: "
+    "service has no live feature builder"
+)
+
+_CLAIM_FILTERS = (
+    QueryParam("provider_id", "int"),
+    QueryParam("state"),
+    QueryParam("technology", "int"),
+    QueryParam("cell", "int"),
+)
+
+
+def _require_cold_path(ctx: RequestContext, state) -> None:
+    if state is not None and not ctx.version.cold_path_available:
+        raise BadRequest(_COLD_UNAVAILABLE)
+
+
+def _claim_record(ctx: RequestContext, provider_id, cell, technology, state):
+    """Shared single-claim lookup; ``NotFound`` for unknown claims."""
+    _require_cold_path(ctx, state)
+    record = ctx.version.score_claim(provider_id, cell, technology, state)
+    if record is None:
+        raise NotFound(
+            "claim not in the score store (pass state=XX to score it "
+            "as a hypothetical filing)"
+        )
+    return record
+
+
+# -- meta endpoints -----------------------------------------------------------
+
+
+def _healthz(ctx: RequestContext):
+    return {
+        "status": "ok",
+        "n_claims": len(ctx.service.registry.default.store),
+        "limits": {
+            "max_result_rows": MAX_RESULT_ROWS,
+            "max_body_bytes": MAX_BODY_BYTES,
+            "default_page_limit": DEFAULT_PAGE_LIMIT,
+        },
+    }
+
+
+def _v1_stats(ctx: RequestContext):
+    return ctx.service.stats()
+
+
+# -- v1 adapters (frozen wire format) ----------------------------------------
+
+
+def _v1_claim(ctx: RequestContext):
+    q = ctx.query
+    return _claim_record(
+        ctx, q["provider_id"], q["cell"], q["technology"], q["state"]
+    )
+
+
+def _v1_top(ctx: RequestContext):
+    k = ctx.query["k"]
+    if not 0 <= k <= MAX_RESULT_ROWS:
+        raise BadRequest(f"k must be in [0, {MAX_RESULT_ROWS}]")
+    return {
+        "results": ctx.service.top_suspicious(
+            k=k,
+            provider_id=ctx.query["provider_id"],
+            state=ctx.query["state"],
+            technology=ctx.query["technology"],
+            cell=ctx.query["cell"],
+            version=ctx.version.name,
+        )
+    }
+
+
+def _v1_provider_summary(ctx: RequestContext):
+    pid = ctx.int_path("provider_id", label="provider id")
+    return ctx.service.provider_summary(pid, version=ctx.version.name)
+
+
+def _v1_state_summary(ctx: RequestContext):
+    return ctx.service.state_summary(ctx.path["abbr"], version=ctx.version.name)
+
+
+def _v1_score(ctx: RequestContext):
+    doc = ctx.body
+    if not isinstance(doc, dict):
+        raise BadRequest('body must be a JSON object {"claims": [...]}')
+    claims = doc.get("claims")
+    if not isinstance(claims, list):
+        raise BadRequest('body must be {"claims": [...]}')
+    if len(claims) > MAX_RESULT_ROWS:
+        raise BadRequest(f"at most {MAX_RESULT_ROWS} claims per request")
+    payloads = []
+    for entry in claims:
+        if not isinstance(entry, dict):
+            raise BadRequest("each claim must be an object")
+        state = entry.get("state")
+        if state is not None and not isinstance(state, str):
+            raise BadRequest("claim state must be a string state abbreviation")
+        try:
+            payload = (
+                int(entry["provider_id"]),
+                int(entry["cell"]),
+                int(entry["technology"]),
+                state,
+            )
+        except (KeyError, TypeError, ValueError):
+            raise BadRequest(
+                "each claim needs integer provider_id, cell, and technology"
+            ) from None
+        # Range-check before the batcher: an out-of-range key reaching
+        # the coalesced scorer would 500 and poison its batchmates.
+        try:
+            validate_key_range(*payload[:3])
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+        payloads.append(payload)
+    _require_cold_path(
+        ctx, next((p[3] for p in payloads if p[3] is not None), None)
+    )
+    results = ctx.version.batcher.score_many(payloads, cache_keys=payloads)
+    return {"results": results}
+
+
+# -- v2 resource routes -------------------------------------------------------
+
+
+def _v2_claim(ctx: RequestContext):
+    record = _claim_record(
+        ctx,
+        ctx.int_path("provider_id"),
+        ctx.int_path("cell"),
+        ctx.int_path("technology"),
+        ctx.query["state"],
+    )
+    return {"record": record, "model_version": ctx.version.name}
+
+
+def _v2_claims_list(ctx: RequestContext):
+    limit = ctx.query["limit"]
+    if not 1 <= limit <= MAX_RESULT_ROWS:
+        raise BadRequest(f"limit must be in [1, {MAX_RESULT_ROWS}]")
+    state = ctx.query["state"]
+    state_idx = state_index(state) if state is not None else None
+    version = ctx.version
+    fingerprint = filter_fingerprint(
+        provider_id=ctx.query["provider_id"],
+        state_idx=state_idx,
+        technology=ctx.query["technology"],
+        cell=ctx.query["cell"],
+    )
+    store = version.store
+    after_rank = 0
+    token = ctx.query["cursor"]
+    if token is not None:
+        cursor = decode_cursor(token)
+        if cursor.version != version.name:
+            raise BadRequest(
+                f"cursor was issued for model version {cursor.version!r} "
+                f"but the current default is {version.name!r}; restart "
+                "the walk"
+            )
+        if cursor.etag != store.etag:
+            raise BadRequest(
+                f"cursor was issued for a different build of model "
+                f"version {version.name!r}; restart the walk"
+            )
+        if cursor.fingerprint != fingerprint:
+            raise BadRequest("cursor does not match the request filters")
+        after_rank = cursor.rank
+    rows, next_rank, total = store.page_suspicious(
+        after_rank=after_rank,
+        limit=limit,
+        provider_id=ctx.query["provider_id"],
+        state_idx=state_idx,
+        technology=ctx.query["technology"],
+        cell=ctx.query["cell"],
+    )
+    next_cursor = (
+        None
+        if next_rank is None
+        else encode_cursor(version.name, next_rank, fingerprint, store.etag)
+    )
+    # The canonical Page shape (schemas.Page.to_dict), assembled from the
+    # store's record dicts directly — this is a hot path at full-walk
+    # scale, so no dataclass round-trip per row.
+    return {
+        "items": store.records(rows),
+        "next_cursor": next_cursor,
+        "total": total,
+        "model_version": version.name,
+    }
+
+
+def _v2_batch_score(ctx: RequestContext):
+    request = BatchScoreRequest.from_dict(ctx.body, max_claims=MAX_RESULT_ROWS)
+    _require_cold_path(
+        ctx, next((k.state for k in request.claims if k.state is not None), None)
+    )
+    results = ctx.version.score_keys(list(request.claims))
+    return {"results": results, "model_version": ctx.version.name}
+
+
+def _v2_provider(ctx: RequestContext):
+    pid = ctx.int_path("provider_id")
+    summary = ctx.service.provider_summary(pid, version=ctx.version.name)
+    return {**summary, "model_version": ctx.version.name}
+
+
+def _v2_state(ctx: RequestContext):
+    summary = ctx.service.state_summary(ctx.path["abbr"], version=ctx.version.name)
+    return {**summary, "model_version": ctx.version.name}
+
+
+def _v2_models(ctx: RequestContext):
+    return ctx.service.registry.describe()
+
+
+def _v2_activate(ctx: RequestContext):
+    registry = ctx.service.registry
+    previous = registry.default_name
     try:
-        return int(values[0])
-    except ValueError:
-        raise _BadRequest(f"parameter {name!r} must be an integer") from None
+        version = registry.activate(ctx.path["name"])
+    except KeyError as exc:
+        raise NotFound(str(exc.args[0])) from None
+    return {"default": version.name, "previous": previous}
 
 
-def _str_param(params: dict, name: str, default=None):
-    values = params.get(name)
-    return values[0] if values else default
+def build_router() -> Router:
+    """The full route table: v2 resources plus the frozen v1 adapters."""
+    router = Router()
+    router.add("GET", "/healthz", _healthz)
+    # v2 — resource-oriented, versioned, paginated.
+    router.add(
+        "GET",
+        "/v2/claims/{provider_id}/{cell}/{technology}",
+        _v2_claim,
+        query=(QueryParam("state"),),
+    )
+    router.add(
+        "GET",
+        "/v2/claims",
+        _v2_claims_list,
+        query=_CLAIM_FILTERS
+        + (
+            QueryParam("limit", "int", default=DEFAULT_PAGE_LIMIT),
+            QueryParam("cursor"),
+        ),
+    )
+    router.add("POST", "/v2/claims:batchScore", _v2_batch_score)
+    router.add("GET", "/v2/providers/{provider_id}", _v2_provider)
+    router.add("GET", "/v2/states/{abbr}", _v2_state)
+    router.add("GET", "/v2/models", _v2_models)
+    router.add("POST", "/v2/models/{name}:activate", _v2_activate)
+    # v1 — deprecated thin adapters, bitwise-frozen responses.
+    router.add("GET", "/v1/stats", _v1_stats)
+    router.add(
+        "GET",
+        "/v1/claim",
+        _v1_claim,
+        query=(
+            QueryParam("provider_id", "int", required=True),
+            QueryParam("cell", "int", required=True),
+            QueryParam("technology", "int", required=True),
+            QueryParam("state"),
+        ),
+    )
+    router.add(
+        "GET",
+        "/v1/top",
+        _v1_top,
+        query=(QueryParam("k", "int", default=10),) + _CLAIM_FILTERS,
+    )
+    # ``:path`` captures + raw (undecoded) segments keep the old
+    # prefix/suffix matching exactly: degenerate paths
+    # (/v1/provider//summary, /v1/provider/1/2/summary) stay 400s with
+    # the historical messages, and percent-escapes are not interpreted.
+    router.add(
+        "GET",
+        "/v1/provider/{provider_id:path}/summary",
+        _v1_provider_summary,
+        decode_path=False,
+    )
+    router.add(
+        "GET",
+        "/v1/state/{abbr:path}/summary",
+        _v1_state_summary,
+        decode_path=False,
+    )
+    router.add("POST", "/v1/score", _v1_score)
+    return router
 
 
 class AuditHTTPServer(ThreadingHTTPServer):
@@ -87,12 +428,13 @@ class AuditHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address, service: AuditService, verbose: bool = False):
         self.service = service
+        self.router = build_router()
         self.verbose = verbose
         super().__init__(address, _AuditRequestHandler)
 
 
 class _AuditRequestHandler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing -----------------------------------------------------------
@@ -116,44 +458,6 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
-    # -- routing ------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
-        service: AuditService = self.server.service
-        url = urlsplit(self.path)
-        params = parse_qs(url.query)
-        try:
-            if url.path == "/healthz":
-                self._send_json(
-                    200, {"status": "ok", "n_claims": len(service.store)}
-                )
-            elif url.path == "/v1/stats":
-                self._send_json(200, service.stats())
-            elif url.path == "/v1/claim":
-                self._claim(service, params)
-            elif url.path == "/v1/top":
-                self._top(service, params)
-            elif url.path.startswith("/v1/provider/") and url.path.endswith(
-                "/summary"
-            ):
-                pid = url.path[len("/v1/provider/") : -len("/summary")]
-                try:
-                    pid = int(pid)
-                except ValueError:
-                    raise _BadRequest("provider id must be an integer") from None
-                self._send_json(200, service.provider_summary(pid))
-            elif url.path.startswith("/v1/state/") and url.path.endswith(
-                "/summary"
-            ):
-                abbr = url.path[len("/v1/state/") : -len("/summary")]
-                self._send_json(200, service.state_summary(abbr))
-            else:
-                self._error(404, f"no route for {url.path}")
-        except (_BadRequest, ValueError) as exc:
-            self._error(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(500, f"{type(exc).__name__}: {exc}")
-
     def _body_length(self) -> int:
         """Validated Content-Length (400 on garbage, 413 on oversize).
 
@@ -168,116 +472,75 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
             length = int(raw)
         except ValueError:
             self.close_connection = True
-            raise _BadRequest("Content-Length must be an integer") from None
+            raise BadRequest("Content-Length must be an integer") from None
         if length < 0:
             self.close_connection = True
-            raise _BadRequest("Content-Length must be >= 0")
+            raise BadRequest("Content-Length must be >= 0")
         if length > MAX_BODY_BYTES:
             self.close_connection = True
-            raise _PayloadTooLarge(
-                f"request body exceeds {MAX_BODY_BYTES} bytes"
-            )
+            raise PayloadTooLarge(f"request body exceeds {MAX_BODY_BYTES} bytes")
         return length
 
+    # -- dispatch -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        self._dispatch("GET")
+
     def do_POST(self) -> None:  # noqa: N802
-        service: AuditService = self.server.service
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
         url = urlsplit(self.path)
+        # Until the request body has been drained, an error response must
+        # close the connection: leftover body bytes on a keep-alive
+        # socket would be parsed as the next request line.
+        body_pending = method == "POST"
         try:
-            if url.path != "/v1/score":
-                # The body stays unread on this branch too — don't let a
-                # keep-alive client reuse the desynced socket.
-                self.close_connection = True
+            matched = self.server.router.match(method, url.path)
+            if matched is None:
+                if body_pending:
+                    self.close_connection = True
                 self._error(404, f"no route for {url.path}")
                 return
-            length = self._body_length()
-            try:
-                doc = json.loads(self.rfile.read(length) or b"{}")
-            except json.JSONDecodeError as exc:
-                raise _BadRequest(f"invalid JSON body: {exc}") from None
-            if not isinstance(doc, dict):
-                raise _BadRequest('body must be a JSON object {"claims": [...]}')
-            claims = doc.get("claims")
-            if not isinstance(claims, list):
-                raise _BadRequest('body must be {"claims": [...]}')
-            if len(claims) > MAX_RESULT_ROWS:
-                raise _BadRequest(
-                    f"at most {MAX_RESULT_ROWS} claims per request"
-                )
-            payloads, keys = [], []
-            for entry in claims:
-                if not isinstance(entry, dict):
-                    raise _BadRequest("each claim must be an object")
-                state = entry.get("state")
-                if state is not None and not isinstance(state, str):
-                    raise _BadRequest(
-                        "claim state must be a string state abbreviation"
-                    )
+            route, path_params = matched
+            if route.decode_path:
+                # Captured segments arrive percent-encoded (the SDK
+                # quotes them); decode like parse_qs does for query
+                # values.  The frozen v1 routes opt out.
+                path_params = {k: unquote(v) for k, v in path_params.items()}
+            query = parse_query(parse_qs(url.query), route.query)
+            body = None
+            if method == "POST":
+                length = self._body_length()
                 try:
-                    payload = (
-                        int(entry["provider_id"]),
-                        int(entry["cell"]),
-                        int(entry["technology"]),
-                        state,
-                    )
-                except (KeyError, TypeError, ValueError):
-                    raise _BadRequest(
-                        "each claim needs integer provider_id, cell, "
-                        "and technology"
-                    ) from None
-                payloads.append(payload)
-                keys.append(payload)
-            if any(p[3] is not None for p in payloads) and (
-                service.builder is None or service.classifier is None
-            ):
-                raise _BadRequest(
-                    "cold-path scoring (state given) is unavailable: "
-                    "service has no live feature builder"
-                )
-            results = service.batcher.score_many(payloads, cache_keys=keys)
-            self._send_json(200, {"results": results})
-        except _PayloadTooLarge as exc:
-            self._error(413, str(exc))
-        except (_BadRequest, ValueError) as exc:
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                except json.JSONDecodeError as exc:
+                    body_pending = False
+                    raise BadRequest(f"invalid JSON body: {exc}") from None
+                body_pending = False
+            ctx = RequestContext(
+                service=self.server.service,
+                path=path_params,
+                query=query,
+                body=body,
+            )
+            self._send_json(200, route.handler(ctx))
+        except ApiError as exc:
+            if body_pending:
+                self.close_connection = True
+            self._error(exc.status, str(exc))
+        except (SchemaError, ValueError, OverflowError) as exc:
+            # OverflowError backstops integer inputs that pass the
+            # "is an integer" checks but overflow a numpy cast further
+            # down (e.g. a 20-digit provider id in a summary filter) —
+            # malformed input is a 400, never a 500.
+            if body_pending:
+                self.close_connection = True
             self._error(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
+            if body_pending:
+                self.close_connection = True
             self._error(500, f"{type(exc).__name__}: {exc}")
-
-    # -- endpoints ----------------------------------------------------------
-
-    def _claim(self, service: AuditService, params: dict) -> None:
-        provider_id = _int_param(params, "provider_id", required=True)
-        cell = _int_param(params, "cell", required=True)
-        technology = _int_param(params, "technology", required=True)
-        state = _str_param(params, "state")
-        if state is not None and (
-            service.builder is None or service.classifier is None
-        ):
-            raise _BadRequest(
-                "cold-path scoring (state given) is unavailable: "
-                "service has no live feature builder"
-            )
-        record = service.score_claim(provider_id, cell, technology, state)
-        if record is None:
-            self._error(
-                404,
-                "claim not in the score store (pass state=XX to score it "
-                "as a hypothetical filing)",
-            )
-            return
-        self._send_json(200, record)
-
-    def _top(self, service: AuditService, params: dict) -> None:
-        k = _int_param(params, "k", default=10)
-        if not 0 <= k <= MAX_RESULT_ROWS:
-            raise _BadRequest(f"k must be in [0, {MAX_RESULT_ROWS}]")
-        records = service.top_suspicious(
-            k=k,
-            provider_id=_int_param(params, "provider_id"),
-            state=_str_param(params, "state"),
-            technology=_int_param(params, "technology"),
-            cell=_int_param(params, "cell"),
-        )
-        self._send_json(200, {"results": records})
 
 
 def make_server(

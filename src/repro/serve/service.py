@@ -1,74 +1,98 @@
-"""The audit-service facade: query methods over the score store.
+"""The audit-service facade: query methods over a model registry.
 
 :class:`AuditService` is the object the HTTP layer (and any embedding
-application) talks to.  It composes the three serving pieces:
+application) talks to.  Since the v2 redesign it no longer holds a
+single global ``(classifier, store)`` pair: it binds through a
+:class:`~repro.serve.registry.ModelRegistry` of named, immutable
+:class:`~repro.serve.registry.ModelVersion` entries, each bundling
 
 * a :class:`~repro.serve.store.ClaimScoreStore` answering precomputed
-  lookups, percentiles, and filtered top-k suspicion queries;
-* a :class:`~repro.serve.batcher.MicroBatcher` coalescing concurrent
-  single-claim requests — both precomputed lookups and *cold* requests
-  (hypothetical filings absent from the store) — into one vectorized
-  batch per flush;
+  lookups, percentiles, and filtered top-k / paginated suspicion queries;
+* that version's own :class:`~repro.serve.batcher.MicroBatcher`
+  coalescing concurrent single-claim requests — both precomputed lookups
+  and *cold* requests (hypothetical filings absent from the store) —
+  into one vectorized batch per flush;
 * optionally, the live classifier + feature builder, which enable the
   cold path and the labelled slice reports of :mod:`repro.core.reports`.
 
-A service can be constructed three ways: :meth:`from_model` (live model,
-builds the store), the plain constructor (pre-built store), or
+Every query method snapshots one version (the registry default, or an
+explicit ``version=`` name) and serves entirely from it, so responses
+stay internally consistent across :meth:`activate` hot-swaps.
+
+A service can be constructed four ways: :meth:`from_model` (live model,
+builds the store), the plain constructor (pre-built store),
 :meth:`from_artifacts` (a bundle directory written by :meth:`save` —
-standalone serving with no world in memory; cold scoring then requires
-passing a live builder).
+standalone serving with no world in memory), or :meth:`from_registry`
+(a pre-populated multi-version registry).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dataset.observations import ObservationColumns
 from repro.fcc.states import STATES
-from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
-from repro.serve.artifacts import load_model_artifacts, save_model_artifacts
-from repro.serve.batcher import MicroBatcher
+from repro.serve.artifacts import save_model_artifacts
+from repro.serve.registry import ModelRegistry, ModelVersion, state_index
 from repro.serve.store import ClaimScoreStore
 
 __all__ = ["AuditService"]
 
-_STATE_IDX = {s.abbr: i for i, s in enumerate(STATES)}
-
-
-def _state_index(state: str) -> int:
-    try:
-        return _STATE_IDX[state.upper()]
-    except KeyError:
-        raise ValueError(f"unknown state {state!r}") from None
+#: Name given to the version registered by the single-store constructors.
+DEFAULT_VERSION = "default"
 
 
 class AuditService:
-    """Queryable claim-audit service over a precomputed score store."""
+    """Queryable claim-audit service over a registry of score stores."""
 
     def __init__(
         self,
-        store: ClaimScoreStore,
-        classifier: GradientBoostedClassifier | None = None,
+        store: ClaimScoreStore | None = None,
+        classifier=None,
         builder=None,
         model=None,
         threshold: float = 0.5,
-        max_batch: int = 1024,
-        max_delay_s: float = 0.002,
-        cache_size: int = 4096,
+        max_batch: int | None = None,
+        max_delay_s: float | None = None,
+        cache_size: int | None = None,
+        registry: ModelRegistry | None = None,
+        version_name: str | None = None,
     ):
-        self.store = store
-        self.classifier = classifier
-        self.builder = builder
-        #: The full NBMIntegrityModel when built from one (enables the
-        #: labelled slice reports of repro.core.reports).
-        self.model = model
         self.threshold = float(threshold)
-        self.batcher = MicroBatcher(
-            self._score_batch,
-            max_batch=max_batch,
-            max_delay_s=max_delay_s,
-            cache_size=cache_size,
-        )
+        batcher_config = {
+            key: value
+            for key, value in (
+                ("max_batch", max_batch),
+                ("max_delay_s", max_delay_s),
+                ("cache_size", cache_size),
+            )
+            if value is not None
+        }
+        if registry is not None:
+            if store is not None:
+                raise ValueError("pass either a store or a registry, not both")
+            if batcher_config or version_name is not None or any(
+                x is not None for x in (classifier, builder, model)
+            ):
+                # Silently dropping these would leave the caller believing
+                # they configured something they did not.
+                raise ValueError(
+                    "store/classifier/builder/model, batcher settings, and "
+                    "version_name apply only when the service builds its "
+                    "own registry; configure them on the ModelRegistry "
+                    "and its versions instead"
+                )
+            self.registry = registry
+        else:
+            if store is None:
+                raise ValueError("an AuditService needs a store or a registry")
+            self.registry = ModelRegistry(**batcher_config)
+            self.registry.add(
+                version_name if version_name is not None else DEFAULT_VERSION,
+                store,
+                classifier=classifier,
+                builder=builder,
+                model=model,
+            )
 
     # -- construction -------------------------------------------------------
 
@@ -98,21 +122,95 @@ class AuditService:
         compatible live :class:`FeatureBuilder`, is re-warmed from the
         bundle's encoder state and enables cold-path scoring.
         """
-        artifacts = load_model_artifacts(path, builder=builder)
-        store = ClaimScoreStore.load(path)
-        return cls(store, classifier=artifacts.classifier, builder=builder, **kwargs)
+        registry = ModelRegistry(
+            **{
+                k: kwargs.pop(k)
+                for k in ("max_batch", "max_delay_s", "cache_size")
+                if k in kwargs
+            }
+        )
+        registry.load(
+            kwargs.pop("version_name", DEFAULT_VERSION), path, builder=builder
+        )
+        return cls(registry=registry, **kwargs)
+
+    @classmethod
+    def from_registry(cls, registry: ModelRegistry, **kwargs):
+        """Bind a service to a pre-populated multi-version registry."""
+        return cls(registry=registry, **kwargs)
 
     def save(self, path: str, feature_names=None) -> str:
-        """Persist model artifacts + score store into one bundle directory."""
-        if self.classifier is None:
+        """Persist the default version (model artifacts + score store)
+        into one bundle directory."""
+        version = self.registry.default
+        if version.classifier is None:
             raise RuntimeError("service has no classifier to save")
-        if feature_names is None and self.builder is not None:
-            feature_names = self.builder.feature_names
+        if feature_names is None and version.builder is not None:
+            feature_names = version.builder.feature_names
         save_model_artifacts(
-            path, self.classifier, feature_names=feature_names, builder=self.builder
+            path,
+            version.classifier,
+            feature_names=feature_names,
+            builder=version.builder,
         )
-        self.store.save(path)
+        version.store.save(path)
         return path
+
+    # -- version management --------------------------------------------------
+
+    def add_version(
+        self,
+        name: str,
+        store: ClaimScoreStore,
+        classifier=None,
+        builder=None,
+        model=None,
+        default: bool | None = None,
+    ) -> ModelVersion:
+        """Register another named (model, store) version."""
+        return self.registry.add(
+            name,
+            store,
+            classifier=classifier,
+            builder=builder,
+            model=model,
+            default=default,
+        )
+
+    def load_version(
+        self, name: str, path: str, builder=None, default: bool | None = None
+    ) -> ModelVersion:
+        """Register a version loaded from an artifact bundle."""
+        return self.registry.load(name, path, builder=builder, default=default)
+
+    def activate(self, name: str) -> ModelVersion:
+        """Atomically hot-swap the default version (see the registry docs)."""
+        return self.registry.activate(name)
+
+    def _resolve(self, version: str | None) -> ModelVersion:
+        return self.registry.resolve(version)
+
+    # -- default-version views (back-compat with the single-store facade) ----
+
+    @property
+    def store(self) -> ClaimScoreStore:
+        return self.registry.default.store
+
+    @property
+    def classifier(self):
+        return self.registry.default.classifier
+
+    @property
+    def builder(self):
+        return self.registry.default.builder
+
+    @property
+    def model(self):
+        return self.registry.default.model
+
+    @property
+    def batcher(self):
+        return self.registry.default.batcher
 
     # -- single-claim path (micro-batched) ----------------------------------
 
@@ -122,25 +220,20 @@ class AuditService:
         cell: int,
         technology: int,
         state: str | None = None,
+        version: str | None = None,
     ):
         """Enqueue one claim lookup; returns a Future resolving to the
         score record (or ``None`` for an unknown claim with no ``state``).
 
         Requests from concurrent callers coalesce into one vectorized
-        batch per flush.  ``state`` marks the request *cold-capable*:
-        a claim absent from the store is then scored live as a
-        hypothetical filing (requires a classifier and builder).
+        batch per flush of the resolved version's batcher.  ``state``
+        marks the request *cold-capable*: a claim absent from the store
+        is then scored live as a hypothetical filing (requires a
+        classifier and builder).
         """
-        if state is not None:
-            state = state.upper()
-            _state_index(state)  # validate before queueing
-            if self.builder is None or self.classifier is None:
-                raise RuntimeError(
-                    "cold-path scoring requires a live classifier and "
-                    "FeatureBuilder (service was loaded without one)"
-                )
-        payload = (int(provider_id), int(cell), int(technology), state)
-        return self.batcher.submit(payload, cache_key=payload)
+        return self._resolve(version).score_claim_async(
+            provider_id, cell, technology, state
+        )
 
     def score_claim(
         self,
@@ -148,17 +241,17 @@ class AuditService:
         cell: int,
         technology: int,
         state: str | None = None,
+        version: str | None = None,
     ) -> dict | None:
         """Synchronous :meth:`score_claim_async` (submits, flushes, waits)."""
-        fut = self.score_claim_async(provider_id, cell, technology, state)
-        if not fut.done():
-            self.batcher.flush()
-        return fut.result()
+        return self._resolve(version).score_claim(
+            provider_id, cell, technology, state
+        )
 
     # -- bulk path (direct, no queue) ---------------------------------------
 
     def score_claims(
-        self, provider_id, cell, technology
+        self, provider_id, cell, technology, version: str | None = None
     ) -> list[dict | None]:
         """Score a batch of claim keys in one vectorized store lookup.
 
@@ -166,98 +259,9 @@ class AuditService:
         the cold path — use :meth:`score_claim` with ``state`` for
         hypotheticals).
         """
-        pos = self.store.positions(
-            np.asarray(provider_id, dtype=np.int64),
-            np.asarray(cell, dtype=np.uint64),
-            np.asarray(technology, dtype=np.int64),
-        )
-        return [self.store.record(int(p)) if p >= 0 else None for p in pos]
+        return self._resolve(version).score_claims(provider_id, cell, technology)
 
-    # -- the batch scorer ---------------------------------------------------
-
-    def _score_batch(self, payloads: list) -> list:
-        """Resolve one coalesced batch: store gathers + one cold batch.
-
-        Precomputed keys resolve through a single composite-index lookup;
-        the cold remainder (explicit ``state``, missing from the store) is
-        vectorized and scored in one classifier pass, with percentiles
-        placed on the precomputed distribution.
-        """
-        pid = np.fromiter((p[0] for p in payloads), dtype=np.int64, count=len(payloads))
-        cell = np.fromiter((p[1] for p in payloads), dtype=np.uint64, count=len(payloads))
-        tech = np.fromiter((p[2] for p in payloads), dtype=np.int64, count=len(payloads))
-        pos = self.store.positions(pid, cell, tech)
-        results: list[dict | None] = [
-            self.store.record(int(p)) if p >= 0 else None for p in pos
-        ]
-        cold = [
-            i for i, p in enumerate(pos) if p < 0 and payloads[i][3] is not None
-        ]
-        if not cold:
-            return results
-        if self.builder is None or self.classifier is None:
-            raise RuntimeError(
-                "cold-path scoring requires a live classifier and FeatureBuilder"
-            )
-        states = np.array([payloads[i][3] for i in cold], dtype=object)
-        try:
-            margin = self._cold_margins(pid[cold], cell[cold], tech[cold], states)
-        except Exception:
-            # A malformed hypothetical (unknown provider/technology) must
-            # not poison the coalesced batch it flushed with: rescore the
-            # cold payloads one at a time, turning each failure into that
-            # payload's own error (the batcher delivers exception
-            # instances per slot and never caches them).
-            margin = None
-        if margin is not None:
-            for j, i in enumerate(cold):
-                results[i] = self._cold_record(payloads[i], float(margin[j]))
-            return results
-        for j, i in enumerate(cold):
-            try:
-                one = self._cold_margins(
-                    pid[i : i + 1], cell[i : i + 1], tech[i : i + 1], states[j : j + 1]
-                )
-                results[i] = self._cold_record(payloads[i], float(one[0]))
-            except Exception as exc:
-                results[i] = ValueError(
-                    f"cold scoring failed for claim "
-                    f"(provider_id={int(pid[i])}, cell={int(cell[i])}, "
-                    f"technology={int(tech[i])}): {exc}"
-                )
-        return results
-
-    def _cold_margins(
-        self,
-        pid: np.ndarray,
-        cell: np.ndarray,
-        tech: np.ndarray,
-        states: np.ndarray,
-    ) -> np.ndarray:
-        """Live margins for hypothetical filings (one vectorized pass)."""
-        cols = ObservationColumns(
-            provider_id=pid,
-            cell=cell,
-            technology=tech,
-            state=states,
-            unserved=np.zeros(pid.size, dtype=np.int64),
-        )
-        return self.classifier.predict_margin(self.builder.vectorize_columns(cols))
-
-    def _cold_record(self, payload: tuple, margin: float) -> dict:
-        return {
-            "provider_id": payload[0],
-            "cell": payload[1],
-            "technology": payload[2],
-            "state": payload[3],
-            "score": float(_sigmoid(np.array([margin]))[0]),
-            "margin": margin,
-            "percentile": float(self.store.margin_percentile(np.array([margin]))[0]),
-            "rank": None,
-            "precomputed": False,
-        }
-
-    # -- top-k and summaries ------------------------------------------------
+    # -- top-k, pagination, and summaries ------------------------------------
 
     def top_suspicious(
         self,
@@ -266,22 +270,23 @@ class AuditService:
         state: str | None = None,
         technology: int | None = None,
         cell: int | None = None,
+        version: str | None = None,
     ) -> list[dict]:
         """The k most suspicious claims matching the filters, as records."""
-        rows = self.store.top_suspicious(
+        store = self._resolve(version).store
+        rows = store.top_suspicious(
             k=k,
             provider_id=provider_id,
-            state_idx=_state_index(state) if state is not None else None,
+            state_idx=state_index(state) if state is not None else None,
             technology=technology,
             cell=cell,
         )
-        return self.store.records(rows)
+        return store.records(rows)
 
-    def _summary(self, mask: np.ndarray, head: dict, top_k: int) -> dict:
+    def _summary(self, store, mask: np.ndarray, head: dict, top_k: int) -> dict:
         n = int(np.count_nonzero(mask))
         if n == 0:
             return {**head, "n_claims": 0}
-        store = self.store
         scores = store.score[mask]
         top_rows = store.sus_order[mask[store.sus_order]][:top_k]
         return {
@@ -294,16 +299,22 @@ class AuditService:
             "top_claims": store.records(top_rows),
         }
 
-    def provider_summary(self, provider_id: int, top_k: int = 5) -> dict:
+    def provider_summary(
+        self, provider_id: int, top_k: int = 5, version: str | None = None
+    ) -> dict:
         """Score profile of one provider's claims (threshold-based mix)."""
-        mask = self.store.claims.provider_id == np.int64(provider_id)
-        return self._summary(mask, {"provider_id": int(provider_id)}, top_k)
+        store = self._resolve(version).store
+        mask = store.claims.provider_id == np.int64(provider_id)
+        return self._summary(store, mask, {"provider_id": int(provider_id)}, top_k)
 
-    def state_summary(self, state: str, top_k: int = 5) -> dict:
+    def state_summary(
+        self, state: str, top_k: int = 5, version: str | None = None
+    ) -> dict:
         """Score profile of one state's claims."""
-        idx = _state_index(state)
-        mask = self.store.claims.state_idx == np.int16(idx)
-        return self._summary(mask, {"state": STATES[idx].abbr}, top_k)
+        idx = state_index(state)
+        store = self._resolve(version).store
+        mask = store.claims.state_idx == np.int16(idx)
+        return self._summary(store, mask, {"state": STATES[idx].abbr}, top_k)
 
     # -- labelled reports (reuse repro.core.reports) ------------------------
 
@@ -325,14 +336,14 @@ class AuditService:
     # -- monitoring ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Service counters for the monitoring endpoint."""
+        """Default-version counters (the ``/v1/stats`` payload)."""
+        version = self.registry.default
         return {
-            "n_claims": len(self.store),
+            "n_claims": len(version.store),
             "threshold": self.threshold,
-            "cold_path_available": self.classifier is not None
-            and self.builder is not None,
-            "batcher": self.batcher.stats.as_dict(),
+            "cold_path_available": version.cold_path_available,
+            "batcher": version.batcher.stats.as_dict(),
         }
 
     def close(self) -> None:
-        self.batcher.close()
+        self.registry.close()

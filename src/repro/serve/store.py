@@ -31,6 +31,7 @@ suspicion levels into artificial ties.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -40,6 +41,7 @@ from repro.dataset.observations import ObservationColumns
 from repro.fcc.bdc import ClaimColumns
 from repro.fcc.states import STATES
 from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
+from repro.serve.schemas import ScoreRecord
 
 __all__ = ["ClaimScoreStore"]
 
@@ -81,9 +83,25 @@ class ClaimScoreStore:
         for arr in (self.margin, self.score, self.sus_order, self.sus_rank,
                     self.percentile, self._sorted_margin):
             arr.setflags(write=False)
+        self._etag: str | None = None
 
     def __len__(self) -> int:
         return int(self.margin.size)
+
+    @property
+    def etag(self) -> str:
+        """Content fingerprint of this store's margins (lazy, cached).
+
+        Pagination cursors embed it so a cursor minted against one
+        *build* of a store cannot silently resume against another — a
+        restart that reloads a retrained store under the same version
+        name changes the etag even though the name matches.
+        """
+        if self._etag is None:
+            digest = hashlib.sha1(np.int64(len(self)).tobytes())
+            digest.update(self.margin.tobytes())
+            self._etag = digest.hexdigest()[:16]
+        return self._etag
 
     # -- construction -------------------------------------------------------
 
@@ -147,7 +165,15 @@ class ClaimScoreStore:
         return self.claims.positions(provider_id, cell, technology)
 
     def record(self, row: int) -> dict:
-        """One claim's score record as a JSON-safe dict."""
+        """One claim's score record as a JSON-safe dict.
+
+        This is the serving hot path (top-k, pages, and bulk scoring all
+        build thousands of these per request), so the dict is built
+        directly; the key order is the canonical wire shape of
+        :class:`~repro.serve.schemas.ScoreRecord` — a unit test pins
+        ``record(row) == typed_record(row).to_dict()`` so the two
+        encoders cannot drift.
+        """
         claims = self.claims
         return {
             "provider_id": int(claims.provider_id[row]),
@@ -164,6 +190,10 @@ class ClaimScoreStore:
             "low_latency": bool(claims.low_latency[row]),
             "precomputed": True,
         }
+
+    def typed_record(self, row: int) -> ScoreRecord:
+        """One claim's score record as a typed :class:`ScoreRecord`."""
+        return ScoreRecord.from_dict(self.record(row))
 
     def records(self, rows: np.ndarray) -> list[dict]:
         return [self.record(int(r)) for r in np.asarray(rows, dtype=np.int64)]
@@ -199,13 +229,29 @@ class ClaimScoreStore:
         if k < 0:
             raise ValueError("k must be >= 0")
         order = self.sus_order
+        mask = self._filter_mask(provider_id, state_idx, technology, cell)
+        if mask is None:
+            return order[:k].copy()
+        sel = order[mask[order]]
+        return sel[:k]
+
+    # -- cursor pagination ---------------------------------------------------
+
+    def _filter_mask(
+        self,
+        provider_id: int | None = None,
+        state_idx: int | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+    ) -> np.ndarray | None:
+        """Boolean claim mask for a filter set; ``None`` when unfiltered."""
         if (
             provider_id is None
             and state_idx is None
             and technology is None
             and cell is None
         ):
-            return order[:k].copy()
+            return None
         claims = self.claims
         mask = np.ones(len(self), dtype=bool)
         if provider_id is not None:
@@ -216,8 +262,56 @@ class ClaimScoreStore:
             mask &= claims.technology == np.int16(technology)
         if cell is not None:
             mask &= claims.cell == np.uint64(cell)
-        sel = order[mask[order]]
-        return sel[:k]
+        return mask
+
+    def page_suspicious(
+        self,
+        after_rank: int = 0,
+        limit: int = 100,
+        provider_id: int | None = None,
+        state_idx: int | None = None,
+        technology: int | None = None,
+        cell: int | None = None,
+    ) -> tuple[np.ndarray, int | None, int]:
+        """One page of the filtered descending-suspicion walk.
+
+        Returns ``(rows, next_rank, total)``: up to ``limit`` claim rows
+        whose suspicion rank is ``>= after_rank``, in descending
+        suspicion; the rank where the next page starts (``None`` when
+        this page exhausts the walk); and the total number of rows
+        matching the filters.  Ranks are positions in the *unfiltered*
+        suspicion order, so concatenating pages reproduces
+        ``sus_order`` (masked by the filters) exactly — the pagination
+        contract the API's cursors encode.
+
+        A *filtered* page rebuilds the boolean mask, so a full filtered
+        walk is O(n) per page.  That is a deliberate tradeoff: pages
+        stay stateless (nothing server-side to invalidate on hot-swap)
+        and the mask build is a handful of vectorized compares — revisit
+        with a per-fingerprint mask cache if filtered walks at much
+        larger n ever dominate.
+        """
+        if after_rank < 0:
+            raise ValueError("after_rank must be >= 0")
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        n = len(self)
+        mask = self._filter_mask(provider_id, state_idx, technology, cell)
+        order = self.sus_order
+        if mask is None:
+            total = n
+            rows = order[after_rank : after_rank + limit]
+            stop = after_rank + rows.size
+            return rows.copy(), (stop if stop < n else None), total
+        total = int(np.count_nonzero(mask))
+        tail = order[after_rank:]
+        sel = tail[mask[tail]]
+        rows = sel[:limit]
+        if sel.size > rows.size:
+            next_rank = int(self.sus_rank[rows[-1]]) + 1
+        else:
+            next_rank = None
+        return rows.copy(), next_rank, total
 
     # -- persistence --------------------------------------------------------
 

@@ -69,9 +69,15 @@ def _known_key(store):
 
 
 def test_healthz_and_stats(served):
+    from repro.serve.http import MAX_BODY_BYTES, MAX_RESULT_ROWS
+
     server, service = served
     status, doc = _json(server, "GET", "/healthz")
-    assert status == 200 and doc == {"status": "ok", "n_claims": len(service.store)}
+    assert status == 200
+    assert doc["status"] == "ok" and doc["n_claims"] == len(service.store)
+    # The request caps are surfaced so clients can size their batches.
+    assert doc["limits"]["max_result_rows"] == MAX_RESULT_ROWS
+    assert doc["limits"]["max_body_bytes"] == MAX_BODY_BYTES
     status, doc = _json(server, "GET", "/v1/stats")
     assert status == 200 and doc["n_claims"] == len(service.store)
     assert doc["cold_path_available"] is True

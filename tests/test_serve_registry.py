@@ -1,0 +1,202 @@
+"""ModelRegistry: registration, resolution, atomic hot-swap, stats."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ClaimScoreStore, ModelRegistry
+from repro.serve.registry import state_index
+
+
+@pytest.fixture()
+def stores(tiny_score_store):
+    """Two stores over the same claims with distinguishable margins."""
+    flipped = ClaimScoreStore(tiny_score_store.claims, -tiny_score_store.margin)
+    return tiny_score_store, flipped
+
+
+@pytest.fixture()
+def registry(stores):
+    reg = ModelRegistry(max_delay_s=0.0)
+    reg.add("a", stores[0])
+    reg.add("b", stores[1])
+    yield reg
+    reg.close()
+
+
+def test_first_version_is_default(registry, stores):
+    assert registry.default_name == "a"
+    assert registry.default.store is stores[0]
+    assert registry.names() == ["a", "b"]
+    assert "a" in registry and "missing" not in registry
+    assert len(registry) == 2
+
+
+def test_resolution_and_unknown_names(registry):
+    assert registry.resolve(None).name == "a"
+    assert registry.resolve("b").name == "b"
+    with pytest.raises(KeyError, match="unknown model version"):
+        registry.get("missing")
+    with pytest.raises(KeyError, match="unknown model version"):
+        registry.activate("missing")
+
+
+def test_duplicate_and_invalid_names(registry, stores):
+    with pytest.raises(ValueError, match="already registered"):
+        registry.add("a", stores[0])
+    with pytest.raises(ValueError, match="invalid version name"):
+        registry.add("bad/name", stores[0])
+    with pytest.raises(ValueError, match="invalid version name"):
+        registry.add("", stores[0])
+
+
+def test_activate_swaps_default(registry, stores):
+    assert registry.activate("b").store is stores[1]
+    assert registry.default_name == "b"
+    assert registry.default.store is stores[1]
+    registry.activate("a")
+    assert registry.default.store is stores[0]
+
+
+def test_add_with_default_flag(stores):
+    reg = ModelRegistry(max_delay_s=0.0)
+    reg.add("a", stores[0])
+    reg.add("b", stores[1], default=True)
+    assert reg.default_name == "b"
+    reg.close()
+
+
+def test_empty_registry_has_no_default():
+    reg = ModelRegistry()
+    with pytest.raises(RuntimeError, match="none registered"):
+        reg.default
+
+
+def test_first_version_added_without_default_names_the_fix(stores):
+    """default=False on the first add is a valid staging state; the
+    error must say activate(), not claim the registry is empty."""
+    reg = ModelRegistry(max_delay_s=0.0)
+    reg.add("staged", stores[0], default=False)
+    with pytest.raises(RuntimeError, match="call activate"):
+        reg.default
+    reg.activate("staged")
+    assert reg.default_name == "staged"
+    reg.close()
+
+
+def test_describe_and_request_counters(registry):
+    registry.default.count_request()
+    registry.default.count_request()
+    doc = registry.describe()
+    assert doc["default"] == "a"
+    by_name = {v["name"]: v for v in doc["versions"]}
+    assert by_name["a"]["default"] is True and by_name["b"]["default"] is False
+    assert by_name["a"]["requests"] == 2 and by_name["b"]["requests"] == 0
+    assert by_name["a"]["n_claims"] == len(registry.get("a").store)
+    assert by_name["a"]["cold_path_available"] is False
+    assert "batcher" in by_name["a"]
+
+
+def test_versions_score_independently(registry, stores):
+    """Each version's batcher + cache is its own — results never mix."""
+    store_a, store_b = stores
+    row = int(store_a.sus_order[0])
+    key = store_a.claims.key_at(row)
+    rec_a = registry.get("a").score_claim(*key)
+    rec_b = registry.get("b").score_claim(*key)
+    assert rec_a["margin"] == float(store_a.margin[row])
+    assert rec_b["margin"] == float(store_b.margin[row])
+    assert rec_a["margin"] == -rec_b["margin"]
+
+
+def test_score_keys_matches_score_claims(registry, stores):
+    from repro.serve.schemas import ClaimKey
+
+    store = stores[0]
+    version = registry.get("a")
+    rows = np.arange(min(64, len(store)))
+    claims = store.claims
+    keys = [ClaimKey(*claims.key_at(int(r))) for r in rows]
+    via_keys = version.score_keys(keys)
+    via_arrays = version.score_claims(
+        claims.provider_id[rows], claims.cell[rows], claims.technology[rows]
+    )
+    assert via_keys == via_arrays
+    # A miss without state comes back as None in position.
+    miss = ClaimKey(-1, 0, 10)
+    assert version.score_keys([miss, keys[0]]) == [None, via_keys[0]]
+    assert version.score_keys([]) == []
+
+
+def test_score_keys_invalid_state_strands_no_batchmates(tiny_model, tiny_score_store):
+    """A bad cold key must fail before any batchmate is enqueued."""
+    from repro.serve import AuditService
+    from repro.serve.schemas import ClaimKey
+
+    model, _ = tiny_model
+    service = AuditService.from_model(
+        model, store=tiny_score_store, max_delay_s=0.0
+    )
+    version = service.registry.default
+    keys = [
+        ClaimKey(-5, 1, 10, state="TX"),   # valid cold key
+        ClaimKey(-6, 1, 10, state="ZZ"),   # invalid state
+    ]
+    with pytest.raises(ValueError, match="unknown state"):
+        version.score_keys(keys)
+    # The valid key was never submitted: nothing is left in the queue.
+    assert version.batcher.flush() == 0
+    # An invalid state fails even when its key HITS the store — the
+    # typo'd cold-scoring fallback must not pass silently.
+    hit = ClaimKey(*tiny_score_store.claims.key_at(0), state="ZZ")
+    with pytest.raises(ValueError, match="unknown state"):
+        version.score_keys([hit])
+    service.close()
+
+
+def test_load_version_from_artifacts(tmp_path, tiny_model, tiny_score_store):
+    from repro.serve import AuditService
+
+    model, _ = tiny_model
+    service = AuditService.from_model(model, store=tiny_score_store)
+    bundle = str(tmp_path / "bundle")
+    service.save(bundle)
+    service.close()
+
+    reg = ModelRegistry(max_delay_s=0.0)
+    version = reg.load("2024-06", bundle)
+    assert reg.default_name == "2024-06"
+    assert np.array_equal(version.store.margin, tiny_score_store.margin)
+    assert version.cold_path_available is False  # no live builder passed
+    reg.close()
+
+
+def test_concurrent_snapshots_never_half_swapped(registry, stores):
+    """Readers racing activate() always see one coherent version object."""
+    by_store = {id(stores[0]): "a", id(stores[1]): "b"}
+    stop = threading.Event()
+    violations = []
+
+    def reader():
+        while not stop.is_set():
+            version = registry.default  # one atomic snapshot
+            # The (name, store) pair inside the snapshot must be coherent.
+            if by_store.get(id(version.store)) != version.name:
+                violations.append((version.name, id(version.store)))
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for i in range(200):
+        registry.activate("b" if i % 2 == 0 else "a")
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not violations
+
+
+def test_state_index_helper():
+    assert state_index("tx") == state_index("TX")
+    with pytest.raises(ValueError, match="unknown state"):
+        state_index("ZZ")

@@ -181,3 +181,56 @@ def test_store_arrays_frozen(tiny_score_store):
     ):
         with pytest.raises(ValueError):
             arr[0] = 0
+
+
+def test_typed_record_and_dict_encoder_never_drift(tiny_score_store):
+    """record() hand-builds the wire dict for speed; the typed encoder
+    must always agree with it, field for field and in key order."""
+    store = tiny_score_store
+    for row in (0, len(store) // 2, len(store) - 1):
+        direct = store.record(row)
+        typed = store.typed_record(row).to_dict()
+        assert direct == typed
+        assert list(direct) == list(typed)
+
+
+def test_page_suspicious_walk_and_filters(tiny_score_store):
+    store = tiny_score_store
+    # Unfiltered pages concatenate to exactly sus_order.
+    seen, after = [], 0
+    while True:
+        rows, next_rank, total = store.page_suspicious(after_rank=after, limit=30_000)
+        assert total == len(store)
+        seen.extend(int(r) for r in rows)
+        if next_rank is None:
+            break
+        after = next_rank
+    assert seen == [int(r) for r in store.sus_order]
+    # Filtered pages concatenate to the masked order.
+    pid = int(store.claims.provider_id[int(store.sus_order[0])])
+    mask = store.claims.provider_id == pid
+    expected = [int(r) for r in store.sus_order[mask[store.sus_order]]]
+    got, after = [], 0
+    while True:
+        rows, next_rank, total = store.page_suspicious(
+            after_rank=after, limit=7, provider_id=pid
+        )
+        assert total == len(expected)
+        got.extend(int(r) for r in rows)
+        if next_rank is None:
+            break
+        after = next_rank
+    assert got == expected
+    with pytest.raises(ValueError):
+        store.page_suspicious(limit=0)
+    with pytest.raises(ValueError):
+        store.page_suspicious(after_rank=-1)
+
+
+def test_store_etag_tracks_content(tiny_score_store):
+    store = tiny_score_store
+    assert store.etag == store.etag  # cached, stable
+    rebuilt = ClaimScoreStore(store.claims, store.margin.copy())
+    assert rebuilt.etag == store.etag  # same content, same fingerprint
+    shifted = ClaimScoreStore(store.claims, store.margin + 0.5)
+    assert shifted.etag != store.etag

@@ -1,0 +1,232 @@
+"""Golden v1 compatibility: every v1 endpoint's body bytes are pinned.
+
+The v2 redesign replaced the if/else dispatcher with the declarative
+router and typed schemas; these tests pin the **exact bytes** of every
+v1 response — success and failure — to the payloads the old handler
+construction produced (``json.dumps`` over the same service-layer
+dicts), so the new stack cannot drift the frozen v1 wire format even by
+a key reordering or a float rendering change.
+"""
+
+import json
+import threading
+
+import http.client
+
+import pytest
+
+from repro.serve import AuditService, make_server
+
+
+@pytest.fixture(scope="module")
+def served(tiny_model, tiny_score_store):
+    model, _split = tiny_model
+    service = AuditService.from_model(model, store=tiny_score_store)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, service
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _raw(server, method, path, body=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _encode(payload) -> bytes:
+    """Exactly how the v1 server rendered payloads (default json.dumps)."""
+    return json.dumps(payload).encode("utf-8")
+
+
+def _known_key(store):
+    row = int(store.sus_order[0])
+    return store.claims.key_at(row)
+
+
+# -- success bodies -----------------------------------------------------------
+
+
+def test_v1_stats_bytes(served):
+    server, service = served
+    status, body = _raw(server, "GET", "/v1/stats")
+    assert status == 200
+    assert body == _encode(service.stats())
+
+
+def test_v1_claim_bytes(served, tiny_score_store):
+    server, service = served
+    row = int(tiny_score_store.sus_order[0])
+    pid, cell, tech = tiny_score_store.claims.key_at(row)
+    status, body = _raw(
+        server, "GET", f"/v1/claim?provider_id={pid}&cell={cell}&technology={tech}"
+    )
+    assert status == 200
+    assert body == _encode(tiny_score_store.record(row))
+
+
+def test_v1_cold_claim_bytes(served, tiny_score_store):
+    import numpy as np
+
+    server, service = served
+    pid, cell, _tech = _known_key(tiny_score_store)
+    missing = next(
+        t
+        for t in (10, 40, 50, 70, 71)
+        if tiny_score_store.positions(
+            np.array([pid]), np.array([cell], dtype=np.uint64), np.array([t])
+        )[0]
+        < 0
+    )
+    status, body = _raw(
+        server,
+        "GET",
+        f"/v1/claim?provider_id={pid}&cell={cell}&technology={missing}&state=TX",
+    )
+    assert status == 200
+    # The cold record's v1 key order: no claim aggregates, rank null,
+    # precomputed directly after rank.
+    doc = json.loads(body)
+    assert list(doc) == [
+        "provider_id",
+        "cell",
+        "technology",
+        "state",
+        "score",
+        "margin",
+        "percentile",
+        "rank",
+        "precomputed",
+    ]
+    assert body == _encode(service.score_claim(pid, cell, missing, "TX"))
+
+
+def test_v1_top_bytes(served):
+    server, service = served
+    status, body = _raw(server, "GET", "/v1/top?k=5")
+    assert status == 200
+    assert body == _encode({"results": service.top_suspicious(k=5)})
+    state = service.top_suspicious(k=1)[0]["state"]
+    status, body = _raw(server, "GET", f"/v1/top?k=3&state={state}")
+    assert status == 200
+    assert body == _encode({"results": service.top_suspicious(k=3, state=state)})
+
+
+def test_v1_summaries_bytes(served, tiny_score_store):
+    server, service = served
+    pid, _cell, _tech = _known_key(tiny_score_store)
+    status, body = _raw(server, "GET", f"/v1/provider/{pid}/summary")
+    assert status == 200
+    assert body == _encode(service.provider_summary(pid))
+    state = service.top_suspicious(k=1)[0]["state"]
+    status, body = _raw(server, "GET", f"/v1/state/{state}/summary")
+    assert status == 200
+    assert body == _encode(service.state_summary(state))
+    # Empty-provider summary keeps its two-key shape.
+    status, body = _raw(server, "GET", "/v1/provider/-1/summary")
+    assert status == 200
+    assert body == _encode({"provider_id": -1, "n_claims": 0})
+
+
+def test_v1_score_bytes(served, tiny_score_store):
+    server, service = served
+    pid, cell, tech = _known_key(tiny_score_store)
+    request = json.dumps(
+        {
+            "claims": [
+                {"provider_id": pid, "cell": cell, "technology": tech},
+                {"provider_id": -1, "cell": 2, "technology": 3},
+            ]
+        }
+    )
+    status, body = _raw(server, "POST", "/v1/score", body=request)
+    assert status == 200
+    expected = service.score_claims([pid, -1], [cell, 2], [tech, 3])
+    assert body == _encode({"results": expected})
+
+
+# -- failure bodies -----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path,message",
+    [
+        ("/v1/claim", "missing required parameter 'provider_id'"),
+        ("/v1/claim?provider_id=1&cell=2", "missing required parameter 'technology'"),
+        (
+            "/v1/claim?provider_id=abc&cell=2&technology=3",
+            "parameter 'provider_id' must be an integer",
+        ),
+        ("/v1/top?k=abc", "parameter 'k' must be an integer"),
+        ("/v1/top?k=-1", "k must be in [0, 10000]"),
+        ("/v1/top?k=999999", "k must be in [0, 10000]"),
+        ("/v1/provider/abc/summary", "provider id must be an integer"),
+        # Degenerate paths kept the old prefix/suffix matching: a bad id
+        # inside the route shape is a 400 with this message, not a 404.
+        ("/v1/provider//summary", "provider id must be an integer"),
+        ("/v1/provider/1/2/summary", "provider id must be an integer"),
+        ("/v1/state/NOWHERE/summary", "unknown state 'NOWHERE'"),
+        ("/v1/state//summary", "unknown state ''"),
+        # v1 never interpreted percent-escapes in path segments; the raw
+        # segment reaches the handler untouched ('%58' stays '%58').
+        ("/v1/state/T%58/summary", "unknown state 'T%58'"),
+        ("/v1/provider/1%30/summary", "provider id must be an integer"),
+        (
+            "/v1/claim?provider_id=1&cell=2&technology=3&state=NOWHERE",
+            "unknown state 'NOWHERE'",
+        ),
+    ],
+)
+def test_v1_error_bytes(served, path, message):
+    server, _service = served
+    status, body = _raw(server, "GET", path)
+    assert status == 400
+    assert body == _encode({"error": message})
+
+
+def test_v1_not_found_bytes(served):
+    server, _service = served
+    status, body = _raw(server, "GET", "/v1/nowhere")
+    assert status == 404
+    assert body == _encode({"error": "no route for /v1/nowhere"})
+    status, body = _raw(
+        server, "GET", "/v1/claim?provider_id=1&cell=2&technology=3"
+    )
+    assert status == 404
+    assert body == _encode(
+        {
+            "error": "claim not in the score store (pass state=XX to score "
+            "it as a hypothetical filing)"
+        }
+    )
+
+
+@pytest.mark.parametrize(
+    "body,message",
+    [
+        ("[1, 2, 3]", 'body must be a JSON object {"claims": [...]}'),
+        ('{"claims": "nope"}', 'body must be {"claims": [...]}'),
+        ('{"claims": [42]}', "each claim must be an object"),
+        (
+            '{"claims": [{"cell": 2, "technology": 3}]}',
+            "each claim needs integer provider_id, cell, and technology",
+        ),
+        (
+            '{"claims": [{"provider_id": 1, "cell": 2, "technology": 3, "state": 7}]}',
+            "claim state must be a string state abbreviation",
+        ),
+    ],
+)
+def test_v1_score_error_bytes(served, body, message):
+    server, _service = served
+    status, raw = _raw(server, "POST", "/v1/score", body=body)
+    assert status == 400
+    assert raw == _encode({"error": message})

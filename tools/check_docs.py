@@ -1,6 +1,6 @@
 """Docs smoke for CI: files exist, links resolve, modules are documented.
 
-Three checks:
+Four checks:
 
 1. the top-level docs exist;
 2. every markdown link in ``README.md``, ``ROADMAP.md``, and
@@ -9,7 +9,11 @@ Three checks:
    (``file.md#section``) are checked against the file only;
 3. every public module under ``src/repro`` (non-underscore ``.py``
    files) is mentioned by name somewhere in the combined docs, so new
-   subsystems cannot land undocumented.
+   subsystems cannot land undocumented;
+4. every HTTP route pattern registered in ``repro.serve.http`` (scanned
+   textually, so this script stays dependency-free for the CI docs job)
+   appears in the combined docs — a new endpoint cannot land without an
+   API-reference entry.
 
 Run::
 
@@ -63,6 +67,35 @@ def _undocumented_modules(docs_text: str) -> list[str]:
     return missing
 
 
+#: Route patterns inside router.add("METHOD", "/path", ...) calls.
+_ROUTE_RE = re.compile(
+    r"""router\.add\(\s*\n?\s*["'](?:GET|POST)["'],\s*\n?\s*["']([^"']+)["']"""
+)
+
+_HTTP_MODULE = os.path.join(SRC_ROOT, "serve", "http.py")
+
+
+def _route_patterns() -> list[str]:
+    """Every route pattern registered by the serve HTTP module.
+
+    Capture modifiers (``{param:path}``) are stripped: docs describe the
+    public ``{param}`` shape, not the matcher internals.
+    """
+    if not os.path.exists(_HTTP_MODULE):
+        return []
+    text = open(_HTTP_MODULE, encoding="utf-8").read()
+    patterns = (
+        re.sub(r"\{([a-zA-Z_][a-zA-Z0-9_]*):[a-z]+\}", r"{\1}", p)
+        for p in _ROUTE_RE.findall(text)
+    )
+    return sorted(set(patterns))
+
+
+def _undocumented_routes(docs_text: str) -> list[str]:
+    """Registered routes whose pattern never appears in the docs."""
+    return [p for p in _route_patterns() if p not in docs_text]
+
+
 def _doc_files() -> list[str]:
     docs = [os.path.join(REPO_ROOT, "README.md"), os.path.join(REPO_ROOT, "ROADMAP.md")]
     docs_dir = os.path.join(REPO_ROOT, "docs")
@@ -95,10 +128,18 @@ def main() -> int:
             if not os.path.exists(resolved):
                 problems.append(f"{rel_doc}: broken link -> {target}")
 
+    combined = "\n".join(docs_text)
     n_modules = len(_module_names())
-    for module in _undocumented_modules("\n".join(docs_text)):
+    for module in _undocumented_modules(combined):
         problems.append(
             f"module {module} is not mentioned in README.md/ROADMAP.md/docs/*.md"
+        )
+
+    n_routes = len(_route_patterns())
+    for pattern in _undocumented_routes(combined):
+        problems.append(
+            f"HTTP route {pattern} is not documented in "
+            "README.md/ROADMAP.md/docs/*.md"
         )
 
     if problems:
@@ -107,7 +148,8 @@ def main() -> int:
         return 1
     print(
         f"docs ok: {len(REQUIRED)} required files, {n_links} local links "
-        f"resolve, {n_modules} public modules documented"
+        f"resolve, {n_modules} public modules documented, "
+        f"{n_routes} HTTP routes documented"
     )
     return 0
 
