@@ -1,0 +1,370 @@
+"""Overload latency benchmark: shedding vs. unbounded queueing.
+
+The resilience claim under test: **at twice the sustainable request
+rate, admission control keeps the latency of *admitted* requests within
+5x the unloaded p99, while the same server with shedding disabled
+degrades without bound** (every request is accepted, so queueing delay
+grows linearly with the backlog).
+
+Method (section ``serve_latency``):
+
+1. **Sustainable rate** — a small closed-loop worker pool measures the
+   server's completed requests/sec (``POST /v2/claims:batchScore`` with
+   a fixed key chunk); the offered overload rate is 2x that.
+2. **Unloaded floor** — the *same open-loop generator* drives the plain
+   server at 0.5x sustainable and records p50/p95/p99.  Using identical
+   machinery for the baseline and the overload runs means the ratio
+   isolates queueing delay instead of also charging the overload runs
+   for generator scheduling jitter.
+3. **Open-loop overload, shedding on** — requests depart on a fixed
+   precomputed schedule at 2x (open loop: departures do not wait for
+   completions).  Latency is measured from the *scheduled* arrival, not
+   the actual send (coordinated-omission correction: a departure the
+   generator could not make on time still charges its lateness).  The
+   server runs a tight admission gate (2 slots, no queue), so responses
+   split into admitted (200, measured) and shed (429, counted).
+4. **Open-loop overload, shedding off** — same schedule against
+   ``admission_enabled=False`` and no default deadline: the unbounded
+   baseline the paper's operators would actually suffer.
+
+The committed metrics: ``shed_p99_over_unloaded`` (acceptance bar
+<= 5x, asserted here), ``noshed_p99_over_unloaded``, and their quotient
+``shed_containment`` (how many times worse the unbounded server is —
+the ratio ``check_perf_regression.py`` tracks across runs).
+
+Run standalone::
+
+    python benchmarks/bench_perf_latency.py           # all sizes
+    python benchmarks/bench_perf_latency.py --quick   # smallest only
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import http.client
+import json
+import threading
+import time
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+import bench_perf_serve  # noqa: E402
+from repro.serve import ResilienceConfig, make_server  # noqa: E402
+
+#: (name, keys per request, closed-loop samples, open-loop departures).
+#: 300 keys per request puts per-request service time well above thread
+#: scheduling noise, so the latency ratios measure queueing, not jitter.
+SIZES = [("quick", 300, 120, 480), ("default", 300, 240, 960)]
+
+#: Offered overload: multiple of the measured sustainable rate.
+OFFERED_MULTIPLE = 2.0
+
+#: The acceptance bar: admitted p99 under overload vs. unloaded p99.
+SHED_P99_BAR = 5.0
+
+#: Open-loop generator pool.  Also the cap on in-flight requests against
+#: the no-shedding server — lateness past the schedule is charged to the
+#: request via the coordinated-omission correction, so a bounded pool
+#: still measures unbounded queueing honestly.
+N_WORKERS = 32
+
+#: The tight admission gate for the shedding run: two slots, no queue —
+#: an admitted request never waits behind a backlog, everyone else gets
+#: an immediate 429.
+SHED_CONFIG = ResilienceConfig(
+    max_concurrent=2, max_queue=0, max_queue_wait_s=0.0, retry_after_s=1.0
+)
+
+#: The unbounded baseline: no admission, no server-imposed deadline.
+NOSHED_CONFIG = ResilienceConfig(admission_enabled=False, default_deadline_s=None)
+
+
+@contextlib.contextmanager
+def _serving(service, config=None):
+    server = make_server(service, port=0, resilience=config)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        yield server.server_address[:2]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _batch_body(store, n_keys: int) -> bytes:
+    rng = np.random.default_rng(7)
+    rows = rng.integers(0, len(store), size=n_keys)
+    claims = store.claims
+    keys = [
+        {
+            "provider_id": int(claims.provider_id[r]),
+            "cell": int(claims.cell[r]),
+            "technology": int(claims.technology[r]),
+        }
+        for r in rows
+    ]
+    return json.dumps({"claims": keys}).encode()
+
+
+class _Client:
+    """One keep-alive connection that survives server-initiated closes
+    (a shed POST closes the connection: the body was never read)."""
+
+    def __init__(self, address):
+        self._address = address
+        self._conn = None
+
+    def post(self, path: str, body: bytes) -> int:
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(*self._address, timeout=120)
+            try:
+                self._conn.request(
+                    "POST",
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = self._conn.getresponse()
+                response.read()
+                if response.will_close:
+                    self.close()
+                return response.status
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def _percentiles(latencies_s: list[float]) -> dict:
+    arr = np.array(sorted(latencies_s))
+    return {
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p95_ms": float(np.percentile(arr, 95) * 1e3),
+        "p99_ms": float(np.percentile(arr, 99) * 1e3),
+    }
+
+
+def _closed_loop(address, body: bytes, n_requests: int, n_workers: int):
+    """Closed-loop drive: each worker sends its next request the moment
+    the previous one completes.  Returns (latencies, completed/sec)."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+
+    def worker():
+        client = _Client(address)
+        try:
+            while True:
+                with lock:
+                    if next(counter, None) is None:
+                        return
+                start = time.perf_counter()
+                status = client.post("/v2/claims:batchScore", body)
+                elapsed = time.perf_counter() - start
+                if status != 200:
+                    raise AssertionError(f"unloaded request returned {status}")
+                with lock:
+                    latencies.append(elapsed)
+        finally:
+            client.close()
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    return latencies, len(latencies) / elapsed
+
+
+def _open_loop(address, body: bytes, n_requests: int, rate_rps: float):
+    """Open-loop drive on a fixed schedule: departure ``i`` is due at
+    ``start + i/rate`` regardless of completions.  Latency is measured
+    from the *scheduled* departure (coordinated-omission corrected).
+
+    Returns ``(admitted_latencies, {status: count})``."""
+    interval = 1.0 / rate_rps
+    admitted: list[float] = []
+    statuses: dict[int, int] = {}
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+    # Every worker opens its connection (and spawns its server-side
+    # thread) with one unmeasured request before t0 exists — connection
+    # setup must not pollute the measured percentiles.
+    warmed = threading.Barrier(N_WORKERS)
+    start_box: list[float] = []
+    started = threading.Event()
+
+    def worker():
+        client = _Client(address)
+        try:
+            try:
+                client.post("/v2/claims:batchScore", body)
+            except (http.client.HTTPException, OSError):
+                pass
+            if warmed.wait() == 0:  # one worker stamps t0 for everyone
+                # The warmup burst (N_WORKERS concurrent posts) must
+                # drain before the measured schedule starts.
+                start_box.append(time.perf_counter() + 0.5)
+                started.set()
+            started.wait()
+            start = start_box[0]
+            while True:
+                with lock:
+                    i = next(counter, None)
+                if i is None:
+                    return
+                due = start + i * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    status = client.post("/v2/claims:batchScore", body)
+                except (http.client.HTTPException, OSError):
+                    status = -1  # transport failure (counted, not timed)
+                elapsed = time.perf_counter() - due
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if status == 200:
+                        admitted.append(elapsed)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(N_WORKERS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return admitted, statuses
+
+
+def run(quick: bool = False, service=None) -> list[dict]:
+    """The benchmark body; ``service`` shares an already-built world
+    (see :func:`bench_perf_serve.run`) — the caller owns its lifecycle."""
+    own_service = service is None
+    if own_service:
+        service, _build_s = bench_perf_serve._build_service()
+    store = service.store
+    results = []
+    try:
+        for name, n_keys, n_closed, n_open in SIZES[:1] if quick else SIZES:
+            body = _batch_body(store, n_keys)
+
+            # 1. sustainable rate + 2. unloaded floor, plain server.
+            with _serving(service) as address:
+                _closed_loop(address, body, 5, 1)  # warmup, unmeasured
+                _, sustainable_rps = _closed_loop(address, body, n_closed, 4)
+                unloaded_lat, unloaded_statuses = _open_loop(
+                    address, body, n_open, sustainable_rps * 0.5
+                )
+            if set(unloaded_statuses) != {200}:
+                raise AssertionError(
+                    f"{name}: unloaded run saw non-200 statuses "
+                    f"{unloaded_statuses}"
+                )
+            unloaded = _percentiles(unloaded_lat)
+            offered_rps = sustainable_rps * OFFERED_MULTIPLE
+
+            # 3. overload with the admission gate shedding.
+            with _serving(service, SHED_CONFIG) as address:
+                shed_lat, shed_statuses = _open_loop(
+                    address, body, n_open, offered_rps
+                )
+            # 4. the same schedule with shedding disabled.
+            with _serving(service, NOSHED_CONFIG) as address:
+                noshed_lat, noshed_statuses = _open_loop(
+                    address, body, n_open, offered_rps
+                )
+
+            unexpected = {
+                s: n for s, n in shed_statuses.items() if s not in (200, 429)
+            } | {s: n for s, n in noshed_statuses.items() if s != 200}
+            if unexpected:
+                raise AssertionError(
+                    f"{name}: overload runs saw unexpected statuses "
+                    f"{unexpected} (shed={shed_statuses}, "
+                    f"noshed={noshed_statuses})"
+                )
+            if not shed_lat:
+                raise AssertionError(
+                    f"{name}: the admission gate admitted nothing at "
+                    f"{offered_rps:.0f} req/s (statuses {shed_statuses})"
+                )
+
+            shed = _percentiles(shed_lat)
+            noshed = _percentiles(noshed_lat)
+            row = {
+                "size": name,
+                "keys_per_request": n_keys,
+                "open_loop_requests": n_open,
+                "sustainable_rps": sustainable_rps,
+                "offered_multiple": OFFERED_MULTIPLE,
+                "offered_rps": offered_rps,
+                "unloaded": unloaded,
+                "shed": {
+                    **shed,
+                    "admitted": shed_statuses.get(200, 0),
+                    "shed": shed_statuses.get(429, 0),
+                },
+                "noshed": {**noshed, "completed": noshed_statuses.get(200, 0)},
+                "shed_p99_over_unloaded": shed["p99_ms"] / unloaded["p99_ms"],
+                "noshed_p99_over_unloaded": noshed["p99_ms"] / unloaded["p99_ms"],
+                "shed_containment": noshed["p99_ms"] / shed["p99_ms"],
+            }
+            results.append(row)
+            print(
+                f"{name:8s} sustainable {sustainable_rps:6.0f} req/s, offered "
+                f"{offered_rps:6.0f} req/s\n"
+                f"         unloaded p99 {unloaded['p99_ms']:8.1f} ms\n"
+                f"         shed     p99 {shed['p99_ms']:8.1f} ms "
+                f"({row['shed_p99_over_unloaded']:.1f}x unloaded; "
+                f"{row['shed']['admitted']} admitted / "
+                f"{row['shed']['shed']} shed)\n"
+                f"         noshed   p99 {noshed['p99_ms']:8.1f} ms "
+                f"({row['noshed_p99_over_unloaded']:.1f}x unloaded; "
+                f"containment {row['shed_containment']:.1f}x)"
+            )
+            if row["shed_p99_over_unloaded"] > SHED_P99_BAR:
+                raise AssertionError(
+                    f"{name}: admitted p99 under 2x overload is "
+                    f"{row['shed_p99_over_unloaded']:.1f}x the unloaded p99 "
+                    f"(acceptance bar is {SHED_P99_BAR}x) — the admission "
+                    "gate is letting a backlog build"
+                )
+    finally:
+        if own_service:
+            service.close()
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smallest size"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "serve_latency", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote serve_latency section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,12 @@
 """CI perf smoke: fail if the hot paths regress >2x vs. the baseline.
 
 Replays the quick variants of ``bench_perf_gbdt.py``,
-``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``, and
-``bench_perf_serve.py`` on the current machine and compares the *speedup
-ratios* (vectorized kernel vs. seed reference, shared-binning tuning vs.
-per-trial binning, micro-batched vs. single-claim serving lookups, the
-v2 batch endpoint vs. the v1 bulk path over HTTP, both
+``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``,
+``bench_perf_serve.py``, and ``bench_perf_latency.py`` on the current
+machine and compares the *speedup ratios* (vectorized kernel vs. seed
+reference, shared-binning tuning vs. per-trial binning, micro-batched
+vs. single-claim serving lookups, the v2 batch endpoint vs. the v1 bulk
+path over HTTP, and shed vs. unbounded p99 under 2x overload, both
 sides measured fresh) against the committed ``BENCH_perf.json``.  Comparing
 ratios instead of wall times keeps the check meaningful across
 heterogeneous CI hardware: a genuine hot-path regression halves the
@@ -30,6 +31,7 @@ import sys
 import _perfutil
 import bench_perf_bayesopt
 import bench_perf_gbdt
+import bench_perf_latency
 import bench_perf_serve
 import bench_perf_vectorize
 
@@ -45,6 +47,7 @@ REQUIRED_SECTIONS = {
     "bayesopt": ("tuning_speedup", "python benchmarks/bench_perf_bayesopt.py"),
     "serve": ("lookup_speedup", "python benchmarks/bench_perf_serve.py"),
     "serve_http": ("batch_v2_vs_v1", "python benchmarks/bench_perf_serve.py"),
+    "serve_latency": ("shed_containment", "python benchmarks/bench_perf_latency.py"),
 }
 
 
@@ -117,6 +120,9 @@ def main() -> int:
             )
     serve_base = _baseline_speedups(baseline, "serve", "lookup_speedup")
     http_base = _baseline_speedups(baseline, "serve_http", "batch_v2_vs_v1")
+    latency_base = _baseline_speedups(
+        baseline, "serve_latency", "shed_containment"
+    )
     serve_service, serve_build_s = bench_perf_serve._build_service()
     try:
         for row in bench_perf_serve.run(
@@ -132,6 +138,20 @@ def main() -> int:
             if expected is not None:
                 checks.append(
                     ("serve_http", row["size"], expected, row["batch_v2_vs_v1"])
+                )
+        # The latency replay also re-asserts the absolute acceptance bar
+        # (admitted p99 under 2x overload <= 5x unloaded p99) inside
+        # bench_perf_latency.run() itself.
+        for row in bench_perf_latency.run(quick=True, service=serve_service):
+            expected = latency_base.get(row["size"])
+            if expected is not None:
+                checks.append(
+                    (
+                        "serve_latency",
+                        row["size"],
+                        expected,
+                        row["shed_containment"],
+                    )
                 )
     finally:
         serve_service.close()

@@ -17,18 +17,32 @@ Transport
 
 One persistent ``http.client.HTTPConnection`` **per thread**
 (keep-alive; the server is HTTP/1.1), transparently reopened after
-drops.  Requests are retried on transport failures and 502/503/504
+drops.  Requests are retried on transport failures and 429/502/503/504
 responses with exponential backoff — every API call here is a pure read
-or an idempotent swap, so retries are always safe.  API failures raise
-:class:`AuditAPIError` carrying the HTTP status and the server's
-``{"error": ...}`` message; a 404 on a single-claim lookup is returned
-as ``None`` instead (an unknown claim is an answer, not a failure).
+or an idempotent swap, so retries are always safe.  The backoff is
+**jittered** (uniformly 0.5–1.5x, so synchronized clients do not
+stampede a recovering server) and **capped**
+(``retry_backoff_cap_s``), and a ``Retry-After`` header on a 429/503
+overrides the computed backoff — the server knows its queue better than
+the client's exponent does.
+
+Read-style calls accept ``deadline=`` (seconds): the whole call —
+attempts, backoffs, socket waits — must finish inside that budget.  The
+remaining budget is sent as ``X-Request-Deadline-Ms`` so the server can
+drop the work when the client has already given up, and it bounds each
+attempt's socket timeout; no retry sleep is allowed to outlive it.
+
+API failures raise :class:`AuditAPIError` carrying the HTTP status and
+the server's ``{"error": ...}`` message; a 404 on a single-claim lookup
+is returned as ``None`` instead (an unknown claim is an answer, not a
+failure).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
 from urllib.parse import quote, urlencode, urlsplit
@@ -44,8 +58,9 @@ from repro.serve.schemas import (
 
 __all__ = ["AuditAPIError", "AuditClient"]
 
-#: Response statuses worth retrying (transient server/gateway states).
-_RETRY_STATUSES = frozenset({502, 503, 504})
+#: Response statuses worth retrying (shed or transient server/gateway
+#: states; 429 means the admission gate asked us to come back later).
+_RETRY_STATUSES = frozenset({429, 502, 503, 504})
 
 
 class AuditAPIError(Exception):
@@ -88,6 +103,7 @@ class AuditClient:
         timeout: float = 10.0,
         retries: int = 2,
         retry_backoff_s: float = 0.05,
+        retry_backoff_cap_s: float = 2.0,
     ):
         parts = urlsplit(base_url)
         if parts.scheme != "http" or not parts.hostname:
@@ -101,6 +117,8 @@ class AuditClient:
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff_s = float(retry_backoff_s)
+        #: No retry sleep — computed or server-suggested — exceeds this.
+        self._backoff_cap_s = float(retry_backoff_cap_s)
         self._local = threading.local()
 
     # -- transport ----------------------------------------------------------
@@ -120,17 +138,84 @@ class AuditClient:
             conn.close()
             self._local.conn = None
 
-    def _request(self, method: str, path: str, body: dict | None = None):
-        """One API call with retries; returns (status, decoded JSON)."""
+    def _retry_delay(self, attempt: int, retry_after: float | None) -> float:
+        """Sleep before retry ``attempt``: the server's ``Retry-After``
+        when it sent one, else jittered exponential backoff; both capped
+        at ``retry_backoff_cap_s`` so no retry loop sleeps unboundedly."""
+        if retry_after is not None:
+            return min(retry_after, self._backoff_cap_s)
+        delay = self._backoff_s * (2 ** (attempt - 1))
+        if delay > 0:
+            # Uniform 0.5-1.5x: synchronized clients retrying a shed
+            # response must not stampede the server in lockstep.  A zero
+            # base backoff stays zero (tests rely on instant retries).
+            delay *= 0.5 + random.random()
+        return min(delay, self._backoff_cap_s)
+
+    @staticmethod
+    def _retry_after_header(response) -> float | None:
+        raw = response.getheader("Retry-After")
+        if raw is None:
+            return None
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            return None  # HTTP-date form: fall back to computed backoff
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        deadline_s: float | None = None,
+    ):
+        """One API call with retries; returns (status, decoded JSON).
+
+        ``deadline_s`` bounds the whole call — every attempt, backoff
+        sleep, and socket wait must fit inside it.  The remaining budget
+        rides each attempt as ``X-Request-Deadline-Ms`` so the server
+        stops working for a caller that has already given up.
+        """
         path = self._prefix + path
         payload = None if body is None else json.dumps(body).encode("utf-8")
-        headers = {} if payload is None else {"Content-Type": "application/json"}
+        base_headers = (
+            {} if payload is None else {"Content-Type": "application/json"}
+        )
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
         last_error: Exception | None = None
+        retry_after: float | None = None
         for attempt in range(self._retries + 1):
             if attempt:
-                time.sleep(self._backoff_s * (2 ** (attempt - 1)))
+                delay = self._retry_delay(attempt, retry_after)
+                if (
+                    deadline_at is not None
+                    and time.monotonic() + delay >= deadline_at
+                ):
+                    break  # no budget left for another attempt
+                if delay > 0:
+                    time.sleep(delay)
+            retry_after = None
+            headers = dict(base_headers)
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                headers["X-Request-Deadline-Ms"] = str(
+                    max(1, int(remaining * 1000))
+                )
             try:
                 conn = self._connection()
+                if deadline_at is not None:
+                    # This attempt's socket waits must fit the budget.
+                    attempt_timeout = max(
+                        0.001,
+                        min(self._timeout, deadline_at - time.monotonic()),
+                    )
+                    conn.timeout = attempt_timeout
+                    if conn.sock is not None:
+                        conn.sock.settimeout(attempt_timeout)
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
@@ -141,6 +226,7 @@ class AuditClient:
                 last_error = exc
                 continue
             if response.status in _RETRY_STATUSES:
+                retry_after = self._retry_after_header(response)
                 last_error = AuditAPIError(
                     self._error_message(raw, response.status),
                     status=response.status,
@@ -164,11 +250,19 @@ class AuditClient:
             return response.status, doc
         if isinstance(last_error, AuditAPIError):
             raise last_error
+        if last_error is not None:
+            raise AuditAPIError(
+                f"request failed after {self._retries + 1} attempt(s): "
+                f"{last_error}",
+                status=None,
+                path=path,
+            ) from last_error
         raise AuditAPIError(
-            f"request failed after {self._retries + 1} attempt(s): {last_error}",
+            f"call deadline of {deadline_s}s expired before the request "
+            "could complete",
             status=None,
             path=path,
-        ) from last_error
+        )
 
     @staticmethod
     def _error_message(raw: bytes, status: int) -> str:
@@ -177,14 +271,19 @@ class AuditClient:
         except (ValueError, SchemaError):
             return f"HTTP {status}"
 
-    def _get(self, path: str, params: dict | None = None):
+    def _get(
+        self,
+        path: str,
+        params: dict | None = None,
+        deadline_s: float | None = None,
+    ):
         if params:
             query = urlencode(
                 {k: v for k, v in params.items() if v is not None}
             )
             if query:
                 path = f"{path}?{query}"
-        return self._request("GET", path)[1]
+        return self._request("GET", path, deadline_s=deadline_s)[1]
 
     def close(self) -> None:
         """Close this thread's connection (others close on GC/exit)."""
@@ -192,8 +291,13 @@ class AuditClient:
 
     # -- meta ---------------------------------------------------------------
 
-    def health(self) -> dict:
-        return self._get("/healthz")
+    def health(self, deadline: float | None = None) -> dict:
+        return self._get("/healthz", deadline_s=deadline)
+
+    def ready(self, deadline: float | None = None) -> dict:
+        """Readiness probe; raises :class:`AuditAPIError` (503) while a
+        hot-swap or store load is in flight."""
+        return self._get("/readyz", deadline_s=deadline)
 
     def stats(self) -> dict:
         return self._get("/v1/stats")
@@ -216,12 +320,13 @@ class AuditClient:
         cell: int,
         technology: int,
         state: str | None = None,
+        deadline: float | None = None,
     ) -> ScoreRecord | None:
         """One claim's score record; ``None`` for a claim the store does
         not know (pass ``state`` to score it as a hypothetical filing)."""
         path = f"/v2/claims/{int(provider_id)}/{int(cell)}/{int(technology)}"
         try:
-            doc = self._get(path, {"state": state})
+            doc = self._get(path, {"state": state}, deadline_s=deadline)
         except AuditAPIError as exc:
             if exc.status == 404:
                 return None
@@ -236,6 +341,7 @@ class AuditClient:
         cell: int | None = None,
         limit: int | None = None,
         cursor: str | None = None,
+        deadline: float | None = None,
     ) -> Page:
         """One page of the descending-suspicion walk (``GET /v2/claims``)."""
         doc = self._get(
@@ -248,6 +354,7 @@ class AuditClient:
                 "limit": limit,
                 "cursor": cursor,
             },
+            deadline_s=deadline,
         )
         return Page.from_dict(doc)
 
@@ -300,12 +407,14 @@ class AuditClient:
                 if max_items is not None and emitted >= max_items:
                     return
 
-    def batch_score(self, claims) -> BatchScoreResponse:
+    def batch_score(self, claims, deadline: float | None = None) -> BatchScoreResponse:
         """Score many claim keys in one request
         (``POST /v2/claims:batchScore``).
 
         ``claims`` entries may be :class:`ClaimKey`, mappings, or
-        ``(provider_id, cell, technology[, state])`` tuples.
+        ``(provider_id, cell, technology[, state])`` tuples.  Check
+        ``response.degraded``: when true, ``None`` results may be cold
+        keys the server shed rather than unknown claims.
         """
         keys = [
             _as_claim_key(entry, f"claims[{i}]") for i, entry in enumerate(claims)
@@ -314,6 +423,7 @@ class AuditClient:
             "POST",
             "/v2/claims:batchScore",
             body={"claims": [key.to_dict() for key in keys]},
+            deadline_s=deadline,
         )
         return BatchScoreResponse.from_dict(doc)
 

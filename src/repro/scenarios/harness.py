@@ -63,6 +63,7 @@ __all__ = [
     "run_scenario",
     "run_suite",
     "check_invariants",
+    "check_fault_invariants",
     "intensity_sweep",
 ]
 
@@ -347,6 +348,247 @@ def _http_consistency(run: ScenarioRun, rows: np.ndarray) -> list[str]:
         client.close()
         server.shutdown()
         server.server_close()
+    return failures
+
+
+def check_fault_invariants(
+    store: ClaimScoreStore,
+    classifier=None,
+    builder=None,
+    plan_name: str = "cold_flaky",
+    iterations: int = 25,
+    n_readers: int = 3,
+    n_swaps: int = 20,
+) -> list[str]:
+    """The resilience invariant, end to end over the wire.
+
+    Serves ``store`` (plus a sign-flipped shadow version) through a live
+    HTTP server configured with a **deterministic fault plan** at every
+    serving seam, a hair-trigger circuit breaker, a tight admission gate,
+    and short deadlines — while reader threads hammer the data routes and
+    a swapper thread flips the default version back and forth.
+
+    Every observed response must be one of:
+
+    * **correct** — a 200 whose precomputed values match the score store
+      of exactly the version named in its envelope (never a mix);
+    * **shed** — a 429 or 503 carrying ``Retry-After``;
+    * **degraded** — a 200 batch response with ``"degraded": true``
+      whose unscored slots are exactly the cold-capable keys.
+
+    A 500, a missing ``Retry-After``, or a mixed-version body is a
+    failure.  Returns violated invariants as messages (empty = pass).
+    """
+    import http.client as _http
+    import json as _json
+    import threading
+
+    from repro.serve.http import make_server
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.resilience import (
+        CircuitBreaker,
+        ResilienceConfig,
+        chaos_plan,
+    )
+
+    failures: list[str] = []
+    flipped = ClaimScoreStore(store.claims, -store.margin)
+    plans = {"default": chaos_plan(plan_name), "flipped": chaos_plan(plan_name)}
+    registry_ = ModelRegistry(max_delay_s=0.0005, cache_size=0)
+    for name, version_store in (("default", store), ("flipped", flipped)):
+        registry_.add(
+            name,
+            version_store,
+            classifier=classifier,
+            builder=builder,
+            fault_plan=plans[name],
+            breaker=CircuitBreaker(failure_threshold=2, reset_after_s=0.05),
+        )
+    registry_.activate("default")
+    service = AuditService.from_registry(registry_)
+    server = make_server(
+        service,
+        resilience=ResilienceConfig(
+            max_concurrent=2,
+            max_queue=2,
+            max_queue_wait_s=0.05,
+            default_deadline_s=2.0,
+            socket_timeout_s=5.0,
+            retry_after_s=1.0,
+        ),
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    port = server.server_address[1]
+
+    margin_by_version = {
+        "default": store.margin,
+        "flipped": flipped.margin,
+    }
+    order_by_version = {
+        "default": store.sus_order,
+        "flipped": flipped.sus_order,
+    }
+    # A handful of precomputed keys, plus one cold-capable key (a
+    # technology no claim uses at this cell, scored as a hypothetical).
+    rows = [int(r) for r in np.linspace(0, len(store) - 1, 8).astype(int)]
+    keys = [store.claims.key_at(r) for r in rows]
+    cold_key = None
+    if classifier is not None and builder is not None:
+        pid, cell, _tech = keys[0]
+        state = store.record(rows[0])["state"]
+        for tech in (10, 40, 50, 70, 71):
+            pos = store.positions(
+                np.array([pid]), np.array([cell], dtype=np.uint64), np.array([tech])
+            )
+            if pos[0] < 0:
+                cold_key = {
+                    "provider_id": int(pid),
+                    "cell": int(cell),
+                    "technology": int(tech),
+                    "state": str(state),
+                }
+                break
+    batch_body = _json.dumps(
+        {
+            "claims": [
+                {"provider_id": int(p), "cell": int(c), "technology": int(t)}
+                for p, c, t in keys
+            ]
+            + ([cold_key] if cold_key is not None else [])
+        }
+    ).encode()
+
+    lock = threading.Lock()
+
+    def fail(message: str) -> None:
+        with lock:
+            if len(failures) < 20:
+                failures.append(message)
+
+    def check_shed(status: int, headers, where: str) -> None:
+        if headers.get("Retry-After") is None:
+            fail(f"{where}: {status} response without Retry-After")
+
+    def classify(status: int, headers, doc, where: str) -> None:
+        """Everything that is not 200/shed/degraded is a violation."""
+        if status in (429, 503):
+            check_shed(status, headers, where)
+        elif status == 408:
+            pass  # slow-client timeout: valid shed outcome
+        elif status != 200:
+            fail(f"{where}: unexpected status {status} ({doc})")
+
+    def request(conn, method, path, body=None):
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        if response.will_close:
+            conn.close()
+        try:
+            doc = _json.loads(raw) if raw else None
+        except _json.JSONDecodeError:
+            doc = None
+        return response.status, dict(response.getheaders()), doc
+
+    def reader() -> None:
+        conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for i in range(iterations):
+                try:
+                    # One precomputed single-claim read.
+                    p, c, t = keys[i % len(keys)]
+                    status, headers, doc = request(
+                        conn, "GET", f"/v2/claims/{int(p)}/{int(c)}/{int(t)}"
+                    )
+                    classify(status, headers, doc, "claim")
+                    if status == 200:
+                        version = doc["model_version"]
+                        row = rows[i % len(keys)]
+                        if doc["record"]["margin"] != float(
+                            margin_by_version[version][row]
+                        ):
+                            fail(f"claim: margin does not match version {version!r}")
+                    # One page of the suspicion walk.
+                    status, headers, doc = request(
+                        conn, "GET", "/v2/claims?limit=5"
+                    )
+                    classify(status, headers, doc, "page")
+                    if status == 200:
+                        version = doc["model_version"]
+                        expected = [
+                            float(margin_by_version[version][r])
+                            for r in order_by_version[version][:5]
+                        ]
+                        if [r["margin"] for r in doc["items"]] != expected:
+                            fail(f"page: items mix versions under {version!r}")
+                    # One batch with a cold-capable tail key.
+                    status, headers, doc = request(
+                        conn, "POST", "/v2/claims:batchScore", batch_body
+                    )
+                    classify(status, headers, doc, "batch")
+                    if status == 200:
+                        version = doc["model_version"]
+                        margins = margin_by_version[version]
+                        for j, result in enumerate(doc["results"][: len(keys)]):
+                            if result is None:
+                                fail("batch: precomputed slot came back null")
+                            elif result["margin"] != float(margins[rows[j]]):
+                                fail(
+                                    "batch: precomputed slot does not match "
+                                    f"version {version!r}"
+                                )
+                        if cold_key is not None:
+                            cold_result = doc["results"][len(keys)]
+                            if cold_result is None and not doc.get("degraded"):
+                                fail(
+                                    "batch: cold slot null without "
+                                    "degraded: true"
+                                )
+                except (_http.HTTPException, OSError):
+                    # Connection closed under us (shed/timeout hygiene):
+                    # reconnect and continue — not a correctness failure.
+                    conn.close()
+                    conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        finally:
+            conn.close()
+
+    def swapper() -> None:
+        conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for i in range(n_swaps):
+                target = "flipped" if i % 2 == 0 else "default"
+                try:
+                    status, _headers, doc = request(
+                        conn, "POST", f"/v2/models/{target}:activate"
+                    )
+                    if status != 200:
+                        fail(f"activate: unexpected status {status} ({doc})")
+                except (_http.HTTPException, OSError):
+                    conn.close()
+                    conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    threads.append(threading.Thread(target=swapper))
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    fired = sum(
+        seam["fired"] for plan in plans.values() for seam in plan.counts().values()
+    )
+    if fired == 0:
+        failures.append(
+            f"fault plan {plan_name!r} never fired — the chaos run was vacuous"
+        )
     return failures
 
 

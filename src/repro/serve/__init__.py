@@ -31,8 +31,13 @@ Module                   Role
                                summaries), bound through the registry
 :mod:`~repro.serve.router`     declarative route table (method, pattern,
                                typed query spec, handler)
+:mod:`~repro.serve.resilience` overload safety: admission control (bounded
+                               queues, 429 + Retry-After), per-request
+                               deadlines, a cold-path circuit breaker, and
+                               deterministic fault injection for chaos tests
 :mod:`~repro.serve.http`       stdlib JSON HTTP API: versioned ``/v2``
-                               resource routes + frozen ``/v1`` adapters
+                               resource routes + frozen ``/v1`` adapters,
+                               behind the admission gate
 =======================  ====================================================
 
 The matching client SDK lives in :mod:`repro.client`.
@@ -54,12 +59,28 @@ from repro.serve.http import (
     make_server,
 )
 from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    ColdPathDegraded,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceConfig,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    chaos_plan,
+    chaos_plan_names,
+)
 from repro.serve.router import (
     ApiError,
     BadRequest,
     NotFound,
     PayloadTooLarge,
     QueryParam,
+    RequestTimeout,
     Route,
     Router,
 )
@@ -92,11 +113,25 @@ __all__ = [
     "MAX_RESULT_ROWS",
     "ModelRegistry",
     "ModelVersion",
+    "AdmissionController",
+    "CircuitBreaker",
+    "ColdPathDegraded",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceConfig",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
+    "chaos_plan",
+    "chaos_plan_names",
     "ApiError",
     "BadRequest",
     "NotFound",
     "PayloadTooLarge",
     "QueryParam",
+    "RequestTimeout",
     "Route",
     "Router",
     "BatchScoreRequest",

@@ -19,6 +19,13 @@ The batcher is scorer-agnostic: it queues opaque payloads and delivers
 ``concurrent.futures.Future`` results, with the service supplying the
 ``score_batch(payloads) -> results`` callable.  ``flush()`` may be called
 directly for deterministic draining (the bulk path and the tests do).
+
+Requests may carry a :class:`~repro.serve.resilience.Deadline`: a slot
+whose every waiter has blown its budget by flush time is *dropped* —
+its waiters get :class:`~repro.serve.resilience.DeadlineExceeded` and
+the scorer never sees the payload.  Scoring work is the scarce resource
+under overload; spending it on answers nobody is still waiting for is
+how queues melt down.
 """
 
 from __future__ import annotations
@@ -27,6 +34,14 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
+
+from repro.serve.resilience import (
+    SEAM_BATCH_FLUSH,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    merge_deadlines,
+)
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
@@ -41,6 +56,8 @@ class BatcherStats:
     batches: int = 0
     scored: int = 0
     max_batch: int = 0
+    #: Slots dropped unscored because every waiter's deadline expired.
+    deadline_drops: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -50,6 +67,7 @@ class BatcherStats:
             "batches": self.batches,
             "scored": self.scored,
             "max_batch": self.max_batch,
+            "deadline_drops": self.deadline_drops,
         }
 
 
@@ -62,6 +80,7 @@ class MicroBatcher:
         max_batch: int = 1024,
         max_delay_s: float = 0.002,
         cache_size: int = 4096,
+        fault_plan: FaultPlan | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -71,12 +90,15 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
         self.cache_size = int(cache_size)
+        self.fault_plan = fault_plan
         self.stats = BatcherStats()
         self._lock = threading.Lock()
-        #: Pending batch: parallel payloads / cache keys / future lists.
+        #: Pending batch: parallel payloads / cache keys / future lists /
+        #: per-slot deadlines (the laxest across coalesced waiters).
         self._payloads: list = []
         self._keys: list = []
         self._futures: list[list[Future]] = []
+        self._deadlines: list[Deadline | None] = []
         #: cache key -> pending-slot index (dedup within one batch).
         self._slot_by_key: dict = {}
         self._cache: OrderedDict = OrderedDict()
@@ -85,11 +107,15 @@ class MicroBatcher:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, payload, cache_key=None) -> Future:
+    def submit(self, payload, cache_key=None, deadline: Deadline | None = None) -> Future:
         """Enqueue one request; the Future resolves at the next flush.
 
         ``cache_key``, when hashable and not ``None``, enables the LRU
         cache and within-batch deduplication for this request.
+        ``deadline`` bounds how stale this request may be when the flush
+        reaches it: a slot none of whose waiters still has budget is
+        dropped unscored, failing its futures with
+        :class:`DeadlineExceeded`.
         """
         fut: Future = Future()
         flush_now = False
@@ -107,12 +133,17 @@ class MicroBatcher:
                 slot = self._slot_by_key.get(cache_key)
                 if slot is not None:
                     self._futures[slot].append(fut)
+                    # The slot survives while *any* waiter has budget.
+                    self._deadlines[slot] = merge_deadlines(
+                        self._deadlines[slot], deadline
+                    )
                     self.stats.coalesced += 1
                     return fut
                 self._slot_by_key[cache_key] = len(self._payloads)
             self._payloads.append(payload)
             self._keys.append(cache_key)
             self._futures.append([fut])
+            self._deadlines.append(deadline)
             if len(self._payloads) >= self.max_batch:
                 flush_now = True
             elif self._timer is None and self.max_delay_s > 0:
@@ -123,12 +154,17 @@ class MicroBatcher:
             self.flush()
         return fut
 
-    def score_many(self, payloads: list, cache_keys: list | None = None) -> list:
+    def score_many(
+        self,
+        payloads: list,
+        cache_keys: list | None = None,
+        deadline: Deadline | None = None,
+    ) -> list:
         """Submit a burst and drain it in one flush; returns results in order."""
         if cache_keys is None:
             cache_keys = [None] * len(payloads)
         futures = [
-            self.submit(payload, cache_key=key)
+            self.submit(payload, cache_key=key, deadline=deadline)
             for payload, key in zip(payloads, cache_keys)
         ]
         self.flush()
@@ -144,12 +180,33 @@ class MicroBatcher:
             payloads = self._payloads
             keys = self._keys
             futures = self._futures
+            deadlines = self._deadlines
             self._payloads, self._keys, self._futures = [], [], []
+            self._deadlines = []
             self._slot_by_key = {}
             if self._timer is not None:
                 self._timer.cancel()
                 self._timer = None
+        # Shed expired slots before scoring: their waiters have already
+        # given up, so the scorer's time belongs to the live ones.
+        if any(d is not None and d.expired for d in deadlines):
+            live = [i for i, d in enumerate(deadlines) if d is None or not d.expired]
+            dropped = len(payloads) - len(live)
+            exc = DeadlineExceeded("request deadline expired before scoring")
+            for i, d in enumerate(deadlines):
+                if not (d is None or not d.expired):
+                    for fut in futures[i]:
+                        fut.set_exception(exc)
+            payloads = [payloads[i] for i in live]
+            keys = [keys[i] for i in live]
+            futures = [futures[i] for i in live]
+            with self._lock:
+                self.stats.deadline_drops += dropped
+            if not payloads:
+                return 0
         try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(SEAM_BATCH_FLUSH)
             results = self._score_batch(payloads)
             if len(results) != len(payloads):
                 raise RuntimeError(

@@ -33,8 +33,28 @@ Route                                                 Response
 ``GET /v2/models``                                    registry versions +
                                                       per-version stats
 ``POST /v2/models/{name}:activate``                   atomic default swap
-``GET /healthz``                                      liveness + limits
+``GET /healthz``                                      liveness + limits +
+                                                      admission/queue depths
+``GET /readyz``                                       readiness; 503 +
+                                                      ``Retry-After`` while a
+                                                      hot-swap or store load
+                                                      is in flight
 ====================================================  =======================
+
+Overload safety (:mod:`repro.serve.resilience`)
+-----------------------------------------------
+
+Data routes pass an **admission gate** before their body is read:
+bounded per-version queues shed excess load as 429 + ``Retry-After``
+instead of queueing unboundedly.  Every request carries a **deadline**
+(``X-Request-Deadline-Ms`` header, else the server default); a budget
+blown while queued or batched is dropped, not scored (503).  Cold-path
+scoring sits behind a **circuit breaker** — when it trips, batch
+responses degrade (``"degraded": true`` with ``None`` cold slots) rather
+than fail.  Slow clients hit the socket read timeout and get a 408.
+Meta routes (``/healthz``, ``/readyz``, ``/v2/models``, activation,
+``/v1/stats``) bypass admission: an operator must be able to observe and
+fix an overloaded server *through* the overload.
 
 v1 routes (deprecated, frozen)
 ------------------------------
@@ -65,12 +85,23 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.serve.registry import ModelVersion, state_index, validate_key_range
+from repro.serve.resilience import (
+    AdmissionController,
+    ColdPathDegraded,
+    Deadline,
+    DeadlineExceeded,
+    InjectedFault,
+    ResilienceConfig,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
 from repro.serve.router import (
     ApiError,
     BadRequest,
     NotFound,
     PayloadTooLarge,
     QueryParam,
+    RequestTimeout,
     Router,
     parse_query,
 )
@@ -92,6 +123,10 @@ MAX_RESULT_ROWS = 10_000
 #: Cap on POST body size (a full 10k-claim bulk request fits comfortably).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Largest unread body an error response will drain to keep the
+#: keep-alive connection usable (larger bodies just close instead).
+MAX_DRAIN_BODY_BYTES = 1024 * 1024
+
 #: Page size of ``GET /v2/claims`` when the client does not pass one.
 DEFAULT_PAGE_LIMIT = 100
 
@@ -104,6 +139,11 @@ class RequestContext:
     path: dict[str, str]
     query: dict
     body: object | None = None
+    #: This request's time budget (header-supplied or the server default).
+    deadline: Deadline | None = None
+    #: The server's admission controller (None when admission is off);
+    #: here only so /healthz can report queue depths and shed counts.
+    admission: AdmissionController | None = None
     _version: ModelVersion | None = field(default=None, repr=False)
 
     @property
@@ -148,7 +188,9 @@ def _require_cold_path(ctx: RequestContext, state) -> None:
 def _claim_record(ctx: RequestContext, provider_id, cell, technology, state):
     """Shared single-claim lookup; ``NotFound`` for unknown claims."""
     _require_cold_path(ctx, state)
-    record = ctx.version.score_claim(provider_id, cell, technology, state)
+    record = ctx.version.score_claim(
+        provider_id, cell, technology, state, deadline=ctx.deadline
+    )
     if record is None:
         raise NotFound(
             "claim not in the score store (pass state=XX to score it "
@@ -161,15 +203,34 @@ def _claim_record(ctx: RequestContext, provider_id, cell, technology, state):
 
 
 def _healthz(ctx: RequestContext):
-    return {
+    registry = ctx.service.registry
+    version = registry.default
+    doc = {
         "status": "ok",
-        "n_claims": len(ctx.service.registry.default.store),
+        "n_claims": len(version.store),
         "limits": {
             "max_result_rows": MAX_RESULT_ROWS,
             "max_body_bytes": MAX_BODY_BYTES,
             "default_page_limit": DEFAULT_PAGE_LIMIT,
         },
+        "ready": registry.ready,
+        "batcher": version.batcher.stats.as_dict(),
     }
+    if ctx.admission is not None:
+        doc["admission"] = ctx.admission.describe()
+    if version.breaker is not None:
+        doc["breaker"] = version.breaker.describe()
+    return doc
+
+
+def _readyz(ctx: RequestContext):
+    """Readiness: 200 while serving normally, 503 + ``Retry-After``
+    while a hot-swap or a store load is in flight (or no default model
+    version exists yet)."""
+    readiness = ctx.service.registry.readiness()
+    if not readiness["ready"]:
+        raise ServiceUnavailable(f"not ready: {readiness['reason']}")
+    return readiness
 
 
 def _v1_stats(ctx: RequestContext):
@@ -248,7 +309,9 @@ def _v1_score(ctx: RequestContext):
     _require_cold_path(
         ctx, next((p[3] for p in payloads if p[3] is not None), None)
     )
-    results = ctx.version.batcher.score_many(payloads, cache_keys=payloads)
+    results = ctx.version.batcher.score_many(
+        payloads, cache_keys=payloads, deadline=ctx.deadline
+    )
     return {"results": results}
 
 
@@ -327,8 +390,14 @@ def _v2_batch_score(ctx: RequestContext):
     _require_cold_path(
         ctx, next((k.state for k in request.claims if k.state is not None), None)
     )
-    results = ctx.version.score_keys(list(request.claims))
-    return {"results": results, "model_version": ctx.version.name}
+    results, degraded = ctx.version.score_keys(
+        list(request.claims), deadline=ctx.deadline
+    )
+    return {
+        "results": results,
+        "model_version": ctx.version.name,
+        "degraded": degraded,
+    }
 
 
 def _v2_provider(ctx: RequestContext):
@@ -359,7 +428,8 @@ def _v2_activate(ctx: RequestContext):
 def build_router() -> Router:
     """The full route table: v2 resources plus the frozen v1 adapters."""
     router = Router()
-    router.add("GET", "/healthz", _healthz)
+    router.add("GET", "/healthz", _healthz, admit=False)
+    router.add("GET", "/readyz", _readyz, admit=False)
     # v2 — resource-oriented, versioned, paginated.
     router.add(
         "GET",
@@ -380,10 +450,10 @@ def build_router() -> Router:
     router.add("POST", "/v2/claims:batchScore", _v2_batch_score)
     router.add("GET", "/v2/providers/{provider_id}", _v2_provider)
     router.add("GET", "/v2/states/{abbr}", _v2_state)
-    router.add("GET", "/v2/models", _v2_models)
-    router.add("POST", "/v2/models/{name}:activate", _v2_activate)
+    router.add("GET", "/v2/models", _v2_models, admit=False)
+    router.add("POST", "/v2/models/{name}:activate", _v2_activate, admit=False)
     # v1 — deprecated thin adapters, bitwise-frozen responses.
-    router.add("GET", "/v1/stats", _v1_stats)
+    router.add("GET", "/v1/stats", _v1_stats, admit=False)
     router.add(
         "GET",
         "/v1/claim",
@@ -425,29 +495,56 @@ class AuditHTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server bound to one :class:`AuditService`."""
 
     daemon_threads = True
+    # The stdlib default listen backlog is 5: under an overload's
+    # reconnect bursts, the SYN queue overflows and clients stall a full
+    # retransmit timeout (~1s) — exactly when fast 429s matter most.
+    request_queue_size = 128
 
-    def __init__(self, address, service: AuditService, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        service: AuditService,
+        verbose: bool = False,
+        resilience: ResilienceConfig | None = None,
+    ):
         self.service = service
         self.router = build_router()
         self.verbose = verbose
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.admission = self.resilience.build_admission()
         super().__init__(address, _AuditRequestHandler)
 
 
 class _AuditRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/2"
     protocol_version = "HTTP/1.1"
+    # Responses go out as two small writes (headers, then body).  With
+    # Nagle on, the body write sits behind the peer's delayed ACK —
+    # a flat ~40ms tax on every sequential keep-alive request.
+    disable_nagle_algorithm = True
 
     # -- plumbing -----------------------------------------------------------
+
+    def setup(self) -> None:
+        # StreamRequestHandler applies self.timeout to the connection in
+        # super().setup(): a client that stalls mid-request then raises
+        # TimeoutError from the read instead of pinning this thread.
+        cfg = getattr(self.server, "resilience", None)
+        if cfg is not None and cfg.socket_timeout_s is not None:
+            self.timeout = cfg.socket_timeout_s
+        super().setup()
 
     def log_message(self, fmt, *args):  # quiet by default
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(self, status: int, payload, headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # An error path left the request body unread: tell the client
             # this keep-alive socket is done rather than desyncing it.
@@ -455,8 +552,62 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(self, status: int, message: str, headers: dict | None = None) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _retry_after(self, exc: Exception | None = None) -> dict:
+        """``Retry-After`` header for shed/unavailable responses."""
+        seconds = getattr(exc, "retry_after_s", None)
+        if seconds is None:
+            cfg = getattr(self.server, "resilience", None)
+            seconds = cfg.retry_after_s if cfg is not None else 1.0
+        return {"Retry-After": str(max(1, round(seconds)))}
+
+    def _request_deadline(self) -> Deadline | None:
+        """This request's budget: the ``X-Request-Deadline-Ms`` header
+        when the client sent one, else the server default."""
+        raw = self.headers.get("X-Request-Deadline-Ms")
+        if raw is not None:
+            try:
+                ms = int(raw)
+            except ValueError:
+                raise BadRequest(
+                    "X-Request-Deadline-Ms must be an integer number of "
+                    "milliseconds"
+                ) from None
+            if ms <= 0:
+                raise BadRequest("X-Request-Deadline-Ms must be positive")
+            return Deadline.after(ms / 1000.0)
+        cfg = getattr(self.server, "resilience", None)
+        if cfg is not None and cfg.default_deadline_s is not None:
+            return Deadline.after(cfg.default_deadline_s)
+        return None
+
+    def _discard_body(self) -> None:
+        """Consume an unread request body so the keep-alive socket stays
+        usable after an error response; close instead when the body is
+        large (not worth reading to save a reconnect) or unreadable.
+
+        This is what keeps shedding cheap under overload: a 429 that
+        closed the connection would force every retry through a fresh
+        TCP handshake against an already-saturated accept queue.
+        """
+        raw = self.headers.get("Content-Length")
+        try:
+            length = int(raw) if raw is not None else 0
+        except ValueError:
+            self.close_connection = True
+            return
+        if not 0 <= length <= MAX_DRAIN_BODY_BYTES:
+            self.close_connection = True
+            return
+        try:
+            drained = self.rfile.read(length)
+        except (TimeoutError, OSError):
+            self.close_connection = True
+            return
+        if len(drained) != length:  # truncated: the socket is poisoned
+            self.close_connection = True
 
     def _body_length(self) -> int:
         """Validated Content-Length (400 on garbage, 413 on oversize).
@@ -495,51 +646,98 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         # close the connection: leftover body bytes on a keep-alive
         # socket would be parsed as the next request line.
         body_pending = method == "POST"
+        ticket = None
         try:
-            matched = self.server.router.match(method, url.path)
-            if matched is None:
-                if body_pending:
-                    self.close_connection = True
-                self._error(404, f"no route for {url.path}")
-                return
-            route, path_params = matched
-            if route.decode_path:
-                # Captured segments arrive percent-encoded (the SDK
-                # quotes them); decode like parse_qs does for query
-                # values.  The frozen v1 routes opt out.
-                path_params = {k: unquote(v) for k, v in path_params.items()}
-            query = parse_query(parse_qs(url.query), route.query)
-            body = None
-            if method == "POST":
-                length = self._body_length()
-                try:
-                    body = json.loads(self.rfile.read(length) or b"{}")
-                except json.JSONDecodeError as exc:
+            try:
+                matched = self.server.router.match(method, url.path)
+                if matched is None:
+                    if body_pending:
+                        self._discard_body()
+                    self._error(404, f"no route for {url.path}")
+                    return
+                route, path_params = matched
+                if route.decode_path:
+                    # Captured segments arrive percent-encoded (the SDK
+                    # quotes them); decode like parse_qs does for query
+                    # values.  The frozen v1 routes opt out.
+                    path_params = {k: unquote(v) for k, v in path_params.items()}
+                query = parse_query(parse_qs(url.query), route.query)
+                deadline = self._request_deadline()
+                admission = getattr(self.server, "admission", None)
+                if route.admit and admission is not None:
+                    # Admission happens BEFORE the body is read: a shed
+                    # request costs a route match and a queue probe, not a
+                    # 16 MiB body parse.  The unread body forces a
+                    # connection close on the 429 path (handled below via
+                    # body_pending).
+                    try:
+                        key = self.server.service.registry.default_name
+                    except RuntimeError:
+                        raise ServiceUnavailable(
+                            "no default model version registered"
+                        ) from None
+                    ticket = admission.admit(key, deadline)
+                body = None
+                if method == "POST":
+                    length = self._body_length()
+                    try:
+                        body = json.loads(self.rfile.read(length) or b"{}")
+                    except json.JSONDecodeError as exc:
+                        body_pending = False
+                        raise BadRequest(f"invalid JSON body: {exc}") from None
                     body_pending = False
-                    raise BadRequest(f"invalid JSON body: {exc}") from None
-                body_pending = False
-            ctx = RequestContext(
-                service=self.server.service,
-                path=path_params,
-                query=query,
-                body=body,
+                ctx = RequestContext(
+                    service=self.server.service,
+                    path=path_params,
+                    query=query,
+                    body=body,
+                    deadline=deadline,
+                    admission=getattr(self.server, "admission", None),
+                )
+                self._send_json(200, route.handler(ctx))
+            finally:
+                if ticket is not None:
+                    ticket.release()
+        except TimeoutError:
+            # The client stalled sending its body (socket read timeout):
+            # answer 408 and drop the connection — the body is truncated,
+            # so the socket cannot be reused.
+            self.close_connection = True
+            self._error(
+                408, "timed out reading the request body", self._retry_after()
             )
-            self._send_json(200, route.handler(ctx))
+        except (ServiceOverloaded, ServiceUnavailable) as exc:
+            if body_pending:
+                self._discard_body()
+            self._error(exc.status, str(exc), self._retry_after(exc))
         except ApiError as exc:
             if body_pending:
-                self.close_connection = True
+                self._discard_body()
             self._error(exc.status, str(exc))
+        except DeadlineExceeded as exc:
+            # The budget died after admission (queued batch, slow flush):
+            # transient server-side congestion, so 503 + Retry-After —
+            # never a 500, and never a half-scored body.
+            if body_pending:
+                self._discard_body()
+            self._error(503, str(exc), self._retry_after(exc))
+        except (ColdPathDegraded, InjectedFault) as exc:
+            # Infrastructure faults on paths with no precomputed result
+            # to degrade to (e.g. a single cold claim): transient, 503.
+            if body_pending:
+                self._discard_body()
+            self._error(503, f"transient serving failure: {exc}", self._retry_after(exc))
         except (SchemaError, ValueError, OverflowError) as exc:
             # OverflowError backstops integer inputs that pass the
             # "is an integer" checks but overflow a numpy cast further
             # down (e.g. a 20-digit provider id in a summary filter) —
             # malformed input is a 400, never a 500.
             if body_pending:
-                self.close_connection = True
+                self._discard_body()
             self._error(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             if body_pending:
-                self.close_connection = True
+                self._discard_body()
             self._error(500, f"{type(exc).__name__}: {exc}")
 
 
@@ -548,11 +746,16 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    resilience: ResilienceConfig | None = None,
 ) -> AuditHTTPServer:
     """Bind an :class:`AuditHTTPServer` (``port=0`` picks a free port).
+
+    ``resilience`` tunes the overload-safety knobs (admission bounds,
+    default deadline, socket timeout); the default config keeps existing
+    behavior with a bounded worst case.
 
     The caller drives the loop: ``server.serve_forever()`` (typically on
     a daemon thread) and ``server.shutdown()`` + ``server.server_close()``
     to stop.
     """
-    return AuditHTTPServer((host, port), service, verbose=verbose)
+    return AuditHTTPServer((host, port), service, verbose=verbose, resilience=resilience)

@@ -23,6 +23,7 @@ Per-version counters (requests served, batcher stats) feed the
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -30,6 +31,16 @@ from repro.dataset.observations import ObservationColumns
 from repro.fcc.states import STATES
 from repro.ml.gbdt import _sigmoid
 from repro.serve.batcher import MicroBatcher
+from repro.serve.resilience import (
+    SEAM_COLD_SCORE,
+    SEAM_STORE_READ,
+    CircuitBreaker,
+    ColdPathDegraded,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    InjectedFault,
+)
 from repro.serve.schemas import ClaimKey, ScoreRecord
 from repro.serve.store import ClaimScoreStore
 
@@ -87,6 +98,8 @@ class ModelVersion:
         max_batch: int = 1024,
         max_delay_s: float = 0.002,
         cache_size: int = 4096,
+        fault_plan: FaultPlan | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         if not name or "/" in name:
             raise ValueError(f"invalid version name {name!r}")
@@ -97,11 +110,19 @@ class ModelVersion:
         #: The full NBMIntegrityModel when built from one (enables the
         #: labelled slice reports of repro.core.reports).
         self.model = model
+        #: Deterministic fault injection at this version's serving seams
+        #: (chaos tests only; None in production).
+        self.fault_plan = fault_plan
+        #: Circuit breaker around the cold scoring path; while open, cold
+        #: slots resolve to ColdPathDegraded instead of attempting to
+        #: score, and read paths downgrade to degraded responses.
+        self.breaker = breaker
         self.batcher = MicroBatcher(
             self._score_batch,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
             cache_size=cache_size,
+            fault_plan=fault_plan,
         )
         self._requests = 0
         self._requests_lock = threading.Lock()
@@ -123,7 +144,7 @@ class ModelVersion:
 
     def describe(self, default: bool = False) -> dict:
         """The ``GET /v2/models`` entry for this version."""
-        return {
+        doc = {
             "name": self.name,
             "default": bool(default),
             "n_claims": len(self.store),
@@ -131,6 +152,9 @@ class ModelVersion:
             "requests": self.requests,
             "batcher": self.batcher.stats.as_dict(),
         }
+        if self.breaker is not None:
+            doc["breaker"] = self.breaker.describe()
+        return doc
 
     def close(self) -> None:
         self.batcher.close()
@@ -143,8 +167,11 @@ class ModelVersion:
         cell: int,
         technology: int,
         state: str | None = None,
+        deadline: Deadline | None = None,
     ):
         """Enqueue one claim lookup on this version's batcher."""
+        if deadline is not None:
+            deadline.require("claim request")  # don't queue dead work
         if state is not None:
             state = state.upper()
             state_index(state)  # validate before queueing
@@ -155,7 +182,7 @@ class ModelVersion:
                 )
         payload = (int(provider_id), int(cell), int(technology), state)
         validate_key_range(*payload[:3])  # before queueing, like the state
-        return self.batcher.submit(payload, cache_key=payload)
+        return self.batcher.submit(payload, cache_key=payload, deadline=deadline)
 
     def score_claim(
         self,
@@ -163,9 +190,12 @@ class ModelVersion:
         cell: int,
         technology: int,
         state: str | None = None,
+        deadline: Deadline | None = None,
     ) -> dict | None:
         """Synchronous :meth:`score_claim_async` (submits, flushes, waits)."""
-        fut = self.score_claim_async(provider_id, cell, technology, state)
+        fut = self.score_claim_async(
+            provider_id, cell, technology, state, deadline=deadline
+        )
         if not fut.done():
             self.batcher.flush()
         return fut.result()
@@ -190,6 +220,8 @@ class ModelVersion:
         The one shared resolution step under every bulk path: a single
         vectorized ``positions`` probe, misses as ``None``.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.fire(SEAM_STORE_READ)
         pos = self.store.positions(
             np.asarray(provider_id, dtype=np.int64),
             np.asarray(cell, dtype=np.uint64),
@@ -201,7 +233,9 @@ class ModelVersion:
         """Vectorized store lookup for arrays of claim keys (no cold path)."""
         return self._gather(provider_id, cell, technology)[1]
 
-    def score_keys(self, keys: list[ClaimKey]) -> list[dict | None]:
+    def score_keys(
+        self, keys: list[ClaimKey], deadline: Deadline | None = None
+    ) -> tuple[list[dict | None], bool]:
         """Score typed claim keys: one vectorized gather for precomputed
         keys, with cold-capable misses riding the micro-batcher.
 
@@ -209,13 +243,17 @@ class ModelVersion:
         through the batcher's Future machinery), keys already in the
         store skip the queue entirely.
 
-        A cold slot whose *live scoring* fails raises, failing the whole
-        request — deliberately matching the v1 bulk path (a per-slot
-        error payload would need a response-schema extension; ``None``
-        already means "not in the store, no state given").
+        Returns ``(results, degraded)``.  ``degraded`` flips when cold
+        slots could not be scored for *infrastructure* reasons — the
+        circuit breaker is open, the request's budget ran out before the
+        cold flush, or an injected fault hit the scorer: those slots
+        resolve to ``None`` and the precomputed remainder still serves.
+        A cold slot whose live scoring fails on *bad data* still raises,
+        deliberately matching the v1 bulk path — client errors are 400s,
+        not silent gaps.
         """
         if not keys:
-            return []
+            return [], False
         # Validate every key up front — ranges always, and carried
         # states even on keys that hit the store.  A typo'd state must
         # fail now, not on the first miss; and anything raising
@@ -225,16 +263,35 @@ class ModelVersion:
             validate_key_range(key.provider_id, key.cell, key.technology)
             if key.state is not None:
                 state_index(key.state)
+        if deadline is not None:
+            deadline.require("batch request")
         pos, results = self._gather(*self._key_columns([k.payload for k in keys]))
         cold = [i for i, p in enumerate(pos) if p < 0 and keys[i].state is not None]
+        degraded = False
         if cold:
-            futures = [
-                (i, self.score_claim_async(*keys[i].payload)) for i in cold
-            ]
+            futures = []
+            try:
+                for i in cold:
+                    futures.append(
+                        (
+                            i,
+                            self.score_claim_async(
+                                *keys[i].payload, deadline=deadline
+                            ),
+                        )
+                    )
+            except DeadlineExceeded:
+                # Budget died mid-submit: slots not yet queued stay None;
+                # the already-queued ones drain through the flush below.
+                degraded = True
             self.batcher.flush()
             for i, fut in futures:
-                results[i] = fut.result()
-        return results
+                try:
+                    results[i] = fut.result()
+                except (ColdPathDegraded, DeadlineExceeded, InjectedFault):
+                    results[i] = None
+                    degraded = True
+        return results, degraded
 
     # -- the coalesced batch scorer -----------------------------------------
 
@@ -257,9 +314,26 @@ class ModelVersion:
             raise RuntimeError(
                 "cold-path scoring requires a live classifier and FeatureBuilder"
             )
+        if self.breaker is not None and not self.breaker.allow():
+            # Breaker open: fail the cold slots fast without attempting to
+            # score.  The precomputed slots of this batch are untouched —
+            # graceful degradation, not a batch-wide failure.
+            fail = ColdPathDegraded("cold-path circuit breaker is open")
+            for i in cold:
+                results[i] = fail
+            return results
         states = np.array([payloads[i][3] for i in cold], dtype=object)
         try:
             margin = self._cold_margins(pid[cold], cell[cold], tech[cold], states)
+        except InjectedFault as exc:
+            # An infrastructure fault (as opposed to bad claim data): it
+            # counts against the breaker, and the cold slots degrade.
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            fail = ColdPathDegraded(f"cold scoring unavailable: {exc}")
+            for i in cold:
+                results[i] = fail
+            return results
         except Exception:
             # A malformed hypothetical (unknown provider/technology) must
             # not poison the coalesced batch it flushed with: rescore the
@@ -268,21 +342,34 @@ class ModelVersion:
             # instances per slot and never caches them).
             margin = None
         if margin is not None:
+            if self.breaker is not None:
+                self.breaker.record_success()
             for j, i in enumerate(cold):
                 results[i] = self._cold_record(payloads[i], float(margin[j]))
             return results
+        infra_failures = 0
         for j, i in enumerate(cold):
             try:
                 one = self._cold_margins(
                     pid[i : i + 1], cell[i : i + 1], tech[i : i + 1], states[j : j + 1]
                 )
                 results[i] = self._cold_record(payloads[i], float(one[0]))
+            except InjectedFault as exc:
+                infra_failures += 1
+                results[i] = ColdPathDegraded(f"cold scoring unavailable: {exc}")
             except Exception as exc:
+                # Bad claim data fails just this slot and never trips the
+                # breaker: clients cannot open it with malformed input.
                 results[i] = ValueError(
                     f"cold scoring failed for claim "
                     f"(provider_id={int(pid[i])}, cell={int(cell[i])}, "
                     f"technology={int(tech[i])}): {exc}"
                 )
+        if self.breaker is not None:
+            if infra_failures:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
         return results
 
     def _cold_margins(
@@ -293,6 +380,8 @@ class ModelVersion:
         states: np.ndarray,
     ) -> np.ndarray:
         """Live margins for hypothetical filings (one vectorized pass)."""
+        if self.fault_plan is not None:
+            self.fault_plan.fire(SEAM_COLD_SCORE)
         cols = ObservationColumns(
             provider_id=pid,
             cell=cell,
@@ -339,6 +428,11 @@ class ModelRegistry:
         #: The default version. A bare reference: readers snapshot it in
         #: one atomic read, activate() replaces it in one assignment.
         self._default: ModelVersion | None = None
+        #: Maintenance tracking for /readyz: while a hot-swap or a store
+        #: load is in flight, the registry reports not-ready (in-flight
+        #: requests keep serving from their snapshots regardless).
+        self._maintenance_depth = 0
+        self._maintenance_reason: str | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -350,6 +444,8 @@ class ModelRegistry:
         builder=None,
         model=None,
         default: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> ModelVersion:
         """Register a version; the first one becomes the default unless
         ``default`` says otherwise."""
@@ -359,6 +455,8 @@ class ModelRegistry:
             classifier=classifier,
             builder=builder,
             model=model,
+            fault_plan=fault_plan,
+            breaker=breaker,
             **self._batcher_config,
         )
         with self._lock:
@@ -385,15 +483,16 @@ class ModelRegistry:
         """
         from repro.serve.artifacts import load_model_artifacts
 
-        artifacts = load_model_artifacts(path, builder=builder)
-        store = ClaimScoreStore.load(path)
-        return self.add(
-            name,
-            store,
-            classifier=artifacts.classifier,
-            builder=builder,
-            default=default,
-        )
+        with self.maintenance(f"loading model version {name!r}"):
+            artifacts = load_model_artifacts(path, builder=builder)
+            store = ClaimScoreStore.load(path)
+            return self.add(
+                name,
+                store,
+                classifier=artifacts.classifier,
+                builder=builder,
+                default=default,
+            )
 
     # -- resolution ---------------------------------------------------------
 
@@ -446,12 +545,48 @@ class ModelRegistry:
         serving from it, complete and internally consistent; requests
         arriving after the swap see only the new version.
         """
+        with self.maintenance(f"activating model version {name!r}"):
+            with self._lock:
+                version = self._versions.get(name)
+                if version is None:
+                    raise KeyError(f"unknown model version {name!r}")
+                self._default = version
+            return version
+
+    # -- readiness ----------------------------------------------------------
+
+    @contextmanager
+    def maintenance(self, reason: str):
+        """Mark the registry not-ready for the duration (``/readyz`` flips).
+
+        Reentrant across concurrent operations: readiness returns once
+        the *last* in-flight maintenance window closes.
+        """
         with self._lock:
-            version = self._versions.get(name)
-            if version is None:
-                raise KeyError(f"unknown model version {name!r}")
-            self._default = version
-        return version
+            self._maintenance_depth += 1
+            self._maintenance_reason = reason
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._maintenance_depth -= 1
+                if self._maintenance_depth == 0:
+                    self._maintenance_reason = None
+
+    @property
+    def ready(self) -> bool:
+        return self._maintenance_depth == 0 and self._default is not None
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` payload: ready flag plus the blocking reason."""
+        with self._lock:
+            depth = self._maintenance_depth
+            reason = self._maintenance_reason
+        if depth > 0:
+            return {"ready": False, "reason": reason or "maintenance in progress"}
+        if self._default is None:
+            return {"ready": False, "reason": "no default model version"}
+        return {"ready": True, "reason": None}
 
     # -- introspection / lifecycle ------------------------------------------
 

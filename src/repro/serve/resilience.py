@@ -1,0 +1,572 @@
+"""Overload safety for the serving stack: admission, deadlines, breakers.
+
+The audit service is judged the way broadband-measurement infrastructure
+is judged: on staying *correct under partial failure*.  This module is
+the substrate the HTTP layer, registry, and micro-batcher share to make
+overload a first-class, well-typed outcome instead of an unbounded queue:
+
+=========================  ==================================================
+Piece                      Role
+=========================  ==================================================
+:class:`Deadline`          a per-request time budget, threaded from the HTTP
+                           handler through the registry into
+                           :meth:`MicroBatcher.submit` — blown budgets are
+                           dropped (:class:`DeadlineExceeded`), never scored
+:class:`AdmissionController`  bounded per-version request queues in front of
+                           the router; a full queue or a budget blown while
+                           queued sheds the request
+                           (:class:`ServiceOverloaded` → 429 + Retry-After)
+:class:`CircuitBreaker`    trips after repeated cold-path failures; while
+                           open, cold scoring fails fast and precomputed
+                           queries keep serving *degraded*
+                           (:class:`ColdPathDegraded`) instead of failing
+:class:`FaultPlan`         deterministic fault injection at the serving
+                           seams (store reads, cold scoring, batch flushes)
+                           — the chaos tests' instrument
+:class:`ResilienceConfig`  the HTTP server's knobs (admission bounds,
+                           default deadline, socket read timeout)
+=========================  ==================================================
+
+Everything here is stdlib + monotonic clocks; the clock is injectable so
+breaker and deadline semantics are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.router import ApiError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CircuitBreaker",
+    "ColdPathDegraded",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceConfig",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
+    "SEAM_BATCH_FLUSH",
+    "SEAM_COLD_SCORE",
+    "SEAM_STORE_READ",
+    "chaos_plan",
+    "chaos_plan_names",
+]
+
+
+# -- failure vocabulary -------------------------------------------------------
+
+
+class ServiceOverloaded(ApiError):
+    """Request shed by admission control -> 429 + ``Retry-After``."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class ServiceUnavailable(ApiError):
+    """Transient inability to serve (deadline blown in queue, breaker
+    open on a cold-only request, registry mid-maintenance) -> 503."""
+
+    status = 503
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceeded(Exception):
+    """The request's time budget ran out before it could be scored."""
+
+
+class ColdPathDegraded(Exception):
+    """Cold-path scoring is unavailable (breaker open or scoring fault).
+
+    The batcher delivers instances of this per cold slot; read paths that
+    also have precomputed results turn it into a ``degraded: true``
+    response instead of failing the whole request.
+    """
+
+
+class InjectedFault(RuntimeError):
+    """An error raised on purpose by a :class:`FaultPlan` seam."""
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat.
+
+    Created once at the edge (the HTTP handler) and passed by reference
+    down the stack, so every layer measures the *same* budget.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float, clock=time.monotonic):
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, timeout_s: float, clock=time.monotonic) -> "Deadline":
+        """A deadline ``timeout_s`` seconds from now."""
+        return cls(clock() + float(timeout_s), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def require(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} deadline exceeded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def merge_deadlines(a: Deadline | None, b: Deadline | None) -> Deadline | None:
+    """The *laxest* of two deadlines (coalesced batch slots keep serving
+    while any attached waiter still has budget); ``None`` means no limit."""
+    if a is None or b is None:
+        return None
+    return a if a.expires_at >= b.expires_at else b
+
+
+# -- admission control --------------------------------------------------------
+
+
+@dataclass
+class AdmissionStats:
+    """Counters and gauges for one admission gate (per version name)."""
+
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    #: High-water marks; the property tests pin them to the capacities.
+    peak_running: int = 0
+    peak_queued: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "peak_running": self.peak_running,
+            "peak_queued": self.peak_queued,
+        }
+
+
+class _Gate:
+    """One bounded queue: at most ``max_concurrent`` running requests,
+    at most ``max_queue`` waiting for a slot."""
+
+    def __init__(self, max_concurrent: int, max_queue: int):
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.running = 0
+        self.queued = 0
+        self.stats = AdmissionStats()
+        self.cond = threading.Condition()
+
+
+class _Ticket:
+    """Proof of admission; release exactly once (context-manager friendly)."""
+
+    __slots__ = ("_gate", "_released")
+
+    def __init__(self, gate: _Gate):
+        self._gate = gate
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        gate = self._gate
+        with gate.cond:
+            gate.running -= 1
+            gate.cond.notify()
+
+    def __enter__(self) -> "_Ticket":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded per-version request queues with deadline-aware shedding.
+
+    ``admit(key)`` either returns a ticket (release it when the request
+    finishes), or raises :class:`ServiceOverloaded`:
+
+    * immediately, when the version's wait queue is already full;
+    * after queueing, when the request's deadline (or ``max_wait_s``)
+      expires before a slot frees up — a request that would blow its
+      budget anyway is shed while it is still cheap.
+
+    Invariants (pinned by the property tests): ``running`` never exceeds
+    ``max_concurrent``, ``queued`` never exceeds ``max_queue``, and every
+    ``admit`` call resolves to exactly one of admitted / shed.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 64,
+        max_queue: int = 256,
+        max_wait_s: float = 5.0,
+        retry_after_s: float = 1.0,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self.max_wait_s = float(max_wait_s)
+        self.retry_after_s = float(retry_after_s)
+        self._gates: dict[str, _Gate] = {}
+        self._gates_lock = threading.Lock()
+
+    def _gate(self, key: str) -> _Gate:
+        gate = self._gates.get(key)
+        if gate is None:
+            with self._gates_lock:
+                gate = self._gates.setdefault(
+                    key, _Gate(self.max_concurrent, self.max_queue)
+                )
+        return gate
+
+    def admit(self, key: str, deadline: Deadline | None = None) -> _Ticket:
+        gate = self._gate(key)
+        with gate.cond:
+            if gate.running < gate.max_concurrent:
+                gate.running += 1
+                gate.stats.admitted += 1
+                gate.stats.peak_running = max(gate.stats.peak_running, gate.running)
+                return _Ticket(gate)
+            if gate.queued >= gate.max_queue:
+                gate.stats.shed_queue_full += 1
+                raise ServiceOverloaded(
+                    f"overloaded: {gate.running} requests in flight and "
+                    f"{gate.queued} queued for version {key!r}",
+                    retry_after_s=self.retry_after_s,
+                )
+            gate.queued += 1
+            gate.stats.peak_queued = max(gate.stats.peak_queued, gate.queued)
+            try:
+                budget = self.max_wait_s
+                if deadline is not None:
+                    budget = min(budget, deadline.remaining())
+                expires = time.monotonic() + budget
+                while gate.running >= gate.max_concurrent:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0 or not gate.cond.wait(timeout=remaining):
+                        if gate.running < gate.max_concurrent:
+                            break  # woke with a free slot at the buzzer
+                        gate.stats.shed_deadline += 1
+                        raise ServiceOverloaded(
+                            "overloaded: request deadline expired while "
+                            f"queued for version {key!r}",
+                            retry_after_s=self.retry_after_s,
+                        )
+                gate.running += 1
+                gate.stats.admitted += 1
+                gate.stats.peak_running = max(gate.stats.peak_running, gate.running)
+                return _Ticket(gate)
+            finally:
+                gate.queued -= 1
+
+    def depth(self, key: str) -> dict:
+        gate = self._gate(key)
+        with gate.cond:
+            return {
+                "running": gate.running,
+                "queued": gate.queued,
+                **gate.stats.as_dict(),
+            }
+
+    def describe(self) -> dict:
+        """The ``/healthz`` payload: limits plus per-version gate depths."""
+        with self._gates_lock:
+            keys = sorted(self._gates)
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "max_wait_s": self.max_wait_s,
+            "versions": {key: self.depth(key) for key in keys},
+        }
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+class CircuitBreaker:
+    """A classic three-state breaker around the cold scoring path.
+
+    *Closed* counts consecutive failures; ``failure_threshold`` of them
+    trips it *open*, where :meth:`allow` fails fast (no scoring attempt)
+    until ``reset_after_s`` has passed.  Then one *half-open* probe is
+    let through: success closes the breaker, failure re-opens it for
+    another full window.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a cold scoring attempt proceed right now?"""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True  # exactly one probe per window
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == self.HALF_OPEN:
+                self._trip_locked()
+                return
+            self._failures += 1
+            if state == self.CLOSED and self._failures >= self.failure_threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probing = False
+        self._trips += 1
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_after_s": self.reset_after_s,
+                "trips": self._trips,
+            }
+
+
+# -- fault injection ----------------------------------------------------------
+
+#: Instrumented seams.  Store reads cover every gather against the
+#: precomputed arrays; cold scoring covers the live-classifier path;
+#: batch flush covers the micro-batcher's coalesced scoring call.
+SEAM_STORE_READ = "store_read"
+SEAM_COLD_SCORE = "cold_score"
+SEAM_BATCH_FLUSH = "batch_flush"
+
+_SEAMS = (SEAM_STORE_READ, SEAM_COLD_SCORE, SEAM_BATCH_FLUSH)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: at seam ``seam``, calls ``first``,
+    ``first + every``, ``first + 2*every``, ... delay for ``delay_s``
+    and/or raise :class:`InjectedFault`."""
+
+    seam: str
+    #: ``"delay"`` sleeps ``delay_s``; ``"error"`` raises after any delay.
+    kind: str = "error"
+    delay_s: float = 0.0
+    every: int = 2
+    first: int = 0
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.seam not in _SEAMS:
+            raise ValueError(f"unknown fault seam {self.seam!r} (use {_SEAMS})")
+        if self.kind not in ("delay", "error"):
+            raise ValueError("fault kind must be 'delay' or 'error'")
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.first < 0:
+            raise ValueError("first must be >= 0")
+
+    def fires_on(self, call_index: int) -> bool:
+        return call_index >= self.first and (call_index - self.first) % self.every == 0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults across the serving seams.
+
+    Deterministic by construction: each seam keeps a call counter, and a
+    spec fires purely as a function of that counter — no wall clock, no
+    RNG — so a chaos test replays the exact same fault sequence every
+    run.  Thread-safe; counters are shared across all threads touching
+    the seam (the interleaving of *requests* stays scheduler-dependent,
+    which is exactly the nondeterminism the chaos invariants must
+    survive).
+    """
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...], name: str = ""):
+        self.name = name
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {seam: 0 for seam in _SEAMS}
+        self._fired: dict[str, int] = {seam: 0 for seam in _SEAMS}
+
+    def fire(self, seam: str) -> None:
+        """Called by an instrumented seam; may sleep and/or raise."""
+        if seam not in self._calls:
+            raise ValueError(f"unknown fault seam {seam!r}")
+        with self._lock:
+            index = self._calls[seam]
+            self._calls[seam] += 1
+            hits = [s for s in self.specs if s.seam == seam and s.fires_on(index)]
+            if hits:
+                self._fired[seam] += 1
+        error = None
+        for spec in hits:
+            if spec.delay_s > 0:
+                time.sleep(spec.delay_s)
+            if spec.kind == "error" and error is None:
+                error = InjectedFault(f"{spec.message} (seam={seam}, call={index})")
+        if error is not None:
+            raise error
+
+    def counts(self) -> dict:
+        """``{seam: {"calls": n, "fired": m}}`` — chaos-test bookkeeping."""
+        with self._lock:
+            return {
+                seam: {"calls": self._calls[seam], "fired": self._fired[seam]}
+                for seam in _SEAMS
+            }
+
+
+#: The committed chaos plans the tier-1 smoke runs (and anyone can reuse).
+#: Factories, not instances: plans carry counters, so every test run gets
+#: a fresh, fully deterministic schedule.
+_CHAOS_PLANS = {
+    # Cold scoring flaky + slow store reads: exercises the breaker and
+    # the degraded-response contract while precomputed reads stay up.
+    "cold_flaky": lambda: FaultPlan(
+        (
+            FaultSpec(seam=SEAM_COLD_SCORE, kind="error", every=2, first=0,
+                      message="cold scorer crashed"),
+            FaultSpec(seam=SEAM_STORE_READ, kind="delay", delay_s=0.005,
+                      every=7, first=3),
+        ),
+        name="cold_flaky",
+    ),
+    # Batcher stalls + occasional store-read faults: exercises deadline
+    # drops and the 503-never-500 mapping on infrastructure errors.
+    "flush_stall": lambda: FaultPlan(
+        (
+            FaultSpec(seam=SEAM_BATCH_FLUSH, kind="delay", delay_s=0.02,
+                      every=4, first=1),
+            FaultSpec(seam=SEAM_STORE_READ, kind="error", every=9, first=5,
+                      message="store read failed"),
+        ),
+        name="flush_stall",
+    ),
+}
+
+
+def chaos_plan(name: str) -> FaultPlan:
+    """A fresh instance of one of the committed chaos plans."""
+    try:
+        return _CHAOS_PLANS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos plan {name!r} (have {sorted(_CHAOS_PLANS)})"
+        ) from None
+
+
+def chaos_plan_names() -> list[str]:
+    return sorted(_CHAOS_PLANS)
+
+
+# -- server configuration -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The HTTP server's overload-safety knobs.
+
+    The defaults are deliberately generous — existing deployments keep
+    their behavior, only gaining a bounded worst case.  Benchmarks and
+    chaos tests tighten them to force shedding.
+    """
+
+    #: Bounded per-version gate: requests running / waiting per version.
+    max_concurrent: int = 64
+    max_queue: int = 256
+    #: Hard cap on time spent waiting for an admission slot.
+    max_queue_wait_s: float = 5.0
+    #: Per-request budget when the client sends no X-Request-Deadline-Ms.
+    default_deadline_s: float = 30.0
+    #: Socket read timeout: a stalled client gets a 408, not a thread.
+    socket_timeout_s: float | None = 30.0
+    #: Advisory Retry-After on 429/503 responses.
+    retry_after_s: float = 1.0
+    #: Master switch for the admission gate (deadlines still apply).
+    admission_enabled: bool = True
+
+    def build_admission(self) -> AdmissionController | None:
+        if not self.admission_enabled:
+            return None
+        return AdmissionController(
+            max_concurrent=self.max_concurrent,
+            max_queue=self.max_queue,
+            max_wait_s=self.max_queue_wait_s,
+            retry_after_s=self.retry_after_s,
+        )

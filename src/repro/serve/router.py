@@ -22,8 +22,10 @@ which the old ``_str_param`` helpers silently resolved to the first
 value.
 
 Failures are typed: :class:`BadRequest` (400), :class:`NotFound` (404),
-and :class:`PayloadTooLarge` (413) all derive from :class:`ApiError`,
-which carries the HTTP status the server maps the message to.
+:class:`RequestTimeout` (408), and :class:`PayloadTooLarge` (413) all
+derive from :class:`ApiError`, which carries the HTTP status the server
+maps the message to.  The overload statuses (429/503) live in
+:mod:`repro.serve.resilience`, next to the machinery that raises them.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ __all__ = [
     "NotFound",
     "PayloadTooLarge",
     "QueryParam",
+    "RequestTimeout",
     "Route",
     "Router",
     "parse_query",
@@ -60,6 +63,12 @@ class NotFound(ApiError):
     """Unknown route or resource -> 404."""
 
     status = 404
+
+
+class RequestTimeout(ApiError):
+    """The client stalled sending its request body -> 408."""
+
+    status = 408
 
 
 class PayloadTooLarge(ApiError):
@@ -150,6 +159,10 @@ class Route:
     #: The frozen v1 adapters turn this off: their historical dispatch
     #: saw raw segments, and their wire behavior must not move.
     decode_path: bool = True
+    #: Subject to admission control.  Meta routes (health, readiness,
+    #: model listing/activation) opt out: an operator must be able to
+    #: observe and fix an overloaded server *through* the overload.
+    admit: bool = True
     regex: re.Pattern = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
@@ -170,6 +183,7 @@ class Router:
         query: tuple[QueryParam, ...] = (),
         name: str = "",
         decode_path: bool = True,
+        admit: bool = True,
     ) -> Route:
         route = Route(
             method=method.upper(),
@@ -178,6 +192,7 @@ class Router:
             query=tuple(query),
             name=name or pattern,
             decode_path=decode_path,
+            admit=admit,
         )
         self._routes.append(route)
         return route

@@ -18,7 +18,7 @@ Type                        Wire shape
                             "model_version"}``
 :class:`BatchScoreRequest`  ``{"claims": [ClaimKey, ...]}``
 :class:`BatchScoreResponse` ``{"results": [ScoreRecord|null, ...],
-                            "model_version"}``
+                            "model_version", "degraded"}``
 :class:`ErrorBody`          ``{"error": "..."}`` (v1 and v2 share it)
 ==========================  ==================================================
 
@@ -332,11 +332,16 @@ class BatchScoreResponse:
     """Batch results, positionally aligned with the request keys.
 
     ``None`` marks a key absent from the store that carried no ``state``
-    (so the cold path never ran for it).
+    (so the cold path never ran for it) — **unless** ``degraded`` is
+    true, in which case ``None`` may also mark a cold-capable key the
+    server could not score right now (circuit breaker open, deadline
+    blown, scoring fault): the precomputed results around it are still
+    exact, and the caller should retry only the gaps.
     """
 
     results: tuple[ScoreRecord | None, ...]
     model_version: str
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -345,6 +350,7 @@ class BatchScoreResponse:
                 for record in self.results
             ],
             "model_version": self.model_version,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -356,6 +362,9 @@ class BatchScoreResponse:
         version = doc.get("model_version")
         if not isinstance(version, str):
             raise SchemaError(f"{where}.model_version must be a string")
+        degraded = doc.get("degraded", False)
+        if not isinstance(degraded, bool):
+            raise SchemaError(f"{where}.degraded must be a boolean")
         return cls(
             results=tuple(
                 None
@@ -364,6 +373,7 @@ class BatchScoreResponse:
                 for i, item in enumerate(results)
             ),
             model_version=version,
+            degraded=degraded,
         )
 
 

@@ -166,6 +166,8 @@ class AuditService:
         builder=None,
         model=None,
         default: bool | None = None,
+        fault_plan=None,
+        breaker=None,
     ) -> ModelVersion:
         """Register another named (model, store) version."""
         return self.registry.add(
@@ -175,6 +177,8 @@ class AuditService:
             builder=builder,
             model=model,
             default=default,
+            fault_plan=fault_plan,
+            breaker=breaker,
         )
 
     def load_version(
@@ -221,6 +225,7 @@ class AuditService:
         technology: int,
         state: str | None = None,
         version: str | None = None,
+        deadline=None,
     ):
         """Enqueue one claim lookup; returns a Future resolving to the
         score record (or ``None`` for an unknown claim with no ``state``).
@@ -232,7 +237,7 @@ class AuditService:
         classifier and builder).
         """
         return self._resolve(version).score_claim_async(
-            provider_id, cell, technology, state
+            provider_id, cell, technology, state, deadline=deadline
         )
 
     def score_claim(
@@ -242,10 +247,11 @@ class AuditService:
         technology: int,
         state: str | None = None,
         version: str | None = None,
+        deadline=None,
     ) -> dict | None:
         """Synchronous :meth:`score_claim_async` (submits, flushes, waits)."""
         return self._resolve(version).score_claim(
-            provider_id, cell, technology, state
+            provider_id, cell, technology, state, deadline=deadline
         )
 
     # -- bulk path (direct, no queue) ---------------------------------------

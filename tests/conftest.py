@@ -98,6 +98,35 @@ def tiny_score_store(tiny_model, tiny_builder):
     return ClaimScoreStore.build(model.classifier, tiny_builder)
 
 
+@pytest.fixture(scope="session")
+def ephemeral_server():
+    """Factory: serve an :class:`AuditService` on an OS-assigned port.
+
+    Returns a context manager — entering starts the daemon server thread
+    and yields the live server, exiting shuts it down and closes the
+    socket.  Every HTTP suite goes through this so the ephemeral-port
+    bind/teardown discipline lives in exactly one place; keyword
+    arguments (``resilience=...``, ``verbose=...``) pass through to
+    :func:`repro.serve.make_server`.
+    """
+    import contextlib
+    import threading
+
+    from repro.serve import make_server
+
+    @contextlib.contextmanager
+    def serve(service, **kwargs):
+        server = make_server(service, port=0, **kwargs)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    return serve
+
+
 class ScenarioSuiteCache:
     """Lazily build (and cache) the scenario-harness baseline and runs.
 

@@ -9,13 +9,14 @@ envelope), never a mix.
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 
 import numpy as np
 import pytest
 
 from repro.client import AuditAPIError, AuditClient
-from repro.serve import AuditService, ClaimScoreStore, make_server
+from repro.serve import AuditService, ClaimScoreStore
 from repro.serve.schemas import ClaimKey
 
 
@@ -32,13 +33,9 @@ def swap_service(tiny_model, tiny_score_store):
 
 
 @pytest.fixture(scope="module")
-def served(swap_service):
-    server = make_server(swap_service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield server, swap_service
-    server.shutdown()
-    server.server_close()
+def served(swap_service, ephemeral_server):
+    with ephemeral_server(swap_service) as server:
+        yield server, swap_service
 
 
 @pytest.fixture()
@@ -241,6 +238,107 @@ def test_client_surfaces_connection_failure():
 def test_client_rejects_bad_base_url():
     with pytest.raises(ValueError, match="base_url"):
         AuditClient("ftp://example.com")
+
+
+# -- resilience: Retry-After, backoff caps, call deadlines --------------------
+
+
+class _SheddingHandler(BaseHTTPRequestHandler):
+    """429s the first N requests (with a configurable Retry-After), then
+    serves a trivial health body; records every deadline header seen."""
+
+    sheds_left = 0
+    retry_after: str | None = "0"
+    seen_deadline_headers: list = []
+
+    def do_GET(self):  # noqa: N802
+        cls = type(self)
+        cls.seen_deadline_headers.append(self.headers.get("X-Request-Deadline-Ms"))
+        if cls.sheds_left > 0:
+            cls.sheds_left -= 1
+            body = json.dumps({"error": "overloaded"}).encode()
+            self.send_response(429)
+            if cls.retry_after is not None:
+                self.send_header("Retry-After", cls.retry_after)
+        else:
+            body = json.dumps({"status": "ok"}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):
+        pass
+
+
+@pytest.fixture()
+def shed_url():
+    server = HTTPServer(("127.0.0.1", 0), _SheddingHandler)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    _SheddingHandler.sheds_left = 0
+    _SheddingHandler.retry_after = "0"
+    _SheddingHandler.seen_deadline_headers = []
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def test_client_honors_retry_after(shed_url):
+    """A server-sent Retry-After: 0 overrides the computed backoff: with
+    a 30s base the retry would otherwise sleep ~15s minimum."""
+    _SheddingHandler.sheds_left = 1
+    client = AuditClient(shed_url, retries=2, retry_backoff_s=30.0)
+    start = time.monotonic()
+    assert client.health() == {"status": "ok"}
+    assert time.monotonic() - start < 5.0
+    client.close()
+
+
+def test_client_caps_server_retry_after(shed_url):
+    """An absurd Retry-After (1h) is clamped to retry_backoff_cap_s —
+    the server advises the delay, the client bounds it."""
+    _SheddingHandler.sheds_left = 1
+    _SheddingHandler.retry_after = "3600"
+    client = AuditClient(
+        shed_url, retries=2, retry_backoff_s=0.0, retry_backoff_cap_s=0.05
+    )
+    start = time.monotonic()
+    assert client.health() == {"status": "ok"}
+    assert time.monotonic() - start < 5.0
+    client.close()
+
+
+def test_client_deadline_bounds_retry_sleeps(shed_url):
+    """With endless 429s (no Retry-After) and a huge backoff, a 0.3s call
+    deadline surfaces the last failure instead of sleeping out retries."""
+    _SheddingHandler.sheds_left = 99
+    _SheddingHandler.retry_after = None
+    client = AuditClient(shed_url, retries=5, retry_backoff_s=30.0)
+    start = time.monotonic()
+    with pytest.raises(AuditAPIError) as err:
+        client.health(deadline=0.3)
+    assert time.monotonic() - start < 2.0
+    assert err.value.status == 429
+    client.close()
+
+
+def test_client_sends_remaining_deadline_header(shed_url):
+    client = AuditClient(shed_url, retries=0)
+    assert client.health(deadline=2.0) == {"status": "ok"}
+    assert client.health() == {"status": "ok"}
+    with_deadline, without = _SheddingHandler.seen_deadline_headers
+    assert with_deadline is not None and 0 < int(with_deadline) <= 2000
+    assert without is None
+    client.close()
+
+
+def test_client_deadline_round_trips_to_server(client):
+    """Against the real server, a generous per-call deadline changes
+    nothing about the result."""
+    health = client.health(deadline=10.0)
+    assert health["status"] == "ok"
+    assert client.ready(deadline=10.0)["ready"] is True
 
 
 def test_client_base_url_path_prefix_is_honored(served):

@@ -1,0 +1,56 @@
+"""Chaos smoke: the serving invariant under every committed fault plan.
+
+:func:`repro.scenarios.harness.check_fault_invariants` serves a
+two-version registry through a live HTTP server with deterministic
+faults injected at every seam (store reads, cold scoring, batch
+flushes), a hair-trigger breaker, a tight admission gate, and short
+deadlines — while readers hammer the data routes and a swapper flips the
+default version.  The invariant: every response is *correct for exactly
+one version*, *shed with a Retry-After*, or *explicitly degraded* —
+never a 500 and never a mixed-version body.
+
+These are tier-1 tests: both committed chaos plans run on every CI push
+(the acceptance criterion for the resilience work), plus one run over a
+scenario-harness store to tie the chaos instrument to the adversarial
+suite.
+"""
+
+import pytest
+
+from repro.scenarios.harness import check_fault_invariants
+from repro.serve import chaos_plan_names
+
+
+@pytest.mark.parametrize("plan_name", chaos_plan_names())
+def test_chaos_plan_holds_serving_invariants(
+    tiny_model, tiny_builder, tiny_score_store, plan_name
+):
+    model, _split = tiny_model
+    failures = check_fault_invariants(
+        tiny_score_store,
+        classifier=model.classifier,
+        builder=tiny_builder,
+        plan_name=plan_name,
+    )
+    assert failures == []
+
+
+def test_chaos_without_cold_path_still_degrades_cleanly(tiny_score_store):
+    """Store-only serving (no classifier/builder): the same invariant
+    must hold when every fault lands on precomputed reads."""
+    failures = check_fault_invariants(tiny_score_store, plan_name="flush_stall")
+    assert failures == []
+
+
+def test_chaos_on_scenario_store(scenario_suite):
+    """The chaos instrument composed with the adversarial suite: a
+    scenario-built store (injected overclaims and all) serves correctly
+    under the cold-flaky plan."""
+    run = scenario_suite.run("phantom_provider")
+    failures = check_fault_invariants(
+        run.store,
+        classifier=run.model.classifier,
+        builder=run.builder,
+        plan_name="cold_flaky",
+    )
+    assert failures == []

@@ -6,39 +6,30 @@ bodies with the right status (400 malformed, 404 unknown, 413 oversize)
 """
 
 import json
-import threading
 
 import http.client
 
 import pytest
 
-from repro.serve import AuditService, make_server
+from repro.serve import AuditService
 
 
 @pytest.fixture(scope="module")
-def served(tiny_model, tiny_builder, tiny_score_store):
+def served(tiny_model, tiny_builder, tiny_score_store, ephemeral_server):
     """A live server over the tiny world's score store (cold path on)."""
     model, _split = tiny_model
     service = AuditService.from_model(model, store=tiny_score_store)
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield server, service
-    server.shutdown()
-    server.server_close()
+    with ephemeral_server(service) as server:
+        yield server, service
     service.close()
 
 
 @pytest.fixture(scope="module")
-def store_only_served(tiny_score_store):
+def store_only_served(tiny_score_store, ephemeral_server):
     """A live server with no live classifier/builder (no cold path)."""
     service = AuditService(tiny_score_store)
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield server, service
-    server.shutdown()
-    server.server_close()
+    with ephemeral_server(service) as server:
+        yield server, service
     service.close()
 
 

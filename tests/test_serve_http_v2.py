@@ -1,31 +1,26 @@
 """v2 HTTP API: resource routes, cursor pagination, limits, models."""
 
 import json
-import threading
 
 import http.client
 
 import numpy as np
 import pytest
 
-from repro.serve import AuditService, ClaimScoreStore, make_server
+from repro.serve import AuditService, ClaimScoreStore
 from repro.serve.http import DEFAULT_PAGE_LIMIT, MAX_RESULT_ROWS
 from repro.serve.schemas import decode_cursor, encode_cursor
 
 
 @pytest.fixture(scope="module")
-def served(tiny_model, tiny_score_store):
+def served(tiny_model, tiny_score_store, ephemeral_server):
     """A live server with two registered versions (cold path on default)."""
     model, _split = tiny_model
     service = AuditService.from_model(model, store=tiny_score_store)
     flipped = ClaimScoreStore(tiny_score_store.claims, -tiny_score_store.margin)
     service.add_version("flipped", flipped)
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield server, service
-    server.shutdown()
-    server.server_close()
+    with ephemeral_server(service) as server:
+        yield server, service
     service.close()
 
 

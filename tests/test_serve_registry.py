@@ -118,15 +118,15 @@ def test_score_keys_matches_score_claims(registry, stores):
     rows = np.arange(min(64, len(store)))
     claims = store.claims
     keys = [ClaimKey(*claims.key_at(int(r))) for r in rows]
-    via_keys = version.score_keys(keys)
+    via_keys, degraded = version.score_keys(keys)
     via_arrays = version.score_claims(
         claims.provider_id[rows], claims.cell[rows], claims.technology[rows]
     )
-    assert via_keys == via_arrays
+    assert via_keys == via_arrays and degraded is False
     # A miss without state comes back as None in position.
     miss = ClaimKey(-1, 0, 10)
-    assert version.score_keys([miss, keys[0]]) == [None, via_keys[0]]
-    assert version.score_keys([]) == []
+    assert version.score_keys([miss, keys[0]]) == ([None, via_keys[0]], False)
+    assert version.score_keys([]) == ([], False)
 
 
 def test_score_keys_invalid_state_strands_no_batchmates(tiny_model, tiny_score_store):

@@ -1,0 +1,437 @@
+"""Overload safety: admission, deadlines, breaker, fault injection.
+
+The contract under test, bottom-up: the admission gate is *bounded*
+(running and queued never exceed their capacities — pinned by a
+hypothesis property over racing threads), every shed carries a
+``Retry-After`` all the way to the wire, a stalled client body is a 408
+(not a captured thread), the breaker fails cold scoring fast instead of
+hammering a broken path, and ``/readyz`` flips during maintenance
+windows while ``/healthz`` stays observable throughout.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import (
+    AdmissionController,
+    AuditService,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ModelRegistry,
+    ResilienceConfig,
+    ServiceOverloaded,
+    chaos_plan,
+    chaos_plan_names,
+)
+from repro.serve.resilience import (
+    SEAM_COLD_SCORE,
+    SEAM_STORE_READ,
+    merge_deadlines,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deadline/breaker unit tests."""
+
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+def test_deadline_budget_and_expiry():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    assert deadline.remaining() == 1.0 and not deadline.expired
+    deadline.require()  # no-op while budget remains
+    clock.advance(0.6)
+    assert abs(deadline.remaining() - 0.4) < 1e-9
+    clock.advance(0.4)
+    assert deadline.expired and deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded, match="batch deadline exceeded"):
+        deadline.require("batch")
+
+
+def test_merge_deadlines_keeps_the_laxest():
+    clock = FakeClock()
+    tight = Deadline.after(0.1, clock=clock)
+    lax = Deadline.after(5.0, clock=clock)
+    # Coalesced batch slots serve while ANY waiter still has budget.
+    assert merge_deadlines(tight, lax) is lax
+    assert merge_deadlines(lax, tight) is lax
+    # None means "no limit", which is the laxest of all.
+    assert merge_deadlines(tight, None) is None
+    assert merge_deadlines(None, None) is None
+
+
+# -- admission control --------------------------------------------------------
+
+
+def test_admission_admits_and_releases():
+    gate = AdmissionController(max_concurrent=2, max_queue=4)
+    with gate.admit("v") as _first, gate.admit("v") as _second:
+        depth = gate.depth("v")
+        assert depth["running"] == 2 and depth["queued"] == 0
+    depth = gate.depth("v")
+    assert depth["running"] == 0 and depth["admitted"] == 2
+    assert depth["peak_running"] == 2
+    # Release is idempotent: a double release must not free a phantom slot.
+    ticket = gate.admit("v")
+    ticket.release()
+    ticket.release()
+    assert gate.depth("v")["running"] == 0
+
+
+def test_admission_sheds_when_queue_is_full():
+    gate = AdmissionController(max_concurrent=1, max_queue=0, retry_after_s=3.0)
+    ticket = gate.admit("v")
+    with pytest.raises(ServiceOverloaded, match="overloaded") as err:
+        gate.admit("v")
+    assert err.value.status == 429 and err.value.retry_after_s == 3.0
+    assert gate.depth("v")["shed_queue_full"] == 1
+    ticket.release()
+    gate.admit("v").release()  # the freed slot is usable again
+
+
+def test_admission_sheds_expired_deadline_instead_of_queueing():
+    gate = AdmissionController(max_concurrent=1, max_queue=4, max_wait_s=5.0)
+    ticket = gate.admit("v")
+    clock = FakeClock()
+    spent = Deadline.after(0.0, clock=clock)
+    start = time.monotonic()
+    with pytest.raises(ServiceOverloaded, match="deadline expired while queued"):
+        gate.admit("v", deadline=spent)
+    # Shed at the buzzer, without burning the 5s max_wait_s.
+    assert time.monotonic() - start < 1.0
+    assert gate.depth("v")["shed_deadline"] == 1
+    ticket.release()
+
+
+def test_admission_queued_request_gets_the_freed_slot():
+    gate = AdmissionController(max_concurrent=1, max_queue=1, max_wait_s=5.0)
+    ticket = gate.admit("v")
+    admitted = threading.Event()
+
+    def waiter():
+        gate.admit("v").release()
+        admitted.set()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    deadline = time.monotonic() + 2.0
+    while gate.depth("v")["queued"] == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    assert gate.depth("v")["queued"] == 1
+    ticket.release()
+    assert admitted.wait(timeout=2.0)
+    thread.join()
+    depth = gate.depth("v")
+    assert depth["admitted"] == 2 and depth["peak_queued"] == 1
+
+
+def test_admission_gates_are_per_version():
+    gate = AdmissionController(max_concurrent=1, max_queue=0)
+    ticket = gate.admit("a")
+    # Version "b" has its own bounded queue: "a" being saturated is
+    # irrelevant to it.
+    gate.admit("b").release()
+    described = gate.describe()
+    assert described["max_concurrent"] == 1
+    assert set(described["versions"]) == {"a", "b"}
+    ticket.release()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    max_concurrent=st.integers(min_value=1, max_value=4),
+    max_queue=st.integers(min_value=0, max_value=4),
+    n_threads=st.integers(min_value=1, max_value=12),
+)
+def test_admission_bounds_hold_under_races(max_concurrent, max_queue, n_threads):
+    """The property the whole design rests on: whatever the thread
+    interleaving, the gate never runs more than ``max_concurrent`` nor
+    queues more than ``max_queue``, every call resolves to exactly one of
+    admitted/shed, and every shed names a positive ``Retry-After``."""
+    gate = AdmissionController(
+        max_concurrent=max_concurrent, max_queue=max_queue, max_wait_s=0.2
+    )
+    barrier = threading.Barrier(n_threads)
+    sheds = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()  # maximize contention: everyone arrives at once
+        try:
+            ticket = gate.admit("v")
+        except ServiceOverloaded as exc:
+            with lock:
+                sheds.append(exc.retry_after_s)
+            return
+        time.sleep(0.002)
+        ticket.release()
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    depth = gate.depth("v")
+    assert depth["running"] == 0 and depth["queued"] == 0
+    assert depth["peak_running"] <= max_concurrent
+    assert depth["peak_queued"] <= max_queue
+    shed = depth["shed_queue_full"] + depth["shed_deadline"]
+    assert depth["admitted"] + shed == n_threads
+    assert len(sheds) == shed
+    assert all(retry_after > 0 for retry_after in sheds)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold_and_recovers():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, reset_after_s=10.0, clock=clock)
+    assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.allow()  # still under the threshold
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN and not breaker.allow()
+    clock.advance(9.9)
+    assert not breaker.allow()  # window not yet over
+    clock.advance(0.2)
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # exactly one probe...
+    assert not breaker.allow()  # ...everyone else keeps failing fast
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+
+
+def test_breaker_failed_probe_reopens_full_window():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=5.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()  # the probe failed
+    assert breaker.state == CircuitBreaker.OPEN and not breaker.allow()
+    clock.advance(4.9)
+    assert not breaker.allow()  # a fresh full window, not the stale one
+    assert breaker.describe()["trips"] == 2
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    # Non-consecutive failures never trip.
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+def test_fault_spec_schedule_arithmetic():
+    spec = FaultSpec(seam=SEAM_COLD_SCORE, every=3, first=2)
+    assert [i for i in range(12) if spec.fires_on(i)] == [2, 5, 8, 11]
+    with pytest.raises(ValueError, match="unknown fault seam"):
+        FaultSpec(seam="nonsense")
+    with pytest.raises(ValueError, match="delay.*error"):
+        FaultSpec(seam=SEAM_COLD_SCORE, kind="explode")
+    with pytest.raises(ValueError, match="every"):
+        FaultSpec(seam=SEAM_COLD_SCORE, every=0)
+
+
+def test_fault_plan_fires_deterministically():
+    plan = FaultPlan(
+        (FaultSpec(seam=SEAM_COLD_SCORE, every=2, first=1, message="boom"),)
+    )
+    outcomes = []
+    for _ in range(6):
+        try:
+            plan.fire(SEAM_COLD_SCORE)
+            outcomes.append("ok")
+        except InjectedFault as exc:
+            outcomes.append("fault")
+            assert "boom" in str(exc) and "seam=cold_score" in str(exc)
+    assert outcomes == ["ok", "fault", "ok", "fault", "ok", "fault"]
+    counts = plan.counts()
+    assert counts[SEAM_COLD_SCORE] == {"calls": 6, "fired": 3}
+    assert counts[SEAM_STORE_READ] == {"calls": 0, "fired": 0}
+    with pytest.raises(ValueError, match="unknown fault seam"):
+        plan.fire("nonsense")
+
+
+def test_chaos_plan_factories():
+    names = chaos_plan_names()
+    assert "cold_flaky" in names and "flush_stall" in names
+    # Factories, not shared instances: plans carry call counters.
+    assert chaos_plan("cold_flaky") is not chaos_plan("cold_flaky")
+    with pytest.raises(KeyError, match="unknown chaos plan"):
+        chaos_plan("nonsense")
+
+
+def test_resilience_config_builds_admission():
+    config = ResilienceConfig(max_concurrent=3, max_queue=7, retry_after_s=2.5)
+    gate = config.build_admission()
+    assert gate.max_concurrent == 3 and gate.max_queue == 7
+    assert gate.retry_after_s == 2.5
+    assert ResilienceConfig(admission_enabled=False).build_admission() is None
+
+
+# -- over the wire ------------------------------------------------------------
+
+
+def _raw(server, method, path, body=None, headers=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), json.loads(payload)
+    finally:
+        conn.close()
+
+
+def test_shed_response_is_429_with_retry_after(tiny_score_store, ephemeral_server):
+    """With one slot, no queue, and 0.3s store reads, a second concurrent
+    request must come back 429 + Retry-After while the first still wins."""
+    registry = ModelRegistry(max_delay_s=0.0)
+    registry.add(
+        "default",
+        tiny_score_store,
+        fault_plan=FaultPlan(
+            (FaultSpec(seam=SEAM_STORE_READ, kind="delay", delay_s=0.3, every=1),),
+            name="slow-reads",
+        ),
+    )
+    service = AuditService.from_registry(registry)
+    config = ResilienceConfig(
+        max_concurrent=1, max_queue=0, max_queue_wait_s=0.05, retry_after_s=2.0
+    )
+    pid, cell, tech = tiny_score_store.claims.key_at(0)
+    path = f"/v2/claims/{pid}/{cell}/{tech}"
+    slow_result = {}
+
+    with ephemeral_server(service, resilience=config) as server:
+
+        def occupant():
+            slow_result["response"] = _raw(server, "GET", path)
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        time.sleep(0.1)  # let the occupant take the only slot
+        status, headers, doc = _raw(server, "GET", path)
+        thread.join()
+    service.close()
+
+    assert status == 429 and "overloaded" in doc["error"]
+    assert headers.get("Retry-After") == "2"
+    # Meta routes bypass admission: the saturated gate stayed observable.
+    assert slow_result["response"][0] == 200
+
+
+def test_healthz_bypasses_a_saturated_gate(tiny_score_store, ephemeral_server):
+    service = AuditService(tiny_score_store)
+    config = ResilienceConfig(max_concurrent=1, max_queue=0)
+    with ephemeral_server(service, resilience=config) as server:
+        gate = server.admission
+        ticket = gate.admit(service.registry.default_name)
+        try:
+            status, _headers, doc = _raw(server, "GET", "/healthz")
+        finally:
+            ticket.release()
+    service.close()
+    assert status == 200 and doc["status"] == "ok"
+    assert doc["ready"] is True
+    assert doc["admission"]["versions"]["default"]["running"] == 1
+
+
+def test_readyz_flips_during_maintenance(tiny_score_store, ephemeral_server):
+    service = AuditService(tiny_score_store)
+    with ephemeral_server(service) as server:
+        status, _headers, doc = _raw(server, "GET", "/readyz")
+        assert status == 200 and doc == {"ready": True, "reason": None}
+        with service.registry.maintenance("rebuilding score store"):
+            status, headers, doc = _raw(server, "GET", "/readyz")
+            assert status == 503
+            assert headers.get("Retry-After") is not None
+            assert "rebuilding score store" in doc["error"]
+            # /healthz stays a 200 throughout — an operator must be able
+            # to observe a not-ready server — but reports ready: false.
+            status, _h, health = _raw(server, "GET", "/healthz")
+            assert status == 200 and health["ready"] is False
+        status, _headers, doc = _raw(server, "GET", "/readyz")
+        assert status == 200 and doc["ready"] is True
+    service.close()
+
+
+def test_stalled_request_body_gets_408(tiny_score_store, ephemeral_server):
+    """A client that sends headers but stalls the body must get a 408
+    JSON error within the socket timeout — never capture a thread."""
+    service = AuditService(tiny_score_store)
+    config = ResilienceConfig(socket_timeout_s=0.2)
+    with ephemeral_server(service, resilience=config) as server:
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            start = time.monotonic()
+            conn.putrequest("POST", "/v2/claims:batchScore")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "100")
+            conn.endheaders()  # ...and never send the promised body
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            elapsed = time.monotonic() - start
+        finally:
+            conn.close()
+    service.close()
+    assert response.status == 408
+    assert "timed out" in doc["error"]
+    assert response.getheader("Retry-After") is not None
+    assert elapsed < 3.0
+
+
+def test_expired_client_deadline_is_shed_not_scored(
+    tiny_score_store, ephemeral_server
+):
+    """X-Request-Deadline-Ms: 1 arrives already (or immediately) expired;
+    the server must shed or drop it — 429 or 503, never a 500."""
+    service = AuditService(tiny_score_store)
+    pid, cell, tech = tiny_score_store.claims.key_at(0)
+    with ephemeral_server(service) as server:
+        status, headers, doc = _raw(
+            server,
+            "GET",
+            f"/v2/claims/{pid}/{cell}/{tech}",
+            headers={"X-Request-Deadline-Ms": "1"},
+        )
+        bad_status, _headers, bad_doc = _raw(
+            server,
+            "GET",
+            f"/v2/claims/{pid}/{cell}/{tech}",
+            headers={"X-Request-Deadline-Ms": "zero"},
+        )
+    service.close()
+    assert status in (200, 429, 503)  # a fast box may still beat 1ms
+    if status != 200:
+        assert headers.get("Retry-After") is not None
+    assert bad_status == 400 and "X-Request-Deadline-Ms" in bad_doc["error"]

@@ -9,25 +9,20 @@ a key reordering or a float rendering change.
 """
 
 import json
-import threading
 
 import http.client
 
 import pytest
 
-from repro.serve import AuditService, make_server
+from repro.serve import AuditService
 
 
 @pytest.fixture(scope="module")
-def served(tiny_model, tiny_score_store):
+def served(tiny_model, tiny_score_store, ephemeral_server):
     model, _split = tiny_model
     service = AuditService.from_model(model, store=tiny_score_store)
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield server, service
-    server.shutdown()
-    server.server_close()
+    with ephemeral_server(service) as server:
+        yield server, service
     service.close()
 
 

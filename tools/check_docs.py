@@ -1,6 +1,6 @@
 """Docs smoke for CI: files exist, links resolve, modules are documented.
 
-Four checks:
+Five checks:
 
 1. the top-level docs exist;
 2. every markdown link in ``README.md``, ``ROADMAP.md``, and
@@ -13,7 +13,11 @@ Four checks:
 4. every HTTP route pattern registered in ``repro.serve.http`` (scanned
    textually, so this script stays dependency-free for the CI docs job)
    appears in the combined docs — a new endpoint cannot land without an
-   API-reference entry.
+   API-reference entry;
+5. every top-level section of the committed ``BENCH_perf.json`` is
+   mentioned by name in the combined docs — a new benchmark cannot land
+   without its schema documented (``docs/PERFORMANCE.md`` is where they
+   belong).
 
 Run::
 
@@ -96,6 +100,28 @@ def _undocumented_routes(docs_text: str) -> list[str]:
     return [p for p in _route_patterns() if p not in docs_text]
 
 
+_BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+
+def _bench_sections() -> list[str]:
+    """Top-level section names of the committed benchmark baseline."""
+    if not os.path.exists(_BENCH_JSON):
+        return []
+    import json
+
+    with open(_BENCH_JSON, encoding="utf-8") as fh:
+        return sorted(json.load(fh))
+
+
+def _undocumented_bench_sections(docs_text: str) -> list[str]:
+    """Baseline sections whose name never appears in the docs."""
+    return [
+        s
+        for s in _bench_sections()
+        if not re.search(rf"\b{re.escape(s)}\b", docs_text)
+    ]
+
+
 def _doc_files() -> list[str]:
     docs = [os.path.join(REPO_ROOT, "README.md"), os.path.join(REPO_ROOT, "ROADMAP.md")]
     docs_dir = os.path.join(REPO_ROOT, "docs")
@@ -142,6 +168,14 @@ def main() -> int:
             "README.md/ROADMAP.md/docs/*.md"
         )
 
+    n_sections = len(_bench_sections())
+    for section in _undocumented_bench_sections(combined):
+        problems.append(
+            f"BENCH_perf.json section {section!r} is not documented in "
+            "README.md/ROADMAP.md/docs/*.md (describe its schema in "
+            "docs/PERFORMANCE.md)"
+        )
+
     if problems:
         for p in problems:
             print(f"FAIL {p}")
@@ -149,7 +183,8 @@ def main() -> int:
     print(
         f"docs ok: {len(REQUIRED)} required files, {n_links} local links "
         f"resolve, {n_modules} public modules documented, "
-        f"{n_routes} HTTP routes documented"
+        f"{n_routes} HTTP routes documented, "
+        f"{n_sections} bench sections documented"
     )
     return 0
 
