@@ -2,12 +2,14 @@
 
 Replays the quick variants of ``bench_perf_gbdt.py``,
 ``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``,
-``bench_perf_serve.py``, and ``bench_perf_latency.py`` on the current
-machine and compares the *speedup ratios* (vectorized kernel vs. seed
-reference, shared-binning tuning vs. per-trial binning, micro-batched
-vs. single-claim serving lookups, the v2 batch endpoint vs. the v1 bulk
-path over HTTP, and shed vs. unbounded p99 under 2x overload, both
-sides measured fresh) against the committed ``BENCH_perf.json``.  Comparing
+``bench_perf_serve.py``, ``bench_perf_latency.py``, and
+``bench_perf_shard.py`` on the current machine and compares the
+*speedup ratios* (vectorized kernel vs. seed reference, shared-binning
+tuning vs. per-trial binning, micro-batched vs. single-claim serving
+lookups, the v2 batch endpoint vs. the v1 bulk path over HTTP, shed
+vs. unbounded p99 under 2x overload, and the shard-parallel build vs.
+one worker, both sides measured fresh) against the committed
+``BENCH_perf.json``.  Comparing
 ratios instead of wall times keeps the check meaningful across
 heterogeneous CI hardware: a genuine hot-path regression halves the
 measured speedup no matter how fast the runner is.  The quick GBDT
@@ -33,6 +35,7 @@ import bench_perf_bayesopt
 import bench_perf_gbdt
 import bench_perf_latency
 import bench_perf_serve
+import bench_perf_shard
 import bench_perf_vectorize
 
 #: Fresh speedup must stay above baseline / REGRESSION_FACTOR.
@@ -48,6 +51,7 @@ REQUIRED_SECTIONS = {
     "serve": ("lookup_speedup", "python benchmarks/bench_perf_serve.py"),
     "serve_http": ("batch_v2_vs_v1", "python benchmarks/bench_perf_serve.py"),
     "serve_latency": ("shed_containment", "python benchmarks/bench_perf_latency.py"),
+    "shard": ("parallel_build_speedup", "python benchmarks/bench_perf_shard.py"),
 }
 
 
@@ -123,6 +127,7 @@ def main() -> int:
     latency_base = _baseline_speedups(
         baseline, "serve_latency", "shed_containment"
     )
+    shard_base = _baseline_speedups(baseline, "shard", "parallel_build_speedup")
     serve_service, serve_build_s = bench_perf_serve._build_service()
     try:
         for row in bench_perf_serve.run(
@@ -152,6 +157,14 @@ def main() -> int:
                         expected,
                         row["shed_containment"],
                     )
+                )
+        # The shard replay also re-proves the sharded == monolithic
+        # margin equivalence bitwise inside bench_perf_shard.run().
+        for row in bench_perf_shard.run(quick=True, service=serve_service):
+            expected = shard_base.get(row["size"])
+            if expected is not None:
+                checks.append(
+                    ("shard", row["size"], expected, row["parallel_build_speedup"])
                 )
     finally:
         serve_service.close()

@@ -86,7 +86,13 @@ class ClaimColumns:
     #: Filing state per claim (index into repro.fcc.states.STATES, from
     #: the claim's first filing row — the labeling convention).
     state_idx: np.ndarray  # int16
-    _index: MultiColumnIndex = field(repr=False, compare=False)
+    #: Composite-key index; ``None`` until first lookup (lazy).  Sharded
+    #: stores hold many small per-shard tables, most of which are never
+    #: probed, so index construction is deferred to first use (or a
+    #: persisted index is passed in — see ``MultiColumnIndex.from_state``).
+    _index: MultiColumnIndex | None = field(
+        default=None, repr=False, compare=False
+    )
 
     #: Name and dtype of every exported column, in order.
     EXPORT_FIELDS = (
@@ -113,8 +119,14 @@ class ClaimColumns:
         return {name: getattr(self, name) for name, _ in self.EXPORT_FIELDS}
 
     @classmethod
-    def from_arrays(cls, arrays: dict) -> "ClaimColumns":
-        """Rebuild a claim store (and its key index) from exported columns."""
+    def from_arrays(
+        cls, arrays: dict, index: MultiColumnIndex | None = None
+    ) -> "ClaimColumns":
+        """Rebuild a claim store from exported columns.
+
+        The composite-key index rebuilds lazily on first ``positions``
+        call unless a prebuilt (e.g. persisted) ``index`` is supplied.
+        """
         fields = {
             name: np.ascontiguousarray(np.asarray(arrays[name]), dtype=dtype)
             for name, dtype in cls.EXPORT_FIELDS
@@ -126,20 +138,39 @@ class ClaimColumns:
                     f"claim column {name!r} must be 1-D with {n} rows, "
                     f"got shape {fields[name].shape}"
                 )
-        return cls(
-            **fields,
-            _index=MultiColumnIndex(
-                fields["provider_id"],
-                fields["cell"],
-                fields["technology"].astype(np.int64),
-            ),
+        return cls(**fields, _index=index)
+
+    def take(self, rows: np.ndarray) -> "ClaimColumns":
+        """A new claim store holding ``rows`` (in the given order).
+
+        Shard extraction: relative key order is whatever ``rows``
+        encodes, and the subset's index rebuilds lazily on first lookup.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        return ClaimColumns.from_arrays(
+            {name: getattr(self, name)[rows] for name, _ in self.EXPORT_FIELDS}
         )
+
+    @property
+    def index(self) -> MultiColumnIndex:
+        """The composite-key index, built on first use."""
+        if self._index is None:
+            object.__setattr__(
+                self,
+                "_index",
+                MultiColumnIndex(
+                    self.provider_id,
+                    self.cell,
+                    self.technology.astype(np.int64),
+                ),
+            )
+        return self._index
 
     def positions(
         self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
     ) -> np.ndarray:
         """Row position per queried claim key; ``-1`` marks a miss."""
-        return self._index.positions(
+        return self.index.positions(
             np.asarray(provider_id, dtype=np.int64),
             np.asarray(cell, dtype=np.uint64),
             np.asarray(technology, dtype=np.int64),

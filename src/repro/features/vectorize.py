@@ -95,7 +95,9 @@ class FeatureBuilder:
         self.embedder = embedder or TextEmbedder(dim=embedding_dim)
         self._state_encoder = StateOneHot()
         self._tech_encoder = TechnologyOneHot()
-        self._claims = table.columnar()
+        # A filing table rolls up to its hex-level claims; a prebuilt
+        # ClaimColumns (e.g. one shard of a national store) is used as-is.
+        self._claims = table.columnar() if hasattr(table, "columnar") else table
         # Scalar-path dict view of the same aggregates, built lazily on
         # first vectorize_one/_claim_scalars use so batch-only consumers
         # never pay the per-claim Python loop (the independent reference
@@ -152,6 +154,20 @@ class FeatureBuilder:
             point = hexgrid.cell_to_latlng(cell)
             self._centroids[cell] = point
         return point
+
+    def warm_caches(self, provider_ids, cells) -> None:
+        """Populate the embedding/centroid caches for the given keys.
+
+        Both caches are deterministic, so warming then exporting
+        (:meth:`export_encoder_state`) captures everything a
+        world-detached builder needs to vectorize those providers/cells
+        bitwise-identically (the frozen-builder bundles of
+        :mod:`repro.store.bundle` rely on this).
+        """
+        for pid in np.unique(np.asarray(provider_ids, dtype=np.int64)):
+            self._embedding_for(int(pid))
+        for cell in np.unique(np.asarray(cells, dtype=np.uint64)):
+            self._centroid(int(cell))
 
     # -- public API -----------------------------------------------------------
 

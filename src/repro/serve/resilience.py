@@ -507,6 +507,19 @@ _CHAOS_PLANS = {
         ),
         name="cold_flaky",
     ),
+    # Dense store-read failures (an unreadable shard file under an
+    # mmap-backed store): every precomputed gather is at risk, so this
+    # plan pins the degraded-read contract — reads stay `degraded` or
+    # 503, never 500, and never serve a torn result.
+    "store_read_flaky": lambda: FaultPlan(
+        (
+            FaultSpec(seam=SEAM_STORE_READ, kind="error", every=4, first=2,
+                      message="shard file unreadable"),
+            FaultSpec(seam=SEAM_STORE_READ, kind="delay", delay_s=0.003,
+                      every=5, first=0),
+        ),
+        name="store_read_flaky",
+    ),
     # Batcher stalls + occasional store-read faults: exercises deadline
     # drops and the 503-never-500 mapping on infrastructure errors.
     "flush_stall": lambda: FaultPlan(

@@ -43,7 +43,7 @@ from repro.fcc.states import STATES
 from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
 from repro.serve.schemas import ScoreRecord
 
-__all__ = ["ClaimScoreStore"]
+__all__ = ["ClaimScoreStore", "score_claim_blocks"]
 
 STORE_MANIFEST_NAME = "store.json"
 STORE_ARRAYS_NAME = "store.npz"
@@ -53,6 +53,51 @@ _BUILD_BLOCK_ROWS = 32_768
 
 #: State abbreviation per STATES index, for claim-record rendering.
 _STATE_ABBRS = np.array([s.abbr for s in STATES], dtype=object)
+
+
+def score_claim_blocks(
+    classifier: GradientBoostedClassifier,
+    builder,
+    claims: ClaimColumns,
+    block_rows: int = _BUILD_BLOCK_ROWS,
+    binned: bool = True,
+) -> np.ndarray:
+    """Margin per claim row, scored in bounded blocks.
+
+    The single scoring kernel behind both :meth:`ClaimScoreStore.build`
+    (monolithic, in-process) and the shard-parallel workers of
+    :mod:`repro.store.parallel`.  Every row is vectorized and scored
+    independently of its block, so any partition of the rows — blocks,
+    shards, processes — produces bitwise-identical margins; the sharded
+    equivalence suite pins that contract.
+    """
+    binner = classifier.binner
+    ensemble = classifier.flat_ensemble
+    if binned:
+        ensemble.bind_binner(binner)
+    n = len(claims)
+    margin = np.empty(n)
+    states = _STATE_ABBRS[claims.state_idx]
+    step = max(1, int(block_rows))
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        cols = ObservationColumns(
+            provider_id=claims.provider_id[start:stop],
+            cell=claims.cell[start:stop],
+            technology=claims.technology[start:stop].astype(np.int64),
+            state=states[start:stop],
+            unserved=np.zeros(stop - start, dtype=np.int64),
+        )
+        X = builder.vectorize_columns(cols)
+        if binned:
+            margin[start:stop] = ensemble.predict_margin(
+                binner.transform(X),
+                base_margin=classifier.base_margin,
+                binned=True,
+            )
+        else:
+            margin[start:stop] = classifier.predict_margin(X)
+    return margin
 
 
 class ClaimScoreStore:
@@ -128,32 +173,50 @@ class ClaimScoreStore:
         """
         if claims is None:
             claims = builder.claims
-        binner = classifier.binner
-        ensemble = classifier.flat_ensemble
-        if binned:
-            ensemble.bind_binner(binner)
-        n = len(claims)
-        margin = np.empty(n)
-        states = _STATE_ABBRS[claims.state_idx]
-        step = max(1, int(block_rows))
-        for start in range(0, n, step):
-            stop = min(start + step, n)
-            cols = ObservationColumns(
-                provider_id=claims.provider_id[start:stop],
-                cell=claims.cell[start:stop],
-                technology=claims.technology[start:stop].astype(np.int64),
-                state=states[start:stop],
-                unserved=np.zeros(stop - start, dtype=np.int64),
-            )
-            X = builder.vectorize_columns(cols)
-            if binned:
-                margin[start:stop] = ensemble.predict_margin(
-                    binner.transform(X),
-                    base_margin=classifier.base_margin,
-                    binned=True,
-                )
-            else:
-                margin[start:stop] = classifier.predict_margin(X)
+        margin = score_claim_blocks(
+            classifier, builder, claims, block_rows=block_rows, binned=binned
+        )
+        return cls(claims, margin)
+
+    @classmethod
+    def build_sharded(
+        cls,
+        classifier: GradientBoostedClassifier,
+        builder,
+        claims: ClaimColumns | None = None,
+        shards=None,
+        n_workers: int = 2,
+        workdir: str | None = None,
+        block_rows: int = _BUILD_BLOCK_ROWS,
+        binned: bool = True,
+    ) -> "ClaimScoreStore":
+        """Score the claims shard-parallel across worker processes.
+
+        Splits the claim table into per-state shards
+        (:class:`repro.store.sharded.ShardedClaimColumns`; ``shards``
+        picks the layout), saves the model artifacts plus a frozen
+        feature-table bundle into ``workdir`` (a temporary directory by
+        default), scores each shard in a ``multiprocessing`` worker that
+        loads everything from those pickle-free bundles, and stitches
+        the per-shard margin partials back into monolithic row order.
+        Bitwise-identical to :meth:`build` — per-row scoring does not
+        depend on batch composition (the equivalence suite enforces it).
+        """
+        from repro.store.parallel import build_sharded_margins
+        from repro.store.sharded import ShardedClaimColumns
+
+        if claims is None:
+            claims = builder.claims
+        sharded = ShardedClaimColumns.from_claims(claims, shards=shards)
+        margin = build_sharded_margins(
+            classifier,
+            builder,
+            sharded,
+            n_workers=n_workers,
+            workdir=workdir,
+            block_rows=block_rows,
+            binned=binned,
+        )
         return cls(claims, margin)
 
     # -- lookups ------------------------------------------------------------
@@ -368,3 +431,60 @@ class ClaimScoreStore:
         if margin is None:
             raise ValueError(f"{arrays_path} is missing the margin array")
         return cls(ClaimColumns.from_arrays(claim_arrays), margin)
+
+    def save_sharded(self, path: str, shards=None) -> str:
+        """Write the store as a per-state sharded bundle (raw-mmap files).
+
+        The claim columns shard through
+        :class:`repro.store.sharded.ShardedClaimColumns` (``shards``
+        picks the layout) and each shard carries its slice of the margin
+        array; derived arrays are recomputed on load, exactly as in
+        :meth:`save`.
+        """
+        from repro.store.sharded import ShardedClaimColumns
+
+        sharded = ShardedClaimColumns.from_claims(self.claims, shards=shards)
+        margins = {
+            name: self.margin[sharded.global_rows(name)]
+            for name in sharded.shard_names
+        }
+        return sharded.save(
+            path,
+            extra_shard_arrays={
+                name: {"margin": margin} for name, margin in margins.items()
+            },
+            extra_manifest={"store": {"kind": "claim-score-store"}},
+        )
+
+    @classmethod
+    def load_sharded(cls, path: str, mmap: bool = True) -> "ClaimScoreStore":
+        """Rebuild a store from a bundle written by :meth:`save_sharded`.
+
+        With ``mmap=True`` the shard columns open as read-only
+        memory-mapped views; a single-shard bundle serves *zero-copy*
+        (claims and margin stay mmap-backed), while multi-shard bundles
+        scatter shards back into monolithic row order.
+        """
+        from repro.store.sharded import ShardedClaimColumns
+
+        sharded = ShardedClaimColumns.load(path, mmap=mmap)
+        missing = [
+            name
+            for name in sharded.shard_names
+            if "margin" not in sharded.extra_arrays.get(name, {})
+        ]
+        if missing:
+            raise ValueError(
+                f"sharded bundle at {path} has no margin payload for "
+                f"shard(s) {missing[:5]} (was it written by save_sharded?)"
+            )
+        names = sharded.shard_names
+        if len(names) == 1:
+            name = names[0]
+            return cls(sharded.shard(name), sharded.extra_arrays[name]["margin"])
+        margin = np.empty(len(sharded))
+        for name in names:
+            margin[sharded.global_rows(name)] = sharded.extra_arrays[name][
+                "margin"
+            ]
+        return cls(sharded.to_claims(), margin)

@@ -1,0 +1,411 @@
+"""National-shard claim store: per-state shards of ``ClaimColumns``.
+
+The NBM's unit of release is the *state*: real BDC tooling downloads one
+availability CSV per state and processes them slice by slice, and the
+challenge-analysis literature works on the same per-state grain.  This
+module splits the monolithic :class:`~repro.fcc.bdc.ClaimColumns`
+parallel arrays into per-state (or grouped) shards that persist as raw
+``.npy`` files — one file per column per shard — so a national-scale
+store loads *read-only and zero-copy* via ``numpy.load(mmap_mode="r")``:
+no column is paged in until something touches it.
+
+Layout on disk (all paths relative to the bundle root)::
+
+    root/
+      manifest.json                  <- always the last file written
+      data-00000001/                 <- one generation per save()
+        shards/<name>/<column>.npy   <- the eight ClaimColumns columns
+        shards/<name>/global_rows.npy    monolithic row per shard row
+        shards/<name>/index__<key>.npy   persisted composite-key index
+        shards/<name>/<extra>.npy    <- caller payloads (e.g. margins)
+
+The manifest records the schema, per-column dtypes, per-shard row counts,
+the state->shard routing map, and a SHA-256 content hash per file;
+:meth:`ShardedClaimColumns.verify` re-hashes a bundle against it.  Saves
+are crash-safe by construction: a new save writes a fresh generation
+directory and only then atomically replaces ``manifest.json``
+(``os.replace``), so a killed writer leaves the previous manifest
+pointing at the previous — complete — generation.
+
+Equivalence contract (property-tested): every shard preserves the
+monolithic lexicographic key order among its own rows and carries the
+``global_rows`` scatter map, so :meth:`to_claims` reassembles the
+original ``ClaimColumns`` bitwise and :meth:`positions` agrees with the
+monolithic composite index on hits *and* misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+
+import numpy as np
+
+from repro.fcc.bdc import ClaimColumns
+from repro.fcc.states import STATES
+from repro.utils.indexing import MultiColumnIndex
+
+__all__ = ["ShardedClaimColumns", "SHARD_MANIFEST_NAME"]
+
+SHARD_MANIFEST_NAME = "manifest.json"
+
+#: Manifest major version; bump on layout changes.
+_SCHEMA = 1
+
+_INDEX_PREFIX = "index__"
+
+_STATE_ABBRS = tuple(s.abbr for s in STATES)
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _resolve_state_map(shards) -> dict[str, str]:
+    """Normalize a shard layout spec into a full state->shard-name map.
+
+    ``None``
+        one shard per state, named by the lowercased abbreviation;
+    ``int k``
+        ``k`` shards named ``shard-00..`` with states dealt round-robin
+        by state index (``k`` larger than the state count yields empty
+        shards — a supported edge case);
+    ``dict``
+        explicit abbreviation->shard-name map (must cover every state).
+    """
+    if shards is None:
+        return {abbr: abbr.lower() for abbr in _STATE_ABBRS}
+    if isinstance(shards, int):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        width = max(2, len(str(shards - 1)))
+        return {
+            abbr: f"shard-{i % shards:0{width}d}"
+            for i, abbr in enumerate(_STATE_ABBRS)
+        }
+    state_map = {str(k): str(v) for k, v in dict(shards).items()}
+    missing = [a for a in _STATE_ABBRS if a not in state_map]
+    if missing:
+        raise ValueError(
+            f"shard map must route every state; missing {missing[:5]}"
+        )
+    return state_map
+
+
+class ShardedClaimColumns:
+    """A ``ClaimColumns`` table partitioned into named per-state shards.
+
+    Each shard is itself a :class:`~repro.fcc.bdc.ClaimColumns` (rows in
+    monolithic relative order) plus a ``global_rows`` int64 array mapping
+    shard rows back to monolithic rows.  Construct with
+    :meth:`from_claims` (split an in-memory table) or :meth:`load`
+    (memory-map a saved bundle).
+    """
+
+    def __init__(
+        self,
+        shards: dict[str, ClaimColumns],
+        global_rows: dict[str, np.ndarray],
+        state_to_shard: dict[str, str],
+        n_rows: int,
+        extra_arrays: dict[str, dict[str, np.ndarray]] | None = None,
+    ):
+        if set(shards) != set(global_rows):
+            raise ValueError("shards and global_rows must share names")
+        unknown = set(state_to_shard.values()) - set(shards)
+        if unknown:
+            raise ValueError(f"state map routes to unknown shards {unknown}")
+        self._shards = dict(shards)
+        self._global_rows = {
+            name: np.asarray(rows, dtype=np.int64)
+            for name, rows in global_rows.items()
+        }
+        self.state_to_shard = dict(state_to_shard)
+        self._n_rows = int(n_rows)
+        #: Per-shard caller payloads loaded from a bundle (e.g. margins).
+        self.extra_arrays = extra_arrays or {}
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def shard_names(self) -> list[str]:
+        return sorted(self._shards)
+
+    def shard(self, name: str) -> ClaimColumns:
+        return self._shards[name]
+
+    def global_rows(self, name: str) -> np.ndarray:
+        return self._global_rows[name]
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_claims(
+        cls, claims: ClaimColumns, shards=None
+    ) -> "ShardedClaimColumns":
+        """Partition a monolithic claim table by its per-row state.
+
+        ``shards`` is a layout spec (see :func:`_resolve_state_map`).
+        Row order within each shard is ascending monolithic row, so the
+        monolithic lexicographic key order is preserved shard-locally.
+        """
+        state_map = _resolve_state_map(shards)
+        names = sorted(set(state_map.values()))
+        ordinal = {name: i for i, name in enumerate(names)}
+        shard_of_state = np.array(
+            [ordinal[state_map[a]] for a in _STATE_ABBRS], dtype=np.int64
+        )
+        shard_per_row = shard_of_state[claims.state_idx.astype(np.int64)]
+        out_shards: dict[str, ClaimColumns] = {}
+        out_rows: dict[str, np.ndarray] = {}
+        for name in names:
+            rows = np.flatnonzero(shard_per_row == ordinal[name]).astype(
+                np.int64
+            )
+            out_shards[name] = claims.take(rows)
+            out_rows[name] = rows
+        return cls(out_shards, out_rows, state_map, len(claims))
+
+    # -- monolithic views ----------------------------------------------------
+
+    def to_claims(self) -> ClaimColumns:
+        """Reassemble the monolithic table (bitwise) by scattering shards."""
+        columns = {
+            name: np.empty(self._n_rows, dtype=dtype)
+            for name, dtype in ClaimColumns.EXPORT_FIELDS
+        }
+        for shard_name, shard in self._shards.items():
+            rows = self._global_rows[shard_name]
+            for name, _ in ClaimColumns.EXPORT_FIELDS:
+                columns[name][rows] = getattr(shard, name)
+        return ClaimColumns.from_arrays(columns)
+
+    def positions(
+        self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
+    ) -> np.ndarray:
+        """Monolithic row per claim key (``-1`` = miss), probing shards.
+
+        Keys are globally unique, so at most one shard answers each
+        query; hits map through that shard's ``global_rows``.
+        """
+        provider_id = np.asarray(provider_id, dtype=np.int64)
+        out = np.full(provider_id.size, -1, dtype=np.intp)
+        for name, shard in self._shards.items():
+            if not len(shard):
+                continue
+            pos = shard.positions(provider_id, cell, technology)
+            hit = pos >= 0
+            if hit.any():
+                out[hit] = self._global_rows[name][pos[hit]]
+        return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(
+        self,
+        root: str,
+        extra_shard_arrays: dict[str, dict[str, np.ndarray]] | None = None,
+        extra_manifest: dict | None = None,
+    ) -> str:
+        """Write the sharded bundle under ``root`` (crash-safe commit).
+
+        A fresh generation directory takes all the data files; the
+        manifest is atomically replaced last, so an interrupted save
+        never invalidates a previously committed bundle.
+        ``extra_shard_arrays`` adds caller payloads per shard (e.g.
+        ``{"ca": {"margin": ...}}``); ``extra_manifest`` merges extra
+        top-level keys (e.g. ingestion stats) into the manifest.
+        """
+        os.makedirs(root, exist_ok=True)
+        generation = self._next_generation(root)
+        data_dir = os.path.join(root, generation)
+        shard_entries = []
+        for name in self.shard_names:
+            shard = self._shards[name]
+            shard_dir = os.path.join(data_dir, "shards", name)
+            os.makedirs(shard_dir, exist_ok=True)
+            arrays = dict(shard.export_arrays())
+            arrays["global_rows"] = self._global_rows[name]
+            for key, arr in shard.index.export_state().items():
+                arrays[f"{_INDEX_PREFIX}{key}"] = arr
+            for key, arr in (extra_shard_arrays or {}).get(name, {}).items():
+                if key in arrays:
+                    raise ValueError(f"extra array {key!r} shadows a column")
+                arrays[key] = np.asarray(arr)
+            files = {}
+            for key, arr in arrays.items():
+                rel = os.path.join(generation, "shards", name, f"{key}.npy")
+                target = os.path.join(root, rel)
+                np.save(target, np.ascontiguousarray(arr))
+                files[key] = {
+                    "path": rel.replace(os.sep, "/"),
+                    "sha256": _sha256_file(target),
+                    "dtype": str(np.asarray(arr).dtype),
+                }
+            states = sorted(
+                a for a, s in self.state_to_shard.items() if s == name
+            )
+            shard_entries.append(
+                {
+                    "name": name,
+                    "n_rows": int(len(shard)),
+                    "states": states,
+                    "files": files,
+                }
+            )
+        manifest = {
+            "schema": _SCHEMA,
+            "kind": "sharded-claim-columns",
+            "generation": generation,
+            "n_rows": self._n_rows,
+            "columns": {
+                name: str(np.dtype(dtype))
+                for name, dtype in ClaimColumns.EXPORT_FIELDS
+            },
+            "state_to_shard": dict(sorted(self.state_to_shard.items())),
+            "shards": shard_entries,
+        }
+        for key, value in (extra_manifest or {}).items():
+            if key in manifest:
+                raise ValueError(f"extra manifest key {key!r} is reserved")
+            manifest[key] = value
+        tmp = os.path.join(root, SHARD_MANIFEST_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, os.path.join(root, SHARD_MANIFEST_NAME))
+        self._collect_garbage(root, keep=generation)
+        return root
+
+    @staticmethod
+    def _next_generation(root: str) -> str:
+        ordinals = [0]
+        for entry in os.listdir(root):
+            if entry.startswith("data-"):
+                try:
+                    ordinals.append(int(entry[5:]))
+                except ValueError:
+                    continue
+        return f"data-{max(ordinals) + 1:08d}"
+
+    @staticmethod
+    def _collect_garbage(root: str, keep: str) -> None:
+        """Best-effort removal of superseded generation directories."""
+        for entry in os.listdir(root):
+            if entry.startswith("data-") and entry != keep:
+                shutil.rmtree(os.path.join(root, entry), ignore_errors=True)
+
+    @staticmethod
+    def read_manifest(root: str) -> dict:
+        manifest_path = os.path.join(root, SHARD_MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(
+                f"no sharded-store manifest at {manifest_path}"
+            )
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("kind") != "sharded-claim-columns":
+            raise ValueError(
+                f"artifact kind {manifest.get('kind')!r} is not a sharded "
+                "claim store"
+            )
+        return manifest
+
+    @classmethod
+    def load(cls, root: str, mmap: bool = True) -> "ShardedClaimColumns":
+        """Open a saved bundle; ``mmap=True`` maps every array read-only.
+
+        Memory-mapped columns are zero-copy views: nothing is paged in
+        until a lookup touches it, and persisted composite-key indexes
+        load the same way (no re-factorization).
+        """
+        manifest = cls.read_manifest(root)
+        mode = "r" if mmap else None
+        column_names = {name for name, _ in ClaimColumns.EXPORT_FIELDS}
+        shards: dict[str, ClaimColumns] = {}
+        global_rows: dict[str, np.ndarray] = {}
+        extra: dict[str, dict[str, np.ndarray]] = {}
+        for entry in manifest["shards"]:
+            name = entry["name"]
+            arrays: dict[str, np.ndarray] = {}
+            index_state: dict[str, np.ndarray] = {}
+            shard_extra: dict[str, np.ndarray] = {}
+            for key, meta in entry["files"].items():
+                arr = np.load(
+                    os.path.join(root, meta["path"]),
+                    mmap_mode=mode,
+                    allow_pickle=False,
+                )
+                if str(arr.dtype) != meta["dtype"]:
+                    raise ValueError(
+                        f"shard {name!r} file {key!r} has dtype {arr.dtype}, "
+                        f"manifest says {meta['dtype']}"
+                    )
+                if key.startswith(_INDEX_PREFIX):
+                    index_state[key[len(_INDEX_PREFIX):]] = arr
+                else:
+                    arrays[key] = arr
+            missing = (column_names | {"global_rows"}) - set(arrays)
+            if missing:
+                raise ValueError(
+                    f"shard {name!r} is missing columns {sorted(missing)}"
+                )
+            rows = arrays.pop("global_rows")
+            for key in list(arrays):
+                if key not in column_names:
+                    shard_extra[key] = arrays.pop(key)
+            index = (
+                MultiColumnIndex.from_state(index_state)
+                if index_state
+                else None
+            )
+            shard = ClaimColumns.from_arrays(arrays, index=index)
+            if int(entry["n_rows"]) != len(shard):
+                raise ValueError(
+                    f"shard {name!r} row count {len(shard)} disagrees with "
+                    f"manifest ({entry['n_rows']})"
+                )
+            shards[name] = shard
+            global_rows[name] = rows
+            if shard_extra:
+                extra[name] = shard_extra
+        return cls(
+            shards,
+            global_rows,
+            manifest["state_to_shard"],
+            manifest["n_rows"],
+            extra_arrays=extra,
+        )
+
+    @staticmethod
+    def verify(root: str) -> int:
+        """Re-hash every file in a bundle against the manifest.
+
+        Returns the number of files checked; raises ``ValueError`` on
+        the first content mismatch and ``FileNotFoundError`` for files
+        the manifest promises but the bundle lacks.
+        """
+        manifest = ShardedClaimColumns.read_manifest(root)
+        checked = 0
+        for entry in manifest["shards"]:
+            for key, meta in entry["files"].items():
+                path = os.path.join(root, meta["path"])
+                if not os.path.exists(path):
+                    raise FileNotFoundError(
+                        f"shard {entry['name']!r} is missing {meta['path']}"
+                    )
+                digest = _sha256_file(path)
+                if digest != meta["sha256"]:
+                    raise ValueError(
+                        f"content hash mismatch for {meta['path']}: "
+                        f"manifest {meta['sha256'][:12]}…, file {digest[:12]}…"
+                    )
+                checked += 1
+        return checked

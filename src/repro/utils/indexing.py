@@ -132,6 +132,61 @@ class MultiColumnIndex:
     def n_columns(self) -> int:
         return len(self._uniques)
 
+    # -- persistence ---------------------------------------------------------
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """The index internals as a flat name->array dict.
+
+        Everything :meth:`positions` consults — per-column sorted uniques,
+        per-stage fused codes, and the dense code->row table — so
+        :meth:`from_state` rebuilds a working index without re-factorizing
+        the key columns.  The sharded claim store persists these arrays
+        per shard (the manifest's "composite-key index" payload) and
+        memory-maps them back read-only.
+        """
+        out = {
+            f"uniques_{i}": uniq for i, uniq in enumerate(self._uniques)
+        }
+        out.update(
+            {f"stage_{i}": stage for i, stage in enumerate(self._stage_codes)}
+        )
+        out["pos_by_code"] = self._pos_by_code
+        return out
+
+    @classmethod
+    def from_state(cls, arrays) -> "MultiColumnIndex":
+        """Rebuild an index from :meth:`export_state` arrays (no refactorize).
+
+        The arrays are used as given (read-only or memory-mapped views
+        work); only the position table's dtype is normalized.  Malformed
+        payloads (missing stages, wrong counts) raise ``ValueError``.
+        """
+        self = cls.__new__(cls)
+        uniques: list[np.ndarray] = []
+        while f"uniques_{len(uniques)}" in arrays:
+            uniques.append(np.asarray(arrays[f"uniques_{len(uniques)}"]))
+        if not uniques:
+            raise ValueError("index state has no uniques_0 column")
+        stages: list[np.ndarray] = []
+        while f"stage_{len(stages)}" in arrays:
+            stages.append(
+                np.asarray(arrays[f"stage_{len(stages)}"], dtype=np.int64)
+            )
+        if len(stages) != len(uniques) - 1:
+            raise ValueError(
+                f"index state has {len(uniques)} key columns but "
+                f"{len(stages)} fuse stages (expected {len(uniques) - 1})"
+            )
+        if "pos_by_code" not in arrays:
+            raise ValueError("index state is missing the pos_by_code table")
+        self._uniques = uniques
+        self._stage_codes = stages
+        self._pos_by_code = np.asarray(arrays["pos_by_code"]).astype(
+            np.intp, copy=False
+        )
+        self.n_keys = int(self._pos_by_code.size)
+        return self
+
     def positions(self, *query_columns) -> np.ndarray:
         """Stored-row position per query tuple; ``-1`` marks a miss."""
         if len(query_columns) != self.n_columns:

@@ -5,6 +5,7 @@ releases) dominates test runtime, so it is session-scoped; tests must not
 mutate it.
 """
 
+import numpy as np
 import pytest
 
 from repro.fcc import (
@@ -20,6 +21,61 @@ from repro.fcc import (
 )
 
 SEED = 1234
+
+
+def make_random_claims(seed: int, n: int = 2000, n_states: int = 56):
+    """A valid random :class:`ClaimColumns` for store property tests.
+
+    Draws ``n`` candidate rows, dedups the ``(provider_id, cell,
+    technology)`` composite keys, and returns them in the canonical
+    lexicographic order — exactly the invariants ``ClaimColumns``
+    promises, so the sharded store can be exercised without building a
+    world.  Deterministic in ``seed``.
+    """
+    from repro.fcc.bdc import ClaimColumns
+    from repro.fcc.providers import TECHNOLOGY_CODES
+
+    rng = np.random.default_rng(seed)
+    pid = rng.integers(1, max(4, n // 60), n).astype(np.int64)
+    cell = rng.integers(0, 2**52, n).astype(np.uint64)
+    tech = rng.choice(TECHNOLOGY_CODES, n).astype(np.int16)
+    order = np.lexsort((tech, cell, pid))
+    keys = np.stack(
+        [pid[order].astype(np.uint64), cell[order], tech[order].astype(np.uint64)],
+        axis=1,
+    )
+    keep = (
+        np.r_[True, np.any(keys[1:] != keys[:-1], axis=1)]
+        if n
+        else np.zeros(0, dtype=bool)
+    )
+    rows = order[keep]
+    return ClaimColumns.from_arrays(
+        {
+            "provider_id": pid[rows],
+            "cell": cell[rows],
+            "technology": tech[rows],
+            "claimed_count": rng.integers(1, 12, rows.size).astype(np.int64),
+            "max_download_mbps": np.round(rng.uniform(10.0, 980.0, rows.size), 3),
+            "max_upload_mbps": np.round(rng.uniform(1.0, 95.0, rows.size), 3),
+            "low_latency": rng.random(rows.size) < 0.5,
+            "state_idx": rng.integers(0, n_states, rows.size).astype(np.int16),
+        }
+    )
+
+
+def mmap_backed(array: np.ndarray) -> bool:
+    """True when ``array``'s buffer chain bottoms out in a ``np.memmap``.
+
+    Zero-copy views (``np.asarray`` / ``ascontiguousarray`` over a
+    mapped file) are base-class ``ndarray`` instances, so a plain
+    ``isinstance`` check misses them; walk ``.base`` instead.
+    """
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
 
 
 @pytest.fixture(scope="session")

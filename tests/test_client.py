@@ -20,12 +20,23 @@ from repro.serve import AuditService, ClaimScoreStore
 from repro.serve.schemas import ClaimKey
 
 
-@pytest.fixture(scope="module")
-def swap_service(tiny_model, tiny_score_store):
-    """Two versions over the same claims with sign-flipped margins."""
+@pytest.fixture(scope="module", params=["monolithic", "sharded"])
+def swap_service(request, tiny_model, tiny_score_store, tmp_path_factory):
+    """Two versions over the same claims with sign-flipped margins.
+
+    The ``sharded`` variant serves the default version from a store
+    round-tripped through a shard bundle (mmap-backed), so the whole
+    client suite — including the hot-swap consistency check — also runs
+    against the sharded substrate.
+    """
     model, _split = tiny_model
-    service = AuditService.from_model(model, store=tiny_score_store)
-    flipped = ClaimScoreStore(tiny_score_store.claims, -tiny_score_store.margin)
+    store = tiny_score_store
+    if request.param == "sharded":
+        root = str(tmp_path_factory.mktemp("sharded-store"))
+        store.save_sharded(root, shards=3)
+        store = ClaimScoreStore.load_sharded(root)
+    service = AuditService.from_model(model, store=store)
+    flipped = ClaimScoreStore(store.claims, -store.margin)
     service.add_version("flipped", flipped)
     yield service
     service.activate("default")

@@ -42,6 +42,24 @@ def test_chaos_without_cold_path_still_degrades_cleanly(tiny_score_store):
     assert failures == []
 
 
+def test_chaos_store_read_faults_on_mmap_backed_store(
+    tmp_path, tiny_score_store
+):
+    """The ``store_read_flaky`` plan against a store served straight off
+    mapped shard files (single-shard bundle, genuinely zero-copy): every
+    injected read error must surface as an explicitly *degraded* response
+    — degraded stays degraded, never a 500."""
+    from conftest import mmap_backed
+    from repro.serve import ClaimScoreStore
+
+    root = str(tmp_path / "store")
+    tiny_score_store.save_sharded(root, shards=1)
+    store = ClaimScoreStore.load_sharded(root, mmap=True)
+    assert mmap_backed(store.claims.provider_id)
+    failures = check_fault_invariants(store, plan_name="store_read_flaky")
+    assert failures == []
+
+
 def test_chaos_on_scenario_store(scenario_suite):
     """The chaos instrument composed with the adversarial suite: a
     scenario-built store (injected overclaims and all) serves correctly

@@ -12,12 +12,24 @@ from repro.serve.http import DEFAULT_PAGE_LIMIT, MAX_RESULT_ROWS
 from repro.serve.schemas import decode_cursor, encode_cursor
 
 
-@pytest.fixture(scope="module")
-def served(tiny_model, tiny_score_store, ephemeral_server):
-    """A live server with two registered versions (cold path on default)."""
+@pytest.fixture(scope="module", params=["monolithic", "sharded"])
+def served(request, tiny_model, tiny_score_store, ephemeral_server, tmp_path_factory):
+    """A live server with two registered versions (cold path on default).
+
+    Parametrized over the store substrate: the ``sharded`` variant
+    serves a store round-tripped through a per-state shard bundle
+    (``save_sharded``/``load_sharded``, mmap-backed), so every v2 route
+    assertion doubles as a sharded-equivalence check — the bundle must
+    reproduce records, ranks, cursors, and etags bitwise.
+    """
     model, _split = tiny_model
-    service = AuditService.from_model(model, store=tiny_score_store)
-    flipped = ClaimScoreStore(tiny_score_store.claims, -tiny_score_store.margin)
+    store = tiny_score_store
+    if request.param == "sharded":
+        root = str(tmp_path_factory.mktemp("sharded-store"))
+        store.save_sharded(root, shards=4)
+        store = ClaimScoreStore.load_sharded(root)
+    service = AuditService.from_model(model, store=store)
+    flipped = ClaimScoreStore(store.claims, -store.margin)
     service.add_version("flipped", flipped)
     with ephemeral_server(service) as server:
         yield server, service
@@ -130,6 +142,27 @@ def test_v2_filtered_walk_matches_store(served, tiny_score_store):
             break
         path = f"/v2/claims?provider_id={pid}&limit=7&cursor={doc['next_cursor']}"
     assert got == [int(store.sus_rank[r]) for r in rows_expected]
+
+
+def test_v2_walk_records_match_monolithic_store(served, tiny_score_store):
+    """Element-for-element: every record served down the cursor walk —
+    on both store substrates — equals the monolithic store's record for
+    the same suspicion rank.  This is the serving-layer face of the
+    sharded == monolithic equivalence contract."""
+    server, _service = served
+    items = []
+    path = "/v2/claims?limit=1009"
+    while True:
+        status, doc = _json(server, "GET", path)
+        assert status == 200
+        items.extend(doc["items"])
+        if doc["next_cursor"] is None:
+            break
+        path = f"/v2/claims?limit=1009&cursor={doc['next_cursor']}"
+    store = tiny_score_store
+    assert len(items) == len(store)
+    expected = store.records(store.sus_order)
+    assert items == expected
 
 
 @pytest.mark.parametrize(
