@@ -1,0 +1,151 @@
+"""Instrumentation-overhead benchmark for the ``repro.obs`` layer.
+
+Builds the same tiny-world service as ``bench_perf_serve.py``, then
+times the batch-score hot path (``ModelVersion.score_keys`` over a
+sampled key set — the ``POST /v2/claims:batchScore`` data plane) two
+ways:
+
+* **bare** — with metric updates globally suspended
+  (``repro.obs.metrics.disabled()``), i.e. the pre-instrumentation hot
+  path plus one flag check per update site;
+* **instrumented** — metrics on (the default), every lookup counter,
+  score counter, and latency histogram live, span sites paying their
+  no-trace contextvar probe.
+
+Both variants score the identical keys and are verified to return
+identical results.  The headline ratio ``bare_vs_instrumented``
+(bare seconds / instrumented seconds; 1.0 = free instrumentation) is
+merged into ``BENCH_perf.json`` section ``obs`` and replayed by
+``check_perf_regression.py``.  The acceptance bar — instrumentation
+costs at most 5% of batch-score throughput (10% on the quick variant,
+which times a smaller batch) — is asserted here on every run.
+
+Run standalone::
+
+    python benchmarks/bench_perf_obs.py           # all sizes
+    python benchmarks/bench_perf_obs.py --quick   # smallest only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+import bench_perf_serve  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.serve.schemas import ClaimKey  # noqa: E402
+
+#: (name, keys per scored batch, timed rounds, max tolerated overhead).
+SIZES = [("quick", 2_000, 8, 0.10), ("default", 5_000, 15, 0.05)]
+
+
+def run(quick: bool = False, service=None, build_s: float | None = None) -> list[dict]:
+    """Time bare vs. instrumented batch scoring; assert the overhead bar.
+
+    ``service`` lets ``check_perf_regression`` share one built world
+    across every serve-layer bench; when given, the caller owns its
+    lifecycle.
+    """
+    own_service = service is None
+    if own_service:
+        service, build_s = bench_perf_serve._build_service()
+    try:
+        version = service.registry.default
+        store = service.store
+        claims = store.claims
+        rng = np.random.default_rng(0)
+        results = []
+        for name, n_keys, rounds, max_overhead in SIZES[:1] if quick else SIZES:
+            rows = rng.integers(0, len(store), size=n_keys)
+            keys = [
+                ClaimKey(int(p), int(c), int(t))
+                for p, c, t in zip(
+                    claims.provider_id[rows],
+                    claims.cell[rows],
+                    claims.technology[rows],
+                )
+            ]
+
+            def _score():
+                return version.score_keys(keys)
+
+            def _measure(n_rounds):
+                # Alternate bare/instrumented rounds and keep the best
+                # of each: alternating cancels drift (GC, frequency
+                # scaling) that a two-block measurement would attribute
+                # to one side.
+                best_bare = best_instrumented = float("inf")
+                outs = [None, None]
+                for _ in range(n_rounds):
+                    with obs_metrics.disabled():
+                        t, outs[0] = _perfutil.timed(_score)
+                    best_bare = min(best_bare, t)
+                    t, outs[1] = _perfutil.timed(_score)
+                    best_instrumented = min(best_instrumented, t)
+                return best_bare, best_instrumented, outs
+
+            _score()  # warm every lazy path before timing
+            bare_s, instrumented_s, (bare_out, instrumented_out) = _measure(rounds)
+            if bare_out != instrumented_out:
+                raise AssertionError(
+                    f"{name}: bare and instrumented results diverged"
+                )
+            overhead = instrumented_s / bare_s - 1.0
+            if overhead > max_overhead:
+                # The true cost is well under 1%, so an over-bar reading
+                # is scheduler noise: re-measure once, longer, and keep
+                # the per-variant minima before failing for real.
+                b2, i2, _ = _measure(2 * rounds)
+                bare_s = min(bare_s, b2)
+                instrumented_s = min(instrumented_s, i2)
+                overhead = instrumented_s / bare_s - 1.0
+            if overhead > max_overhead:
+                raise AssertionError(
+                    f"{name}: instrumentation overhead {overhead:.1%} exceeds "
+                    f"the {max_overhead:.0%} acceptance bar "
+                    f"(bare {bare_s * 1e3:.3f}ms, "
+                    f"instrumented {instrumented_s * 1e3:.3f}ms)"
+                )
+            row = {
+                "size": name,
+                "n_keys": n_keys,
+                "bare_seconds": bare_s,
+                "instrumented_seconds": instrumented_s,
+                "bare_keys_per_s": n_keys / bare_s,
+                "instrumented_keys_per_s": n_keys / instrumented_s,
+                "overhead_fraction": overhead,
+                "bare_vs_instrumented": bare_s / instrumented_s,
+            }
+            results.append(row)
+            print(
+                f"{name:8s} keys={n_keys:6d}  "
+                f"bare {row['bare_keys_per_s']:12,.0f}/s  "
+                f"instrumented {row['instrumented_keys_per_s']:12,.0f}/s  "
+                f"(overhead {overhead:+.2%})"
+            )
+        return results
+    finally:
+        if own_service:
+            service.close()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smallest size only"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    _perfutil.merge_section(
+        "obs", _perfutil.round_floats({"results": results})
+    )
+    print(f"wrote section 'obs' to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

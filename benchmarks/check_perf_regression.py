@@ -2,13 +2,15 @@
 
 Replays the quick variants of ``bench_perf_gbdt.py``,
 ``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``,
-``bench_perf_serve.py``, ``bench_perf_latency.py``, and
-``bench_perf_shard.py`` on the current machine and compares the
+``bench_perf_serve.py``, ``bench_perf_latency.py``,
+``bench_perf_shard.py``, and ``bench_perf_obs.py`` on the current
+machine and compares the
 *speedup ratios* (vectorized kernel vs. seed reference, shared-binning
 tuning vs. per-trial binning, micro-batched vs. single-claim serving
 lookups, the v2 batch endpoint vs. the v1 bulk path over HTTP, shed
-vs. unbounded p99 under 2x overload, and the shard-parallel build vs.
-one worker, both sides measured fresh) against the committed
+vs. unbounded p99 under 2x overload, the shard-parallel build vs.
+one worker, and bare vs. instrumented batch scoring, both sides
+measured fresh) against the committed
 ``BENCH_perf.json``.  Comparing
 ratios instead of wall times keeps the check meaningful across
 heterogeneous CI hardware: a genuine hot-path regression halves the
@@ -34,6 +36,7 @@ import _perfutil
 import bench_perf_bayesopt
 import bench_perf_gbdt
 import bench_perf_latency
+import bench_perf_obs
 import bench_perf_serve
 import bench_perf_shard
 import bench_perf_vectorize
@@ -52,6 +55,7 @@ REQUIRED_SECTIONS = {
     "serve_http": ("batch_v2_vs_v1", "python benchmarks/bench_perf_serve.py"),
     "serve_latency": ("shed_containment", "python benchmarks/bench_perf_latency.py"),
     "shard": ("parallel_build_speedup", "python benchmarks/bench_perf_shard.py"),
+    "obs": ("bare_vs_instrumented", "python benchmarks/bench_perf_obs.py"),
 }
 
 
@@ -128,6 +132,7 @@ def main() -> int:
         baseline, "serve_latency", "shed_containment"
     )
     shard_base = _baseline_speedups(baseline, "shard", "parallel_build_speedup")
+    obs_base = _baseline_speedups(baseline, "obs", "bare_vs_instrumented")
     serve_service, serve_build_s = bench_perf_serve._build_service()
     try:
         for row in bench_perf_serve.run(
@@ -165,6 +170,15 @@ def main() -> int:
             if expected is not None:
                 checks.append(
                     ("shard", row["size"], expected, row["parallel_build_speedup"])
+                )
+        # The obs replay also re-asserts the absolute acceptance bar
+        # (instrumentation overhead <= 10% on the quick batch) inside
+        # bench_perf_obs.run() itself.
+        for row in bench_perf_obs.run(quick=True, service=serve_service):
+            expected = obs_base.get(row["size"])
+            if expected is not None:
+                checks.append(
+                    ("obs", row["size"], expected, row["bare_vs_instrumented"])
                 )
     finally:
         serve_service.close()

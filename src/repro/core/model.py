@@ -24,6 +24,7 @@ from repro.dataset.observations import LabelledDataset, Observation
 from repro.dataset.splits import Split
 from repro.features.vectorize import FeatureBuilder
 from repro.ml.bayesopt import ParamSpec, SearchSpace, maximize
+from repro.obs.metrics import get_metrics
 from repro.ml.gbdt import GBDTParams, GradientBoostedClassifier
 from repro.ml.tree import HistogramBinner
 from repro.ml.metrics import (
@@ -166,9 +167,16 @@ class NBMIntegrityModel:
         if not observations:
             raise ValueError("no training observations")
         builder = self._require_builder()
-        X = builder.vectorize(observations)
-        y = builder.labels(observations)
-        self._clf = GradientBoostedClassifier(self.params).fit(X, y)
+
+        def _stage(name: str):
+            return get_metrics().histogram("model_fit_seconds", stage=name).time()
+
+        with _stage("vectorize"):
+            X = builder.vectorize(observations)
+        with _stage("labels"):
+            y = builder.labels(observations)
+        with _stage("fit"):
+            self._clf = GradientBoostedClassifier(self.params).fit(X, y)
         return self
 
     # -- inference --------------------------------------------------------------

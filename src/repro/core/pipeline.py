@@ -46,6 +46,7 @@ from repro.fcc.releases import (
 )
 from repro.features.vectorize import FeatureBuilder
 from repro.geo.reproject import HexAggregate, OoklaTileAggregate, reproject_tiles
+from repro.obs.metrics import get_metrics
 from repro.speedtests.mlab import MLabTest, generate_mlab_tests
 from repro.speedtests.ookla import generate_ookla_tiles
 
@@ -143,40 +144,63 @@ def build_world(
     """
     seed = config.seed
     hooks = hooks or PipelineHooks()
-    fabric = generate_fabric(config.fabric, seed=seed)
-    universe = generate_providers(fabric, config.providers, seed=seed)
-    if mutate_universe is not None:
-        mutate_universe(fabric, universe)
-    universe = _apply_hook(hooks.post_universe, universe, fabric)
-    table = generate_filings(fabric, universe, seed=seed)
-    table = _apply_hook(hooks.post_filings, table, fabric, universe)
-    challenges = simulate_challenges(table, universe, config.challenges, seed=seed)
-    challenges = _apply_hook(hooks.post_challenges, challenges, table, universe)
-    timeline = build_release_timeline(
-        table, universe, challenges,
-        n_minor_releases=config.challenges.n_minor_releases, seed=seed,
-    )
-    timeline = _apply_hook(hooks.post_timeline, timeline, table, challenges)
-    changes = infer_unarchived_changes(timeline, challenges)
-    provider_table = build_provider_id_table(universe, seed=seed)
-    registry = build_whois_registry(universe, config.whois, seed=seed)
-    crosswalk = match_providers_to_asns(provider_table, registry)
 
-    ookla_tiles = generate_ookla_tiles(fabric, table, config.ookla, seed=seed)
-    hex_aggregates = reproject_tiles(ookla_tiles, res=fabric.config.hex_resolution)
-    coverage_scores = service_coverage_scores(fabric, hex_aggregates)
+    # Per-stage wall-time telemetry in the process-wide registry: every
+    # stage (and the hooks riding its seam) lands in one histogram
+    # labelled by stage name, so slow-world diagnoses don't need a
+    # profiler run.
+    def _stage(name: str):
+        return get_metrics().histogram("pipeline_stage_seconds", stage=name).time()
 
-    routing = {pid: registry.routing_asns(pid) for pid in registry.ownership}
-    mlab_tests = generate_mlab_tests(
-        fabric, table, routing, config.mlab, seed=seed
-    )
-    claimed_by_provider = {
-        p.provider_id: universe.claimed_cells(p.provider_id)
-        for p in universe.providers
-    }
-    localization = localize_mlab_tests(
-        mlab_tests, crosswalk, claimed_by_provider, res=fabric.config.hex_resolution
-    )
+    with _stage("fabric"):
+        fabric = generate_fabric(config.fabric, seed=seed)
+    with _stage("providers"):
+        universe = generate_providers(fabric, config.providers, seed=seed)
+        if mutate_universe is not None:
+            mutate_universe(fabric, universe)
+        universe = _apply_hook(hooks.post_universe, universe, fabric)
+    with _stage("filings"):
+        table = generate_filings(fabric, universe, seed=seed)
+        table = _apply_hook(hooks.post_filings, table, fabric, universe)
+    with _stage("challenges"):
+        challenges = simulate_challenges(
+            table, universe, config.challenges, seed=seed
+        )
+        challenges = _apply_hook(hooks.post_challenges, challenges, table, universe)
+    with _stage("timeline"):
+        timeline = build_release_timeline(
+            table, universe, challenges,
+            n_minor_releases=config.challenges.n_minor_releases, seed=seed,
+        )
+        timeline = _apply_hook(hooks.post_timeline, timeline, table, challenges)
+        changes = infer_unarchived_changes(timeline, challenges)
+    with _stage("whois"):
+        provider_table = build_provider_id_table(universe, seed=seed)
+        registry = build_whois_registry(universe, config.whois, seed=seed)
+        crosswalk = match_providers_to_asns(provider_table, registry)
+
+    with _stage("ookla"):
+        ookla_tiles = generate_ookla_tiles(fabric, table, config.ookla, seed=seed)
+        hex_aggregates = reproject_tiles(
+            ookla_tiles, res=fabric.config.hex_resolution
+        )
+        coverage_scores = service_coverage_scores(fabric, hex_aggregates)
+
+    with _stage("mlab"):
+        routing = {pid: registry.routing_asns(pid) for pid in registry.ownership}
+        mlab_tests = generate_mlab_tests(
+            fabric, table, routing, config.mlab, seed=seed
+        )
+        claimed_by_provider = {
+            p.provider_id: universe.claimed_cells(p.provider_id)
+            for p in universe.providers
+        }
+        localization = localize_mlab_tests(
+            mlab_tests,
+            crosswalk,
+            claimed_by_provider,
+            res=fabric.config.hex_resolution,
+        )
     return SimulationWorld(
         config=config,
         fabric=fabric,

@@ -1,0 +1,50 @@
+"""``repro.obs`` — zero-dependency observability for the audit stack.
+
+Three small pieces:
+
+- :mod:`repro.obs.metrics` — process-wide and per-service
+  :class:`~repro.obs.metrics.MetricsRegistry` instances holding
+  lock-cheap counters, gauges, and fixed-bucket latency histograms with
+  numpy-compatible p50/p95/p99 readout, rendered as JSON snapshots or
+  Prometheus text exposition.
+- :mod:`repro.obs.trace` — a contextvar-propagated, request-scoped span
+  tree (``trace=1`` on v2 routes returns it in the response).
+- :mod:`repro.obs.catalog` — the authoritative metric/span name catalog
+  that both registries and ``tools/check_docs.py`` enforce.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and wire formats.
+"""
+
+from .catalog import METRIC_CATALOG, SPAN_CATALOG
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    get_metrics,
+    metrics_enabled,
+    render_prometheus,
+    set_enabled,
+)
+from .trace import Span, Trace, activate, annotate, current_trace, span
+
+__all__ = [
+    "METRIC_CATALOG",
+    "SPAN_CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disabled",
+    "get_metrics",
+    "metrics_enabled",
+    "render_prometheus",
+    "set_enabled",
+    "Span",
+    "Trace",
+    "activate",
+    "annotate",
+    "current_trace",
+    "span",
+]

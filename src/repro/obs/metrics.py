@@ -1,0 +1,456 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+Design goals, in order:
+
+1. **Lock-cheap on the hot path.**  Every instrument has its own
+   ``threading.Lock`` held only for the few instructions of an update,
+   so concurrent scoring threads never contend on a registry-wide lock
+   and no increment is ever lost (see the threaded-hammer test).
+2. **Quantiles that match the bench.**  ``Histogram.quantile`` follows
+   the same rank semantics as ``numpy.percentile(..., method="linear")``
+   used by ``bench_perf_latency.py``: the target rank is
+   ``(count - 1) * q / 100`` and the readout interpolates between the
+   estimated order statistics at the neighbouring integer ranks.  With
+   bucketed counts each order statistic is only known to within its
+   bucket, so the estimate is guaranteed to sit within one bucket width
+   of the exact value (pinned by a hypothesis property test).
+3. **Catalog-enforced names.**  A registry refuses metric names that are
+   not declared in :mod:`repro.obs.catalog`, which ``tools/check_docs.py``
+   cross-checks against ``docs/OBSERVABILITY.md``.
+
+The module-level :func:`get_metrics` registry is process-wide and used
+by library code with no natural owner (pipeline stages, ingestion, the
+score-store build/load paths).  The serving stack instead hangs a
+private registry off each ``ModelRegistry`` so per-version counters in
+one service never bleed into another — ``GET /metrics`` exposes both.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from typing import Iterable, Iterator
+
+from .catalog import METRIC_CATALOG
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "SIZE_BOUNDS",
+    "get_metrics",
+    "set_enabled",
+    "metrics_enabled",
+    "disabled",
+    "render_prometheus",
+]
+
+#: Log-spaced latency buckets (seconds): 100us .. 60s, ~3 per decade.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Buckets for size-like histograms (batch occupancy).
+SIZE_BOUNDS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+# Process-wide enable switch.  ``bench_perf_obs.py`` flips it off to
+# measure the bare hot path; everything else leaves it on.
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable or disable metric updates (reads still work)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+class disabled:
+    """Context manager: suspend all metric updates inside the block."""
+
+    def __enter__(self) -> "disabled":
+        self._prev = _ENABLED
+        set_enabled(False)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        set_enabled(self._prev)
+
+
+class Counter:
+    """A monotonically increasing count guarded by its own lock."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` keeps a high-water mark."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _Timer:
+    """Context manager that observes its block duration into a histogram."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: "Histogram") -> None:
+        self._hist = hist
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._hist.observe(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Fixed-bucket histogram with numpy-compatible quantile readout.
+
+    ``bounds`` are strictly increasing upper bucket edges (``le``
+    semantics, as in Prometheus); one overflow bucket is added past the
+    last bound.  Observed min/max are tracked so quantile interpolation
+    can clamp bucket edges to the actual data range.
+    """
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_LATENCY_BOUNDS) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self._bounds = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        value = float(value)
+        i = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def time(self) -> _Timer:
+        return _Timer(self)
+
+    # -- readout ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _state(self) -> tuple[list[int], int, float, float]:
+        with self._lock:
+            return list(self._counts), self._count, self._min, self._max
+
+    def _bucket_edges(self, i: int, lo_clamp: float, hi_clamp: float) -> tuple[float, float]:
+        lo = self._bounds[i - 1] if i > 0 else -math.inf
+        hi = self._bounds[i] if i < len(self._bounds) else math.inf
+        lo = max(lo, lo_clamp)
+        hi = min(hi, hi_clamp)
+        if lo > hi:
+            lo = hi
+        return lo, hi
+
+    def _rank_value(
+        self, k: int, counts: list[int], lo_clamp: float, hi_clamp: float
+    ) -> float:
+        """Estimate the 0-based order statistic ``k`` from bucket counts."""
+        cum = 0
+        for i, c in enumerate(counts):
+            if c and k < cum + c:
+                lo, hi = self._bucket_edges(i, lo_clamp, hi_clamp)
+                # Midpoint rule: the c values in this bucket are assumed
+                # evenly spread over [lo, hi]; rank k is the (k-cum)-th.
+                return lo + (hi - lo) * ((k - cum) + 0.5) / c
+            cum += c
+        return hi_clamp
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (numpy ``linear`` rank semantics)."""
+        counts, n, lo_clamp, hi_clamp = self._state()
+        if n == 0:
+            return math.nan
+        if n == 1:
+            return lo_clamp
+        target = (n - 1) * (q / 100.0)
+        k = int(math.floor(target))
+        frac = target - k
+        v1 = self._rank_value(k, counts, lo_clamp, hi_clamp)
+        if frac == 0.0:
+            return v1
+        v2 = self._rank_value(min(k + 1, n - 1), counts, lo_clamp, hi_clamp)
+        return v1 + frac * (v2 - v1)
+
+    def percentiles(self) -> dict[str, float]:
+        return {
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
+        }
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    __slots__ = ("kind", "help", "bounds", "series")
+
+    def __init__(self, kind: str, help_: str, bounds: tuple[float, ...] | None):
+        self.kind = kind
+        self.help = help_
+        self.bounds = bounds
+        self.series: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call for a (name, labels) pair allocates the instrument, later calls
+    return the same object, so call sites can resolve instruments once
+    and hold them.  Names must be declared in
+    :data:`repro.obs.catalog.METRIC_CATALOG` with a matching type.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        labels: dict[str, object],
+        bounds: Iterable[float] | None = None,
+    ):
+        spec = METRIC_CATALOG.get(name)
+        if spec is None:
+            raise ValueError(
+                f"metric {name!r} is not declared in repro.obs.catalog."
+                "METRIC_CATALOG; add it there (and to docs/OBSERVABILITY.md)"
+            )
+        if spec[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is declared as a {spec[0]}, not a {kind}"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    kind, spec[1], tuple(bounds) if bounds is not None else None
+                )
+                self._families[name] = family
+            metric = family.series.get(key)
+            if metric is None:
+                if kind == "histogram":
+                    metric = Histogram(
+                        family.bounds
+                        if family.bounds is not None
+                        else DEFAULT_LATENCY_BOUNDS
+                    )
+                else:
+                    metric = _TYPES[kind]()
+                family.series[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Iterable[float] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        return self._get("histogram", name, labels, bounds=bounds)
+
+    def total(self, name: str) -> float:
+        """Sum a family's values across all label sets (0 if absent)."""
+        with self._lock:
+            family = self._families.get(name)
+            series = list(family.series.values()) if family else []
+        if not series:
+            return 0.0
+        if isinstance(series[0], Histogram):
+            return float(sum(h.count for h in series))
+        return float(sum(m.value for m in series))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def _items(self) -> Iterator[tuple[str, _Family, list[tuple[tuple, object]]]]:
+        with self._lock:
+            snap = [
+                (name, fam, sorted(fam.series.items()))
+                for name, fam in sorted(self._families.items())
+            ]
+        yield from snap
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument in the registry."""
+        out: dict[str, dict] = {}
+        for name, family, series in self._items():
+            rows = []
+            for key, metric in series:
+                labels = dict(key)
+                if isinstance(metric, Histogram):
+                    pct = metric.percentiles()
+                    rows.append(
+                        {
+                            "labels": labels,
+                            "count": metric.count,
+                            "sum": metric.sum,
+                            "p50": _finite(pct["p50"]),
+                            "p95": _finite(pct["p95"]),
+                            "p99": _finite(pct["p99"]),
+                        }
+                    )
+                else:
+                    rows.append({"labels": labels, "value": metric.value})
+            out[name] = {"type": family.kind, "help": family.help, "series": rows}
+        return out
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self)
+
+
+def _finite(x: float) -> float | None:
+    return x if math.isfinite(x) else None
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for k, v in merged.items():
+        v = v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{k}="{v}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    f = float(v)
+    return repr(int(f)) if f.is_integer() else repr(f)
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Render one or more registries in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for registry in registries:
+        for name, family, series in registry._items():
+            if name in seen:  # merged registries must not redeclare a family
+                continue
+            seen.add(name)
+            lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, metric in series:
+                labels = dict(key)
+                base = _fmt_labels(labels)
+                if isinstance(metric, Histogram):
+                    counts, total, _, _ = metric._state()
+                    cum = 0
+                    for bound, c in zip(
+                        list(metric.bounds) + [math.inf], counts
+                    ):
+                        cum += c
+                        le = _fmt_labels(labels, {"le": _fmt_value(bound)})
+                        lines.append(f"{name}_bucket{le} {cum}")
+                    lines.append(f"{name}_sum{base} {_fmt_value(metric.sum)}")
+                    lines.append(f"{name}_count{base} {total}")
+                else:
+                    lines.append(f"{name}{base} {_fmt_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry for library code with no natural owner.
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """Return the process-wide default :class:`MetricsRegistry`."""
+    return _GLOBAL

@@ -1,0 +1,196 @@
+"""Request-scoped tracing: a contextvar-propagated span tree.
+
+A :class:`Trace` is activated for one request (``trace=1`` on a v2
+route) and propagated through the scoring stack via a
+``contextvars.ContextVar`` — instrumented code calls
+:func:`span`, which is a no-op returning a shared singleton when no
+trace is active, so the untraced hot path pays a single contextvar
+lookup per span site.  Span timings are monotonic
+(``time.perf_counter``) and reported relative to the trace start.
+
+Span nesting uses a plain stack on the trace object: the serving stack
+flushes batches synchronously on the request thread, so spans opened by
+the batcher and the cold scorer land under the handler span.  Flushes
+fired by the batcher's background timer run without an active trace and
+simply skip span recording.
+
+Span names must be declared in :data:`repro.obs.catalog.SPAN_CATALOG`
+so ``docs/OBSERVABILITY.md`` stays the single reference for what a
+span tree can contain.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from typing import Iterator
+
+from .catalog import SPAN_CATALOG
+
+__all__ = ["Span", "Trace", "activate", "current_trace", "span", "annotate"]
+
+_ACTIVE: contextvars.ContextVar["Trace | None"] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def new_request_id() -> str:
+    """A short, log-friendly, unique-enough request identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list["Span"] = []
+
+    def to_dict(self, origin: float) -> dict:
+        end = self.end if self.end is not None else time.perf_counter()
+        doc: dict[str, object] = {
+            "name": self.name,
+            "start_ms": round((self.start - origin) * 1e3, 3),
+            "duration_ms": round((end - self.start) * 1e3, 3),
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.children:
+            doc["children"] = [c.to_dict(origin) for c in self.children]
+        return doc
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one span on its trace's stack."""
+
+    __slots__ = ("_trace", "_name", "_attrs", "_span")
+
+    def __init__(self, trace: "Trace", name: str, attrs: dict[str, object]):
+        self._trace = trace
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._trace._push(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._trace._pop(self._span)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Trace:
+    """One request's span tree plus identifying annotations."""
+
+    def __init__(self, request_id: str | None = None) -> None:
+        self.request_id = request_id or new_request_id()
+        self.origin = time.perf_counter()
+        self.root: Span | None = None
+        self.annotations: dict[str, object] = {}
+        self._stack: list[Span] = []
+
+    # -- span bookkeeping (request-thread only) --------------------------
+
+    def span(self, name: str, **attrs: object) -> _SpanHandle:
+        if name not in SPAN_CATALOG:
+            raise ValueError(
+                f"span {name!r} is not declared in repro.obs.catalog."
+                "SPAN_CATALOG; add it there (and to docs/OBSERVABILITY.md)"
+            )
+        return _SpanHandle(self, name, dict(attrs))
+
+    def _push(self, name: str, attrs: dict[str, object]) -> Span:
+        node = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        elif self.root is None:
+            self.root = node
+        else:  # a second top-level span: keep the tree single-rooted
+            self.root.children.append(node)
+        self._stack.append(node)
+        return node
+
+    def _pop(self, node: Span) -> None:
+        node.end = time.perf_counter()
+        if self._stack and self._stack[-1] is node:
+            self._stack.pop()
+
+    def annotate(self, **attrs: object) -> None:
+        self.annotations.update(attrs)
+
+    def to_dict(self) -> dict:
+        doc: dict[str, object] = {"request_id": self.request_id}
+        if self.annotations:
+            doc.update(self.annotations)
+        if self.root is not None:
+            doc["spans"] = self.root.to_dict(self.origin)
+        return doc
+
+    def span_names(self) -> list[str]:
+        """Flattened preorder list of span names (test/debug helper)."""
+        out: list[str] = []
+
+        def walk(node: Span) -> None:
+            out.append(node.name)
+            for child in node.children:
+                walk(child)
+
+        if self.root is not None:
+            walk(self.root)
+        return out
+
+
+class _Activation:
+    __slots__ = ("_trace", "_token")
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+
+    def __enter__(self) -> Trace:
+        self._token = _ACTIVE.set(self._trace)
+        return self._trace
+
+    def __exit__(self, *exc: object) -> None:
+        _ACTIVE.reset(self._token)
+
+
+def activate(request_id: str | None = None) -> _Activation:
+    """Context manager installing a fresh :class:`Trace` as current."""
+    return _Activation(Trace(request_id))
+
+
+def current_trace() -> Trace | None:
+    return _ACTIVE.get()
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the active trace, or do nothing if none is active."""
+    trace = _ACTIVE.get()
+    if trace is None:
+        return _NOOP
+    return trace.span(name, **attrs)
+
+
+def annotate(**attrs: object) -> None:
+    """Attach annotations to the active trace, if any."""
+    trace = _ACTIVE.get()
+    if trace is not None:
+        trace.annotate(**attrs)

@@ -33,8 +33,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
-from dataclasses import dataclass
 
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import SIZE_BOUNDS, MetricsRegistry
 from repro.serve.resilience import (
     SEAM_BATCH_FLUSH,
     Deadline,
@@ -46,18 +47,84 @@ from repro.serve.resilience import (
 __all__ = ["BatcherStats", "MicroBatcher"]
 
 
-@dataclass
 class BatcherStats:
-    """Counters exposed for monitoring (`/v1/stats` in the HTTP API)."""
+    """Batcher counters, backed by a :class:`MetricsRegistry`.
 
-    requests: int = 0
-    cache_hits: int = 0
-    coalesced: int = 0
-    batches: int = 0
-    scored: int = 0
-    max_batch: int = 0
-    #: Slots dropped unscored because every waiter's deadline expired.
-    deadline_drops: int = 0
+    The registry instruments (``batcher_*`` families) are the single
+    source of truth; this class is the stable monitoring view the HTTP
+    API has always exposed (`/v1/stats`), with the same attribute names
+    and ``as_dict()`` keys as the pre-obs dataclass.  A batcher created
+    without an explicit registry gets a private one, so standalone
+    batchers never share series.
+    """
+
+    def __init__(
+        self, metrics: MetricsRegistry | None = None, version: str = ""
+    ) -> None:
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = m
+        self._requests = m.counter("batcher_requests_total", version=version)
+        self._cache_hits = m.counter("batcher_cache_hits_total", version=version)
+        self._coalesced = m.counter("batcher_coalesced_total", version=version)
+        self._batches = m.counter("batcher_batches_total", version=version)
+        self._scored = m.counter("batcher_scored_total", version=version)
+        self._deadline_drops = m.counter(
+            "batcher_deadline_drops_total", version=version
+        )
+        self._max_batch = m.gauge("batcher_max_batch", version=version)
+        self._batch_size = m.histogram(
+            "batcher_batch_size", bounds=SIZE_BOUNDS, version=version
+        )
+        self._flush_seconds = m.histogram("batcher_flush_seconds", version=version)
+
+    # -- updates (batcher-internal) ------------------------------------
+
+    def inc(self, field: str, n: int = 1) -> None:
+        getattr(self, "_" + field).inc(n)
+
+    def record_batch(self, size: int) -> None:
+        self._batches.inc()
+        self._scored.inc(size)
+        self._max_batch.set_max(size)
+        self._batch_size.observe(size)
+
+    def flush_timer(self):
+        return self._flush_seconds.time()
+
+    # -- stable read view ----------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def scored(self) -> int:
+        return self._scored.value
+
+    @property
+    def max_batch(self) -> int:
+        return int(self._max_batch.value)
+
+    @property
+    def deadline_drops(self) -> int:
+        return self._deadline_drops.value
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        requests = self.requests
+        return self.cache_hits / requests if requests else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -81,6 +148,8 @@ class MicroBatcher:
         max_delay_s: float = 0.002,
         cache_size: int = 4096,
         fault_plan: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
+        version: str = "",
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -91,7 +160,7 @@ class MicroBatcher:
         self.max_delay_s = float(max_delay_s)
         self.cache_size = int(cache_size)
         self.fault_plan = fault_plan
-        self.stats = BatcherStats()
+        self.stats = BatcherStats(metrics, version=version)
         self._lock = threading.Lock()
         #: Pending batch: parallel payloads / cache keys / future lists /
         #: per-slot deadlines (the laxest across coalesced waiters).
@@ -122,12 +191,12 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError("batcher is closed")
-            self.stats.requests += 1
+            self.stats.inc("requests")
             if cache_key is not None:
                 cached = self._cache.get(cache_key, _MISS)
                 if cached is not _MISS:
                     self._cache.move_to_end(cache_key)
-                    self.stats.cache_hits += 1
+                    self.stats.inc("cache_hits")
                     fut.set_result(cached)
                     return fut
                 slot = self._slot_by_key.get(cache_key)
@@ -137,7 +206,7 @@ class MicroBatcher:
                     self._deadlines[slot] = merge_deadlines(
                         self._deadlines[slot], deadline
                     )
-                    self.stats.coalesced += 1
+                    self.stats.inc("coalesced")
                     return fut
                 self._slot_by_key[cache_key] = len(self._payloads)
             self._payloads.append(payload)
@@ -200,14 +269,15 @@ class MicroBatcher:
             payloads = [payloads[i] for i in live]
             keys = [keys[i] for i in live]
             futures = [futures[i] for i in live]
-            with self._lock:
-                self.stats.deadline_drops += dropped
+            self.stats.inc("deadline_drops", dropped)
             if not payloads:
                 return 0
         try:
-            if self.fault_plan is not None:
-                self.fault_plan.fire(SEAM_BATCH_FLUSH)
-            results = self._score_batch(payloads)
+            with obs_trace.span("batcher_flush", batch=len(payloads)):
+                with self.stats.flush_timer():
+                    if self.fault_plan is not None:
+                        self.fault_plan.fire(SEAM_BATCH_FLUSH)
+                    results = self._score_batch(payloads)
             if len(results) != len(payloads):
                 raise RuntimeError(
                     f"scorer returned {len(results)} results for "
@@ -218,10 +288,8 @@ class MicroBatcher:
                 for fut in waiters:
                     fut.set_exception(exc)
             return 0
+        self.stats.record_batch(len(payloads))
         with self._lock:
-            self.stats.batches += 1
-            self.stats.scored += len(payloads)
-            self.stats.max_batch = max(self.stats.max_batch, len(payloads))
             if self.cache_size > 0:
                 for key, result in zip(keys, results):
                     if key is not None and not isinstance(result, BaseException):

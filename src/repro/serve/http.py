@@ -39,7 +39,22 @@ Route                                                 Response
                                                       ``Retry-After`` while a
                                                       hot-swap or store load
                                                       is in flight
+``GET /metrics``                                      metric registries as
+                                                      JSON, or Prometheus
+                                                      text with
+                                                      ``?format=prometheus``
 ====================================================  =======================
+
+Observability (:mod:`repro.obs`)
+--------------------------------
+
+Every request gets a generated ``request_id``, echoed in the
+``X-Request-Id`` response header, in non-v1 error bodies, and in the
+structured access log (``verbose=True`` or the ``access_log`` sink).
+Per-route request counters and latency histograms land in the service's
+metric registry (``GET /metrics``).  Passing ``trace=1`` on a non-v1
+route returns the request's span tree (admission -> parse_body ->
+handler -> batcher/store spans) under a ``"trace"`` key.
 
 Overload safety (:mod:`repro.serve.resilience`)
 -----------------------------------------------
@@ -80,10 +95,15 @@ Example session (see ``examples/audit_service.py`` for a scripted one)::
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.obs.metrics import get_metrics, render_prometheus
+from repro.obs.trace import activate as activate_trace, new_request_id
+from repro.obs.trace import span as obs_span
 from repro.serve.registry import ModelVersion, state_index, validate_key_range
 from repro.serve.resilience import (
     AdmissionController,
@@ -114,7 +134,7 @@ from repro.serve.schemas import (
 )
 from repro.serve.service import AuditService
 
-__all__ = ["AuditHTTPServer", "make_server", "build_router"]
+__all__ = ["AuditHTTPServer", "PlainTextResult", "make_server", "build_router"]
 
 #: Cap on top-k, page limits, and bulk-scoring request size — enforced
 #: uniformly across the v1 and v2 read/score endpoints.
@@ -129,6 +149,20 @@ MAX_DRAIN_BODY_BYTES = 1024 * 1024
 
 #: Page size of ``GET /v2/claims`` when the client does not pass one.
 DEFAULT_PAGE_LIMIT = 100
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PlainTextResult:
+    """Marker return type for handlers that serve text, not JSON
+    (``GET /metrics?format=prometheus``)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str = "text/plain; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
 
 
 @dataclass
@@ -220,7 +254,34 @@ def _healthz(ctx: RequestContext):
         doc["admission"] = ctx.admission.describe()
     if version.breaker is not None:
         doc["breaker"] = version.breaker.describe()
+    metrics = registry.metrics
+    doc["metrics"] = {
+        "http_requests_total": int(metrics.total("http_requests_total")),
+        "model_requests_total": int(metrics.total("model_requests_total")),
+        "admission_shed_total": int(metrics.total("admission_shed_total")),
+        "batcher_batches_total": int(metrics.total("batcher_batches_total")),
+    }
     return doc
+
+
+def _metrics_endpoint(ctx: RequestContext):
+    """``GET /metrics`` — the service registry (per-version serving
+    series) merged with the process-wide registry (store/pipeline/ingest
+    series), as JSON by default or Prometheus text with
+    ``?format=prometheus``."""
+    fmt = ctx.query["format"] or "json"
+    service_metrics = ctx.service.registry.metrics
+    if fmt == "prometheus":
+        return PlainTextResult(
+            render_prometheus(service_metrics, get_metrics()),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+    if fmt != "json":
+        raise BadRequest("format must be 'json' or 'prometheus'")
+    return {
+        "service": service_metrics.snapshot(),
+        "process": get_metrics().snapshot(),
+    }
 
 
 def _readyz(ctx: RequestContext):
@@ -430,6 +491,13 @@ def build_router() -> Router:
     router = Router()
     router.add("GET", "/healthz", _healthz, admit=False)
     router.add("GET", "/readyz", _readyz, admit=False)
+    router.add(
+        "GET",
+        "/metrics",
+        _metrics_endpoint,
+        admit=False,
+        query=(QueryParam("format"),),
+    )
     # v2 — resource-oriented, versioned, paginated.
     router.add(
         "GET",
@@ -506,12 +574,20 @@ class AuditHTTPServer(ThreadingHTTPServer):
         service: AuditService,
         verbose: bool = False,
         resilience: ResilienceConfig | None = None,
+        access_log: Callable[[dict], None] | None = None,
     ):
         self.service = service
         self.router = build_router()
         self.verbose = verbose
         self.resilience = resilience if resilience is not None else ResilienceConfig()
-        self.admission = self.resilience.build_admission()
+        #: The service's metric registry — admission, per-route request
+        #: counters, and latency histograms all land here so ``/metrics``
+        #: serves one consistent view per service.
+        self.metrics = service.registry.metrics
+        self.admission = self.resilience.build_admission(metrics=self.metrics)
+        #: Optional structured access-log sink: called with one dict per
+        #: completed request (also logged as a JSON line when verbose).
+        self.access_log = access_log
         super().__init__(address, _AuditRequestHandler)
 
 
@@ -522,6 +598,12 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
     # Nagle on, the body write sits behind the peer's delayed ACK —
     # a flat ~40ms tax on every sequential keep-alive request.
     disable_nagle_algorithm = True
+
+    #: Per-request observability state (set at the top of ``_dispatch``;
+    #: class-level defaults keep early failure paths safe).
+    _request_id: str | None = None
+    _obs_status: int = 500
+    _frozen_v1: bool = False
 
     # -- plumbing -----------------------------------------------------------
 
@@ -539,10 +621,24 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _send_json(self, status: int, payload, headers: dict | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json", headers
+        )
+
+    def _send_text(self, status: int, result: PlainTextResult) -> None:
+        self._send_bytes(
+            status, result.text.encode("utf-8"), result.content_type, None
+        )
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str, headers: dict | None
+    ) -> None:
+        self._obs_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         if self.close_connection:
@@ -553,7 +649,13 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _error(self, status: int, message: str, headers: dict | None = None) -> None:
-        self._send_json(status, {"error": message}, headers=headers)
+        payload: dict = {"error": message}
+        # The v1 wire format is frozen at exactly {"error": "..."} (golden
+        # tests); everywhere else the error body echoes the request id so
+        # a shed/timeout is correlatable with the access log.
+        if self._request_id is not None and not self._frozen_v1:
+            payload["request_id"] = self._request_id
+        self._send_json(status, payload, headers=headers)
 
     def _retry_after(self, exc: Exception | None = None) -> dict:
         """``Retry-After`` header for shed/unavailable responses."""
@@ -642,6 +744,13 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         url = urlsplit(self.path)
+        self._request_id = new_request_id()
+        self._obs_status = 500
+        self._frozen_v1 = url.path.startswith("/v1/")
+        # The matched route's name; "unmatched" keeps 404 noise from
+        # exploding the per-route label cardinality.
+        route_label = "unmatched"
+        start = time.perf_counter()
         # Until the request body has been drained, an error response must
         # close the connection: leftover body bytes on a keep-alive
         # socket would be parsed as the next request line.
@@ -656,45 +765,77 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
                     self._error(404, f"no route for {url.path}")
                     return
                 route, path_params = matched
+                route_label = route.name
                 if route.decode_path:
                     # Captured segments arrive percent-encoded (the SDK
                     # quotes them); decode like parse_qs does for query
                     # values.  The frozen v1 routes opt out.
                     path_params = {k: unquote(v) for k, v in path_params.items()}
-                query = parse_query(parse_qs(url.query), route.query)
-                deadline = self._request_deadline()
-                admission = getattr(self.server, "admission", None)
-                if route.admit and admission is not None:
-                    # Admission happens BEFORE the body is read: a shed
-                    # request costs a route match and a queue probe, not a
-                    # 16 MiB body parse.  The unread body forces a
-                    # connection close on the 429 path (handled below via
-                    # body_pending).
-                    try:
-                        key = self.server.service.registry.default_name
-                    except RuntimeError:
-                        raise ServiceUnavailable(
-                            "no default model version registered"
-                        ) from None
-                    ticket = admission.admit(key, deadline)
-                body = None
-                if method == "POST":
-                    length = self._body_length()
-                    try:
-                        body = json.loads(self.rfile.read(length) or b"{}")
-                    except json.JSONDecodeError as exc:
-                        body_pending = False
-                        raise BadRequest(f"invalid JSON body: {exc}") from None
-                    body_pending = False
-                ctx = RequestContext(
-                    service=self.server.service,
-                    path=path_params,
-                    query=query,
-                    body=body,
-                    deadline=deadline,
-                    admission=getattr(self.server, "admission", None),
+                raw_query = parse_qs(url.query)
+                query = parse_query(raw_query, route.query)
+                # ``?trace=1`` opts a (non-frozen) route into request
+                # tracing: the span tree rides back on the response body.
+                want_trace = (
+                    not self._frozen_v1
+                    and raw_query.get("trace", ["0"])[-1] in ("1", "true")
                 )
-                self._send_json(200, route.handler(ctx))
+                tracing = activate_trace(self._request_id) if want_trace else None
+                tracer = tracing.__enter__() if tracing is not None else None
+                try:
+                    with obs_span("request", route=route.name, method=method):
+                        deadline = self._request_deadline()
+                        admission = getattr(self.server, "admission", None)
+                        if route.admit and admission is not None:
+                            # Admission happens BEFORE the body is read: a
+                            # shed request costs a route match and a queue
+                            # probe, not a 16 MiB body parse.  The unread
+                            # body forces a connection close on the 429
+                            # path (handled below via body_pending).
+                            try:
+                                key = self.server.service.registry.default_name
+                            except RuntimeError:
+                                raise ServiceUnavailable(
+                                    "no default model version registered"
+                                ) from None
+                            with obs_span("admission"):
+                                ticket = admission.admit(key, deadline)
+                        body = None
+                        if method == "POST":
+                            length = self._body_length()
+                            with obs_span("parse_body", bytes=length):
+                                try:
+                                    body = json.loads(
+                                        self.rfile.read(length) or b"{}"
+                                    )
+                                except json.JSONDecodeError as exc:
+                                    body_pending = False
+                                    raise BadRequest(
+                                        f"invalid JSON body: {exc}"
+                                    ) from None
+                            body_pending = False
+                        ctx = RequestContext(
+                            service=self.server.service,
+                            path=path_params,
+                            query=query,
+                            body=body,
+                            deadline=deadline,
+                            admission=getattr(self.server, "admission", None),
+                        )
+                        with obs_span("handler", route=route.name):
+                            result = route.handler(ctx)
+                    if tracer is not None and isinstance(result, dict):
+                        if "model_version" in result:
+                            tracer.annotate(model_version=result["model_version"])
+                        if "degraded" in result:
+                            tracer.annotate(degraded=result["degraded"])
+                        result = {**result, "trace": tracer.to_dict()}
+                finally:
+                    if tracing is not None:
+                        tracing.__exit__(None, None, None)
+                if isinstance(result, PlainTextResult):
+                    self._send_text(200, result)
+                else:
+                    self._send_json(200, result)
             finally:
                 if ticket is not None:
                     ticket.release()
@@ -718,6 +859,7 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
             # The budget died after admission (queued batch, slow flush):
             # transient server-side congestion, so 503 + Retry-After —
             # never a 500, and never a half-scored body.
+            self._count_deadline_expired(route_label)
             if body_pending:
                 self._discard_body()
             self._error(503, str(exc), self._retry_after(exc))
@@ -739,6 +881,50 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
             if body_pending:
                 self._discard_body()
             self._error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._record_request(
+                method, url.path, route_label, time.perf_counter() - start
+            )
+
+    # -- per-request telemetry ----------------------------------------------
+
+    def _count_deadline_expired(self, route_label: str) -> None:
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is not None:
+            metrics.counter("http_deadline_expired_total", route=route_label).inc()
+
+    def _record_request(
+        self, method: str, path: str, route_label: str, elapsed: float
+    ) -> None:
+        """Per-route request metrics plus one structured access-log entry."""
+        status = self._obs_status
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is not None:
+            metrics.counter(
+                "http_requests_total",
+                route=route_label,
+                method=method,
+                status=str(status),
+            ).inc()
+            metrics.histogram("http_request_seconds", route=route_label).observe(
+                elapsed
+            )
+        sink = getattr(self.server, "access_log", None)
+        if sink is None and not getattr(self.server, "verbose", False):
+            return
+        entry = {
+            "request_id": self._request_id,
+            "method": method,
+            "path": path,
+            "route": route_label,
+            "status": status,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "client": self.client_address[0],
+        }
+        if callable(sink):
+            sink(entry)
+        if getattr(self.server, "verbose", False):
+            self.log_message("%s", json.dumps(entry))
 
 
 def make_server(
@@ -747,6 +933,7 @@ def make_server(
     port: int = 0,
     verbose: bool = False,
     resilience: ResilienceConfig | None = None,
+    access_log: Callable[[dict], None] | None = None,
 ) -> AuditHTTPServer:
     """Bind an :class:`AuditHTTPServer` (``port=0`` picks a free port).
 
@@ -754,8 +941,18 @@ def make_server(
     default deadline, socket timeout); the default config keeps existing
     behavior with a bounded worst case.
 
+    ``access_log``, when given, receives one structured dict per
+    completed request (request_id, route, status, duration_ms, ...);
+    with ``verbose`` the same entries are logged as JSON lines.
+
     The caller drives the loop: ``server.serve_forever()`` (typically on
     a daemon thread) and ``server.shutdown()`` + ``server.server_close()``
     to stop.
     """
-    return AuditHTTPServer((host, port), service, verbose=verbose, resilience=resilience)
+    return AuditHTTPServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        resilience=resilience,
+        access_log=access_log,
+    )

@@ -30,6 +30,8 @@ import numpy as np
 from repro.dataset.observations import ObservationColumns
 from repro.fcc.states import STATES
 from repro.ml.gbdt import _sigmoid
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.batcher import MicroBatcher
 from repro.serve.resilience import (
     SEAM_COLD_SCORE,
@@ -100,6 +102,7 @@ class ModelVersion:
         cache_size: int = 4096,
         fault_plan: FaultPlan | None = None,
         breaker: CircuitBreaker | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if not name or "/" in name:
             raise ValueError(f"invalid version name {name!r}")
@@ -117,15 +120,30 @@ class ModelVersion:
         #: slots resolve to ColdPathDegraded instead of attempting to
         #: score, and read paths downgrade to degraded responses.
         self.breaker = breaker
+        #: This version's serving metrics.  Versions registered through a
+        #: ModelRegistry share its registry (one ``/metrics`` view per
+        #: service); standalone versions get a private one.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if breaker is not None:
+            breaker.bind_metrics(self.metrics, version=self.name)
+        self._requests_c = self.metrics.counter(
+            "model_requests_total", version=self.name
+        )
+        self._scores_pre = self.metrics.counter(
+            "model_scores_total", version=self.name, path="precomputed"
+        )
+        self._scores_cold = self.metrics.counter(
+            "model_scores_total", version=self.name, path="cold"
+        )
         self.batcher = MicroBatcher(
             self._score_batch,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
             cache_size=cache_size,
             fault_plan=fault_plan,
+            metrics=self.metrics,
+            version=self.name,
         )
-        self._requests = 0
-        self._requests_lock = threading.Lock()
 
     # -- introspection ------------------------------------------------------
 
@@ -134,13 +152,11 @@ class ModelVersion:
         return self.classifier is not None and self.builder is not None
 
     def count_request(self, n: int = 1) -> None:
-        with self._requests_lock:
-            self._requests += n
+        self._requests_c.inc(n)
 
     @property
     def requests(self) -> int:
-        with self._requests_lock:
-            return self._requests
+        return self._requests_c.value
 
     def describe(self, default: bool = False) -> dict:
         """The ``GET /v2/models`` entry for this version."""
@@ -220,14 +236,23 @@ class ModelVersion:
         The one shared resolution step under every bulk path: a single
         vectorized ``positions`` probe, misses as ``None``.
         """
-        if self.fault_plan is not None:
-            self.fault_plan.fire(SEAM_STORE_READ)
-        pos = self.store.positions(
-            np.asarray(provider_id, dtype=np.int64),
-            np.asarray(cell, dtype=np.uint64),
-            np.asarray(technology, dtype=np.int64),
-        )
-        return pos, [self.store.record(int(p)) if p >= 0 else None for p in pos]
+        with obs_trace.span("store_lookup") as span:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(SEAM_STORE_READ)
+            pos = self.store.positions(
+                np.asarray(provider_id, dtype=np.int64),
+                np.asarray(cell, dtype=np.uint64),
+                np.asarray(technology, dtype=np.int64),
+            )
+            hits = int((pos >= 0).sum())
+            if span is not None:
+                span.attrs.update(keys=int(pos.size), hits=hits)
+            records = [
+                self.store.record(int(p)) if p >= 0 else None for p in pos
+            ]
+        if hits:
+            self._scores_pre.inc(hits)
+        return pos, records
 
     def score_claims(self, provider_id, cell, technology) -> list[dict | None]:
         """Vectorized store lookup for arrays of claim keys (no cold path)."""
@@ -380,16 +405,21 @@ class ModelVersion:
         states: np.ndarray,
     ) -> np.ndarray:
         """Live margins for hypothetical filings (one vectorized pass)."""
-        if self.fault_plan is not None:
-            self.fault_plan.fire(SEAM_COLD_SCORE)
-        cols = ObservationColumns(
-            provider_id=pid,
-            cell=cell,
-            technology=tech,
-            state=states,
-            unserved=np.zeros(pid.size, dtype=np.int64),
-        )
-        return self.classifier.predict_margin(self.builder.vectorize_columns(cols))
+        with obs_trace.span("cold_score", keys=int(pid.size)):
+            if self.fault_plan is not None:
+                self.fault_plan.fire(SEAM_COLD_SCORE)
+            cols = ObservationColumns(
+                provider_id=pid,
+                cell=cell,
+                technology=tech,
+                state=states,
+                unserved=np.zeros(pid.size, dtype=np.int64),
+            )
+            margins = self.classifier.predict_margin(
+                self.builder.vectorize_columns(cols)
+            )
+        self._scores_cold.inc(int(pid.size))
+        return margins
 
     def _cold_record(self, payload: tuple, margin: float) -> dict:
         return ScoreRecord(
@@ -417,12 +447,17 @@ class ModelRegistry:
         max_batch: int = 1024,
         max_delay_s: float = 0.002,
         cache_size: int = 4096,
+        metrics: MetricsRegistry | None = None,
     ):
         self._batcher_config = {
             "max_batch": int(max_batch),
             "max_delay_s": float(max_delay_s),
             "cache_size": int(cache_size),
         }
+        #: One MetricsRegistry per model registry: every version (and the
+        #: HTTP server fronting this registry) records here, so two
+        #: services in one process never mix serving series.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._versions: dict[str, ModelVersion] = {}
         self._lock = threading.Lock()
         #: The default version. A bare reference: readers snapshot it in
@@ -457,6 +492,7 @@ class ModelRegistry:
             model=model,
             fault_plan=fault_plan,
             breaker=breaker,
+            metrics=self.metrics,
             **self._batcher_config,
         )
         with self._lock:

@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.router import ApiError
 
 __all__ = [
@@ -150,16 +151,62 @@ def merge_deadlines(a: Deadline | None, b: Deadline | None) -> Deadline | None:
 # -- admission control --------------------------------------------------------
 
 
-@dataclass
 class AdmissionStats:
-    """Counters and gauges for one admission gate (per version name)."""
+    """Counters and gauges for one admission gate (per version name).
 
-    admitted: int = 0
-    shed_queue_full: int = 0
-    shed_deadline: int = 0
-    #: High-water marks; the property tests pin them to the capacities.
-    peak_running: int = 0
-    peak_queued: int = 0
+    Backed by ``admission_*`` instruments in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (the single source of
+    truth); the attribute names and ``as_dict()`` keys are the stable
+    view the property tests and ``/healthz`` have always seen.
+    """
+
+    def __init__(
+        self, metrics: MetricsRegistry | None = None, version: str = ""
+    ) -> None:
+        m = metrics if metrics is not None else MetricsRegistry()
+        self._admitted = m.counter("admission_admitted_total", version=version)
+        self._shed_queue_full = m.counter(
+            "admission_shed_total", version=version, reason="queue_full"
+        )
+        self._shed_deadline = m.counter(
+            "admission_shed_total", version=version, reason="deadline"
+        )
+        #: High-water marks; the property tests pin them to the capacities.
+        self._peak_running = m.gauge("admission_peak_running", version=version)
+        self._peak_queued = m.gauge("admission_peak_queued", version=version)
+
+    def record_admitted(self, running: int) -> None:
+        self._admitted.inc()
+        self._peak_running.set_max(running)
+
+    def record_queued(self, queued: int) -> None:
+        self._peak_queued.set_max(queued)
+
+    def record_shed(self, reason: str) -> None:
+        if reason == "queue_full":
+            self._shed_queue_full.inc()
+        else:
+            self._shed_deadline.inc()
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted.value
+
+    @property
+    def shed_queue_full(self) -> int:
+        return self._shed_queue_full.value
+
+    @property
+    def shed_deadline(self) -> int:
+        return self._shed_deadline.value
+
+    @property
+    def peak_running(self) -> int:
+        return int(self._peak_running.value)
+
+    @property
+    def peak_queued(self) -> int:
+        return int(self._peak_queued.value)
 
     def as_dict(self) -> dict:
         return {
@@ -175,12 +222,18 @@ class _Gate:
     """One bounded queue: at most ``max_concurrent`` running requests,
     at most ``max_queue`` waiting for a slot."""
 
-    def __init__(self, max_concurrent: int, max_queue: int):
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int,
+        metrics: MetricsRegistry | None = None,
+        version: str = "",
+    ):
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.running = 0
         self.queued = 0
-        self.stats = AdmissionStats()
+        self.stats = AdmissionStats(metrics, version=version)
         self.cond = threading.Condition()
 
 
@@ -231,6 +284,7 @@ class AdmissionController:
         max_queue: int = 256,
         max_wait_s: float = 5.0,
         retry_after_s: float = 1.0,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
@@ -240,6 +294,7 @@ class AdmissionController:
         self.max_queue = int(max_queue)
         self.max_wait_s = float(max_wait_s)
         self.retry_after_s = float(retry_after_s)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._gates: dict[str, _Gate] = {}
         self._gates_lock = threading.Lock()
 
@@ -248,7 +303,13 @@ class AdmissionController:
         if gate is None:
             with self._gates_lock:
                 gate = self._gates.setdefault(
-                    key, _Gate(self.max_concurrent, self.max_queue)
+                    key,
+                    _Gate(
+                        self.max_concurrent,
+                        self.max_queue,
+                        metrics=self.metrics,
+                        version=key,
+                    ),
                 )
         return gate
 
@@ -257,18 +318,17 @@ class AdmissionController:
         with gate.cond:
             if gate.running < gate.max_concurrent:
                 gate.running += 1
-                gate.stats.admitted += 1
-                gate.stats.peak_running = max(gate.stats.peak_running, gate.running)
+                gate.stats.record_admitted(gate.running)
                 return _Ticket(gate)
             if gate.queued >= gate.max_queue:
-                gate.stats.shed_queue_full += 1
+                gate.stats.record_shed("queue_full")
                 raise ServiceOverloaded(
                     f"overloaded: {gate.running} requests in flight and "
                     f"{gate.queued} queued for version {key!r}",
                     retry_after_s=self.retry_after_s,
                 )
             gate.queued += 1
-            gate.stats.peak_queued = max(gate.stats.peak_queued, gate.queued)
+            gate.stats.record_queued(gate.queued)
             try:
                 budget = self.max_wait_s
                 if deadline is not None:
@@ -279,15 +339,14 @@ class AdmissionController:
                     if remaining <= 0 or not gate.cond.wait(timeout=remaining):
                         if gate.running < gate.max_concurrent:
                             break  # woke with a free slot at the buzzer
-                        gate.stats.shed_deadline += 1
+                        gate.stats.record_shed("deadline")
                         raise ServiceOverloaded(
                             "overloaded: request deadline expired while "
                             f"queued for version {key!r}",
                             retry_after_s=self.retry_after_s,
                         )
                 gate.running += 1
-                gate.stats.admitted += 1
-                gate.stats.peak_running = max(gate.stats.peak_running, gate.running)
+                gate.stats.record_admitted(gate.running)
                 return _Ticket(gate)
             finally:
                 gate.queued -= 1
@@ -345,6 +404,27 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._trips = 0
         self._probing = False
+        self._metrics: MetricsRegistry | None = None
+        self._metric_labels: dict[str, str] = {}
+
+    def bind_metrics(self, metrics: MetricsRegistry, **labels: str) -> None:
+        """Record state transitions into ``metrics`` from now on.
+
+        Called by the model registry when the breaker is attached to a
+        version, so ``breaker_transitions_total`` lands in the same
+        registry as the version's other serving metrics.
+        """
+        self._metrics = metrics
+        self._metric_labels = {str(k): str(v) for k, v in labels.items()}
+
+    def _set_state_locked(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        self._state = new_state
+        if self._metrics is not None:
+            self._metrics.counter(
+                "breaker_transitions_total", to=new_state, **self._metric_labels
+            ).inc()
 
     @property
     def state(self) -> str:
@@ -356,7 +436,7 @@ class CircuitBreaker:
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self.reset_after_s
         ):
-            self._state = self.HALF_OPEN
+            self._set_state_locked(self.HALF_OPEN)
             self._probing = False
         return self._state
 
@@ -373,7 +453,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
-            self._state = self.CLOSED
+            self._set_state_locked(self.CLOSED)
             self._failures = 0
             self._probing = False
 
@@ -388,7 +468,7 @@ class CircuitBreaker:
                 self._trip_locked()
 
     def _trip_locked(self) -> None:
-        self._state = self.OPEN
+        self._set_state_locked(self.OPEN)
         self._opened_at = self._clock()
         self._failures = 0
         self._probing = False
@@ -574,7 +654,9 @@ class ResilienceConfig:
     #: Master switch for the admission gate (deadlines still apply).
     admission_enabled: bool = True
 
-    def build_admission(self) -> AdmissionController | None:
+    def build_admission(
+        self, metrics: MetricsRegistry | None = None
+    ) -> AdmissionController | None:
         if not self.admission_enabled:
             return None
         return AdmissionController(
@@ -582,4 +664,5 @@ class ResilienceConfig:
             max_queue=self.max_queue,
             max_wait_s=self.max_queue_wait_s,
             retry_after_s=self.retry_after_s,
+            metrics=metrics,
         )

@@ -284,12 +284,21 @@ class Page:
 
 @dataclass(frozen=True)
 class ErrorBody:
-    """The uniform failure payload (v1 and v2): ``{"error": "..."}``."""
+    """The uniform failure payload: ``{"error": "..."}``.
+
+    v2 responses additionally carry the server-generated ``request_id``
+    (also echoed in the ``X-Request-Id`` header and the access log) so a
+    failure can be correlated end to end; the frozen v1 wire format
+    stays exactly ``{"error": "..."}``.
+    """
 
     error: str
+    request_id: str | None = None
 
     def to_dict(self) -> dict:
-        return {"error": self.error}
+        if self.request_id is None:
+            return {"error": self.error}
+        return {"error": self.error, "request_id": self.request_id}
 
     @classmethod
     def from_dict(cls, doc, where: str = "error body") -> "ErrorBody":
@@ -297,7 +306,10 @@ class ErrorBody:
         message = doc.get("error")
         if not isinstance(message, str):
             raise SchemaError(f"{where}.error must be a string")
-        return cls(error=message)
+        request_id = doc.get("request_id")
+        if request_id is not None and not isinstance(request_id, str):
+            raise SchemaError(f"{where}.request_id must be a string")
+        return cls(error=message, request_id=request_id)
 
 
 # -- batch scoring ------------------------------------------------------------

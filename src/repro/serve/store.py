@@ -41,9 +41,17 @@ from repro.dataset.observations import ObservationColumns
 from repro.fcc.bdc import ClaimColumns
 from repro.fcc.states import STATES
 from repro.ml.gbdt import GradientBoostedClassifier, _sigmoid
+from repro.obs.metrics import get_metrics
 from repro.serve.schemas import ScoreRecord
 
 __all__ = ["ClaimScoreStore", "score_claim_blocks"]
+
+# Store-level instruments live in the process-wide registry: a score
+# store has no owning service, and build/load timings matter across all
+# of them.  Resolved once at import; updates are lock-cheap.
+_LOOKUPS = get_metrics().counter("store_lookups_total")
+_LOOKUP_HITS = get_metrics().counter("store_lookup_hits_total")
+_BUILD_SECONDS = get_metrics().histogram("store_build_seconds")
 
 STORE_MANIFEST_NAME = "store.json"
 STORE_ARRAYS_NAME = "store.npz"
@@ -173,10 +181,11 @@ class ClaimScoreStore:
         """
         if claims is None:
             claims = builder.claims
-        margin = score_claim_blocks(
-            classifier, builder, claims, block_rows=block_rows, binned=binned
-        )
-        return cls(claims, margin)
+        with _BUILD_SECONDS.time():
+            margin = score_claim_blocks(
+                classifier, builder, claims, block_rows=block_rows, binned=binned
+            )
+            return cls(claims, margin)
 
     @classmethod
     def build_sharded(
@@ -225,7 +234,10 @@ class ClaimScoreStore:
         self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
     ) -> np.ndarray:
         """Claim row per key through the composite index (``-1`` = miss)."""
-        return self.claims.positions(provider_id, cell, technology)
+        pos = self.claims.positions(provider_id, cell, technology)
+        _LOOKUPS.inc(int(pos.size))
+        _LOOKUP_HITS.inc(int((pos >= 0).sum()))
+        return pos
 
     def record(self, row: int) -> dict:
         """One claim's score record as a JSON-safe dict.
@@ -409,6 +421,11 @@ class ClaimScoreStore:
     @classmethod
     def load(cls, path: str) -> "ClaimScoreStore":
         """Rebuild a store from a bundle directory written by :meth:`save`."""
+        with get_metrics().histogram("store_load_seconds", mode="eager").time():
+            return cls._load_eager(path)
+
+    @classmethod
+    def _load_eager(cls, path: str) -> "ClaimScoreStore":
         manifest_path = os.path.join(path, STORE_MANIFEST_NAME)
         if not os.path.exists(manifest_path):
             raise FileNotFoundError(f"no score-store manifest at {manifest_path}")
@@ -465,6 +482,14 @@ class ClaimScoreStore:
         (claims and margin stay mmap-backed), while multi-shard bundles
         scatter shards back into monolithic row order.
         """
+        from repro.store.sharded import ShardedClaimColumns
+
+        mode = "mmap" if mmap else "eager"
+        with get_metrics().histogram("store_load_seconds", mode=mode).time():
+            return cls._load_sharded(path, mmap=mmap)
+
+    @classmethod
+    def _load_sharded(cls, path: str, mmap: bool) -> "ClaimScoreStore":
         from repro.store.sharded import ShardedClaimColumns
 
         sharded = ShardedClaimColumns.load(path, mmap=mmap)

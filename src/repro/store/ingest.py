@@ -41,6 +41,7 @@ import hashlib
 import io
 import math
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,7 @@ import numpy as np
 from repro.fcc.bdc import NBM_SPEED_FLOORS, ClaimColumns
 from repro.fcc.providers import TECHNOLOGY_CODES
 from repro.fcc.states import STATES
+from repro.obs.metrics import get_metrics
 from repro.store.sharded import ShardedClaimColumns, _resolve_state_map
 
 __all__ = ["write_bdc_csv", "ingest_csv", "IngestResult", "BDC_CSV_FIELDS"]
@@ -247,6 +249,7 @@ def ingest_csv(
     """
     if chunk_rows < 1:
         raise ValueError("chunk_rows must be >= 1")
+    ingest_start = time.perf_counter()
     state_map = _resolve_state_map(shards)
     shard_names = sorted(set(state_map.values()))
     ordinal = {name: i for i, name in enumerate(shard_names)}
@@ -430,6 +433,17 @@ def ingest_csv(
         "per_shard": per_shard_stats,
     }
     sharded.save(root, extra_manifest={"ingest": stats})
+    # Process-wide ingestion telemetry: rows by outcome, rejects by
+    # reason family, and the run's wall time (rows/s = read / seconds).
+    metrics = get_metrics()
+    metrics.counter("ingest_rows_total", outcome="read").inc(int(n_read))
+    metrics.counter("ingest_rows_total", outcome="ingested").inc(int(n_total))
+    metrics.counter("ingest_rows_total", outcome="rejected").inc(len(rejects))
+    for reason, count in rejects.reasons.items():
+        metrics.counter("ingest_rejected_total", reason=reason).inc(int(count))
+    metrics.histogram("ingest_seconds").observe(
+        time.perf_counter() - ingest_start
+    )
     # Sidecars from superseded runs are garbage once the manifest moves on.
     for entry in os.listdir(root):
         if (

@@ -45,7 +45,13 @@ import numpy as np
 
 from repro.fcc.bdc import ClaimColumns
 from repro.fcc.states import STATES
+from repro.obs.metrics import get_metrics
 from repro.utils.indexing import MultiColumnIndex
+
+
+def _stage_timer(stage: str):
+    """Per-shard build/IO stage timer in the process-wide registry."""
+    return get_metrics().histogram("shard_build_seconds", stage=stage).time()
 
 __all__ = ["ShardedClaimColumns", "SHARD_MANIFEST_NAME"]
 
@@ -166,11 +172,12 @@ class ShardedClaimColumns:
         out_shards: dict[str, ClaimColumns] = {}
         out_rows: dict[str, np.ndarray] = {}
         for name in names:
-            rows = np.flatnonzero(shard_per_row == ordinal[name]).astype(
-                np.int64
-            )
-            out_shards[name] = claims.take(rows)
-            out_rows[name] = rows
+            with _stage_timer("split"):
+                rows = np.flatnonzero(shard_per_row == ordinal[name]).astype(
+                    np.int64
+                )
+                out_shards[name] = claims.take(rows)
+                out_rows[name] = rows
         return cls(out_shards, out_rows, state_map, len(claims))
 
     # -- monolithic views ----------------------------------------------------
@@ -240,15 +247,16 @@ class ShardedClaimColumns:
                     raise ValueError(f"extra array {key!r} shadows a column")
                 arrays[key] = np.asarray(arr)
             files = {}
-            for key, arr in arrays.items():
-                rel = os.path.join(generation, "shards", name, f"{key}.npy")
-                target = os.path.join(root, rel)
-                np.save(target, np.ascontiguousarray(arr))
-                files[key] = {
-                    "path": rel.replace(os.sep, "/"),
-                    "sha256": _sha256_file(target),
-                    "dtype": str(np.asarray(arr).dtype),
-                }
+            with _stage_timer("write"):
+                for key, arr in arrays.items():
+                    rel = os.path.join(generation, "shards", name, f"{key}.npy")
+                    target = os.path.join(root, rel)
+                    np.save(target, np.ascontiguousarray(arr))
+                    files[key] = {
+                        "path": rel.replace(os.sep, "/"),
+                        "sha256": _sha256_file(target),
+                        "dtype": str(np.asarray(arr).dtype),
+                    }
             states = sorted(
                 a for a, s in self.state_to_shard.items() if s == name
             )
@@ -337,21 +345,22 @@ class ShardedClaimColumns:
             arrays: dict[str, np.ndarray] = {}
             index_state: dict[str, np.ndarray] = {}
             shard_extra: dict[str, np.ndarray] = {}
-            for key, meta in entry["files"].items():
-                arr = np.load(
-                    os.path.join(root, meta["path"]),
-                    mmap_mode=mode,
-                    allow_pickle=False,
-                )
-                if str(arr.dtype) != meta["dtype"]:
-                    raise ValueError(
-                        f"shard {name!r} file {key!r} has dtype {arr.dtype}, "
-                        f"manifest says {meta['dtype']}"
+            with _stage_timer("load"):
+                for key, meta in entry["files"].items():
+                    arr = np.load(
+                        os.path.join(root, meta["path"]),
+                        mmap_mode=mode,
+                        allow_pickle=False,
                     )
-                if key.startswith(_INDEX_PREFIX):
-                    index_state[key[len(_INDEX_PREFIX):]] = arr
-                else:
-                    arrays[key] = arr
+                    if str(arr.dtype) != meta["dtype"]:
+                        raise ValueError(
+                            f"shard {name!r} file {key!r} has dtype "
+                            f"{arr.dtype}, manifest says {meta['dtype']}"
+                        )
+                    if key.startswith(_INDEX_PREFIX):
+                        index_state[key[len(_INDEX_PREFIX):]] = arr
+                    else:
+                        arrays[key] = arr
             missing = (column_names | {"global_rows"}) - set(arrays)
             if missing:
                 raise ValueError(

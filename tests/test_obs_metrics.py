@@ -1,0 +1,267 @@
+"""The ``repro.obs.metrics`` contracts.
+
+The load-bearing guarantees, in order: histogram quantile readouts match
+``numpy.percentile``'s linear rank semantics to within bucket
+resolution (a hypothesis property over arbitrary samples); no counter
+increment or histogram observation is ever lost under concurrent
+hammering (each instrument's own lock, no registry-wide contention);
+registries refuse metric names that are not declared in the catalog
+(which is what lets ``tools/check_docs.py`` guarantee the docs cover
+every series that can exist); and the Prometheus text rendering is
+well-formed with cumulative ``le`` buckets.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.catalog import METRIC_CATALOG
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    get_metrics,
+    metrics_enabled,
+    render_prometheus,
+)
+
+# -- histogram quantiles vs numpy --------------------------------------------
+
+
+def _bucket_width(value, bounds, lo_clamp, hi_clamp):
+    """Width of the (clamped) bucket holding ``value`` — the resolution
+    to which a bucketed histogram can know any order statistic."""
+    import bisect
+
+    i = bisect.bisect_left(bounds, value)
+    lo = bounds[i - 1] if i > 0 else lo_clamp
+    hi = bounds[i] if i < len(bounds) else hi_clamp
+    return max(min(hi, hi_clamp) - max(lo, lo_clamp), 0.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-5, max_value=120.0, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    st.sampled_from([50.0, 90.0, 95.0, 99.0]),
+)
+def test_quantile_within_bucket_resolution_of_numpy(values, q):
+    hist = Histogram(DEFAULT_LATENCY_BOUNDS)
+    for v in values:
+        hist.observe(v)
+    estimate = hist.quantile(q)
+    exact = float(np.percentile(values, q))  # linear interpolation
+    # The estimate interpolates between the order statistics at the two
+    # ranks bracketing the target, each known only to its bucket; the
+    # error is bounded by the wider of those two (clamped) buckets.
+    n = len(values)
+    target = (n - 1) * q / 100.0
+    ordered = sorted(values)
+    lo_clamp, hi_clamp = ordered[0], ordered[-1]
+    k = int(math.floor(target))
+    tolerance = max(
+        _bucket_width(ordered[k], DEFAULT_LATENCY_BOUNDS, lo_clamp, hi_clamp),
+        _bucket_width(
+            ordered[min(k + 1, n - 1)], DEFAULT_LATENCY_BOUNDS, lo_clamp, hi_clamp
+        ),
+    )
+    assert abs(estimate - exact) <= tolerance + 1e-9
+    # And always inside the observed range.
+    assert lo_clamp - 1e-9 <= estimate <= hi_clamp + 1e-9
+
+
+def test_quantile_edge_cases():
+    hist = Histogram((1.0, 2.0))
+    assert math.isnan(hist.quantile(50.0))
+    hist.observe(1.5)
+    assert hist.quantile(50.0) == pytest.approx(1.5)
+    assert hist.quantile(99.0) == pytest.approx(1.5)
+    assert hist.count == 1 and hist.sum == pytest.approx(1.5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram((1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram(())
+
+
+def test_percentiles_keys():
+    hist = Histogram(DEFAULT_LATENCY_BOUNDS)
+    for v in (0.001, 0.002, 0.004, 0.2):
+        hist.observe(v)
+    pct = hist.percentiles()
+    assert set(pct) == {"p50", "p95", "p99"}
+    assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+
+# -- no lost updates under concurrency ---------------------------------------
+
+
+def test_threaded_hammer_loses_no_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("model_scores_total", path="precomputed")
+    gauge = registry.gauge("admission_peak_running")
+    hist = registry.histogram("batcher_flush_seconds")
+    n_threads, n_iter = 8, 5_000
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(tid):
+        barrier.wait()
+        for i in range(n_iter):
+            counter.inc()
+            gauge.set_max(tid * n_iter + i)
+            hist.observe(0.001 * (i % 7))
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == n_threads * n_iter
+    assert hist.count == n_threads * n_iter
+    assert gauge.value == (n_threads - 1) * n_iter + n_iter - 1
+
+
+def test_concurrent_get_or_create_returns_one_instrument():
+    registry = MetricsRegistry()
+    seen = []
+    barrier = threading.Barrier(8)
+
+    def grab():
+        barrier.wait()
+        seen.append(registry.counter("http_requests_total", route="/x"))
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(c is seen[0] for c in seen)
+
+
+# -- catalog enforcement ------------------------------------------------------
+
+
+def test_registry_refuses_uncataloged_names():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="not declared"):
+        registry.counter("made_up_total")
+    with pytest.raises(ValueError, match="declared as a counter"):
+        registry.gauge("http_requests_total")
+
+
+def test_get_or_create_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("http_requests_total", route="/a", method="GET")
+    b = registry.counter("http_requests_total", method="GET", route="/a")
+    c = registry.counter("http_requests_total", route="/b", method="GET")
+    assert a is b and a is not c  # label order is irrelevant
+    a.inc(3)
+    c.inc(2)
+    assert registry.total("http_requests_total") == 5.0
+    assert registry.total("never_registered") == 0.0
+    assert registry.names() == ["http_requests_total"]
+
+
+def test_global_registry_is_a_singleton():
+    assert get_metrics() is get_metrics()
+
+
+# -- enable switch ------------------------------------------------------------
+
+
+def test_disabled_suspends_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("ingest_rows_total", outcome="read")
+    hist = registry.histogram("ingest_seconds")
+    counter.inc()
+    assert metrics_enabled()
+    with disabled():
+        assert not metrics_enabled()
+        counter.inc(10)
+        hist.observe(1.0)
+    assert metrics_enabled()
+    assert counter.value == 1
+    assert hist.count == 0
+
+
+# -- snapshot and Prometheus rendering ---------------------------------------
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("http_requests_total", route="/v2/claims", status="200").inc(4)
+    registry.counter("http_requests_total", route="/v2/claims", status="404").inc(1)
+    registry.gauge("batcher_max_batch", version="default").set(32)
+    hist = registry.histogram("http_request_seconds", route="/v2/claims")
+    for v in (0.002, 0.004, 0.008, 0.2):
+        hist.observe(v)
+    return registry
+
+
+def test_snapshot_shape():
+    snap = _populated_registry().snapshot()
+    assert set(snap) == {
+        "http_requests_total",
+        "batcher_max_batch",
+        "http_request_seconds",
+    }
+    fam = snap["http_requests_total"]
+    assert fam["type"] == "counter" and fam["help"]
+    assert sum(row["value"] for row in fam["series"]) == 5
+    hist_rows = snap["http_request_seconds"]["series"]
+    assert hist_rows[0]["count"] == 4
+    assert hist_rows[0]["p50"] <= hist_rows[0]["p95"] <= hist_rows[0]["p99"]
+
+
+def test_prometheus_rendering():
+    text = _populated_registry().render_prometheus()
+    lines = text.splitlines()
+    assert "# HELP http_requests_total " + METRIC_CATALOG[
+        "http_requests_total"
+    ][1] in lines
+    assert "# TYPE http_requests_total counter" in lines
+    assert 'http_requests_total{route="/v2/claims",status="200"} 4' in lines
+    # Histogram buckets are cumulative and end at the total count.
+    buckets = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if line.startswith("http_request_seconds_bucket")
+    ]
+    assert buckets == sorted(buckets) and buckets[-1] == 4
+    assert any(
+        line.startswith("http_request_seconds_bucket")
+        and 'le="+Inf"' in line
+        for line in lines
+    )
+    assert "http_request_seconds_count{route=\"/v2/claims\"} 4" in lines
+
+
+def test_prometheus_merge_skips_duplicate_families():
+    first = _populated_registry()
+    second = MetricsRegistry()
+    second.counter("http_requests_total", route="/other", status="200").inc(9)
+    second.counter("store_lookups_total").inc(2)
+    text = render_prometheus(first, second)
+    # The family declared by the first registry wins; the second's
+    # duplicate is skipped rather than redeclared (invalid exposition).
+    assert text.count("# TYPE http_requests_total counter") == 1
+    assert 'route="/other"' not in text
+    assert "store_lookups_total 2" in text
+
+
+def test_every_catalog_entry_has_kind_and_help():
+    for name, (kind, help_) in METRIC_CATALOG.items():
+        assert kind in ("counter", "gauge", "histogram"), name
+        assert help_.strip(), name

@@ -1,0 +1,134 @@
+"""The ``repro.obs.trace`` contracts.
+
+A trace is request-scoped (contextvar-activated), builds a single-rooted
+span tree with monotonic relative timings, records exceptions on the
+failing span, refuses span names missing from the catalog, and costs a
+single no-op when no trace is active — which is what lets the scoring
+stack keep its span sites unconditionally.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.catalog import SPAN_CATALOG
+from repro.obs.trace import (
+    Trace,
+    activate,
+    annotate,
+    current_trace,
+    new_request_id,
+    span,
+)
+
+
+def test_new_request_ids_are_short_and_unique():
+    ids = {new_request_id() for _ in range(200)}
+    assert len(ids) == 200
+    assert all(len(i) == 16 for i in ids)
+
+
+def test_span_tree_nesting_and_to_dict():
+    with activate("req-1") as trace:
+        assert current_trace() is trace
+        with span("request", route="/v2/claims", method="GET"):
+            with span("admission"):
+                pass
+            with span("handler"):
+                with span("store_lookup", keys=5) as node:
+                    node.attrs["hits"] = 4
+        trace.annotate(model_version="default")
+    assert current_trace() is None
+    assert trace.span_names() == [
+        "request",
+        "admission",
+        "handler",
+        "store_lookup",
+    ]
+    doc = trace.to_dict()
+    assert doc["request_id"] == "req-1"
+    assert doc["model_version"] == "default"
+    root = doc["spans"]
+    assert root["name"] == "request"
+    assert root["attrs"] == {"route": "/v2/claims", "method": "GET"}
+    assert root["start_ms"] >= 0 and root["duration_ms"] >= 0
+    lookup = root["children"][1]["children"][0]
+    assert lookup["attrs"] == {"keys": 5, "hits": 4}
+    assert lookup["duration_ms"] <= root["duration_ms"]
+
+
+def test_second_top_level_span_keeps_the_tree_single_rooted():
+    with activate() as trace:
+        with span("request"):
+            pass
+        with span("batcher_flush"):
+            pass
+    assert trace.span_names() == ["request", "batcher_flush"]
+    assert trace.to_dict()["spans"]["name"] == "request"
+
+
+def test_exception_lands_on_the_failing_span():
+    with activate() as trace:
+        with pytest.raises(RuntimeError):
+            with span("handler"):
+                with span("cold_score"):
+                    raise RuntimeError("boom")
+    root = trace.to_dict()["spans"]
+    assert root["children"][0]["attrs"]["error"] == "RuntimeError"
+    assert root["attrs"]["error"] == "RuntimeError"
+    # The stack unwound cleanly: both spans have an end time.
+    assert root["duration_ms"] >= root["children"][0]["duration_ms"]
+
+
+def test_unknown_span_name_raises():
+    with activate():
+        with pytest.raises(ValueError, match="SPAN_CATALOG"):
+            span("made_up_span")
+
+
+def test_span_is_a_noop_without_an_active_trace():
+    assert current_trace() is None
+    with span("request") as node:
+        assert node is None  # nothing recorded, nothing raised
+    annotate(ignored=True)  # no-op outside a trace
+
+
+def test_traces_do_not_leak_across_threads():
+    """Contextvar propagation is per-thread: a trace activated on the
+    request thread is invisible to a background worker (the batcher's
+    timer thread), whose spans are simply skipped."""
+    seen = []
+
+    def worker():
+        seen.append(current_trace())
+
+    with activate():
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen == [None]
+
+
+def test_nested_activations_restore_the_outer_trace():
+    with activate("outer") as outer:
+        with activate("inner") as inner:
+            assert current_trace() is inner
+        assert current_trace() is outer
+
+
+def test_catalog_covers_the_serving_spans():
+    assert {
+        "request",
+        "admission",
+        "parse_body",
+        "handler",
+        "store_lookup",
+        "batcher_flush",
+        "cold_score",
+    } <= set(SPAN_CATALOG)
+
+
+def test_trace_without_spans_serializes():
+    trace = Trace("bare")
+    assert trace.to_dict() == {"request_id": "bare"}
+    assert trace.span_names() == []

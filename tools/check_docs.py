@@ -1,6 +1,6 @@
 """Docs smoke for CI: files exist, links resolve, modules are documented.
 
-Five checks:
+Seven checks:
 
 1. the top-level docs exist;
 2. every markdown link in ``README.md``, ``ROADMAP.md``, and
@@ -17,7 +17,13 @@ Five checks:
 5. every top-level section of the committed ``BENCH_perf.json`` is
    mentioned by name in the combined docs — a new benchmark cannot land
    without its schema documented (``docs/PERFORMANCE.md`` is where they
-   belong).
+   belong);
+6. every metric and span name declared in ``repro.obs.catalog`` (parsed
+   with ``ast.literal_eval``, no imports) appears in the combined docs —
+   ``docs/OBSERVABILITY.md`` is the catalog's reference;
+7. every literal metric registration (``.counter("..." ...)``) and span
+   site (``span("...")``) in ``src/repro`` uses a cataloged name, so an
+   uncataloged series cannot land even before the runtime check trips.
 
 Run::
 
@@ -26,6 +32,7 @@ Run::
 
 from __future__ import annotations
 
+import ast
 import os
 import re
 import sys
@@ -35,6 +42,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 REQUIRED = [
     "README.md",
     os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "OBSERVABILITY.md"),
     os.path.join("docs", "PERFORMANCE.md"),
     os.path.join("docs", "TESTING.md"),
     "ROADMAP.md",
@@ -98,6 +106,72 @@ def _route_patterns() -> list[str]:
 def _undocumented_routes(docs_text: str) -> list[str]:
     """Registered routes whose pattern never appears in the docs."""
     return [p for p in _route_patterns() if p not in docs_text]
+
+
+_CATALOG_MODULE = os.path.join(SRC_ROOT, "obs", "catalog.py")
+
+#: Literal metric registrations: registry.counter("name", ...) etc.
+_METRIC_CALL_RE = re.compile(
+    r"""\.(?:counter|gauge|histogram)\(\s*["']([a-z0-9_]+)["']"""
+)
+
+#: Literal span sites: span("name", ...), obs_span("name", ...) — calls
+#: passing a variable don't match (the runtime catalog check covers those).
+_SPAN_CALL_RE = re.compile(r"""span\(\s*["']([a-z0-9_]+)["']""")
+
+
+def _obs_catalogs() -> tuple[dict, dict]:
+    """``(METRIC_CATALOG, SPAN_CATALOG)`` parsed without importing repro.
+
+    The catalog module keeps both as plain literals exactly so this
+    script can read them with ``ast.literal_eval`` in the
+    dependency-free CI docs job.
+    """
+    if not os.path.exists(_CATALOG_MODULE):
+        return {}, {}
+    tree = ast.parse(open(_CATALOG_MODULE, encoding="utf-8").read())
+    found = {}
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        for name in targets:
+            if name in ("METRIC_CATALOG", "SPAN_CATALOG") and node.value:
+                found[name] = ast.literal_eval(node.value)
+    return found.get("METRIC_CATALOG", {}), found.get("SPAN_CATALOG", {})
+
+
+def _undocumented_obs_names(docs_text: str) -> list[str]:
+    """Cataloged metric/span names never mentioned in the docs."""
+    metrics, spans = _obs_catalogs()
+    return [
+        name
+        for name in sorted(metrics) + sorted(spans)
+        if not re.search(rf"\b{re.escape(name)}\b", docs_text)
+    ]
+
+
+def _uncataloged_registrations() -> list[str]:
+    """Metric/span names registered in ``src/repro`` but not cataloged."""
+    metrics, spans = _obs_catalogs()
+    problems = []
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("__"))
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, REPO_ROOT)
+            text = open(path, encoding="utf-8").read()
+            for name in _METRIC_CALL_RE.findall(text):
+                if name not in metrics:
+                    problems.append(f"{rel}: metric {name!r}")
+            for name in _SPAN_CALL_RE.findall(text):
+                if name not in spans:
+                    problems.append(f"{rel}: span {name!r}")
+    return problems
 
 
 _BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_perf.json")
@@ -176,6 +250,19 @@ def main() -> int:
             "docs/PERFORMANCE.md)"
         )
 
+    obs_metrics, obs_spans = _obs_catalogs()
+    n_obs = len(obs_metrics) + len(obs_spans)
+    for name in _undocumented_obs_names(combined):
+        problems.append(
+            f"obs catalog entry {name!r} is not documented (add it to the "
+            "docs/OBSERVABILITY.md catalog tables)"
+        )
+    for site in _uncataloged_registrations():
+        problems.append(
+            f"{site} is registered in src/ but not declared in "
+            "repro.obs.catalog"
+        )
+
     if problems:
         for p in problems:
             print(f"FAIL {p}")
@@ -184,7 +271,8 @@ def main() -> int:
         f"docs ok: {len(REQUIRED)} required files, {n_links} local links "
         f"resolve, {n_modules} public modules documented, "
         f"{n_routes} HTTP routes documented, "
-        f"{n_sections} bench sections documented"
+        f"{n_sections} bench sections documented, "
+        f"{n_obs} obs catalog entries documented and consistent"
     )
     return 0
 
