@@ -1,0 +1,248 @@
+"""Pre-fork worker pool benchmark: batch-score throughput vs. fleet size.
+
+Builds the ``tiny`` world + model once (shared machinery with
+``bench_perf_serve``), saves the score store as a single-shard bundle
+(the zero-copy layout every worker maps), then measures sustained
+``POST /v2/claims:batchScore`` throughput against a live
+:class:`~repro.serve.workers.WorkerPool` at 1, 2, and 4 workers —
+identical request chunks, identical concurrent keep-alive connections,
+only the fleet size changes (section ``workers``):
+
+* ``rows_per_s`` — scored claim keys per second at each fleet size;
+* ``speedup_vs_1w`` — that fleet's throughput over the 1-worker run.
+  One CPython process caps batch-score throughput at roughly one core
+  (the GIL serializes handler threads); the pool's whole reason to
+  exist is that N processes lift that cap, so the acceptance bar is
+  ``>= 1.8x at 4 workers`` — asserted only when the machine has at
+  least 4 CPUs (``cpu_count`` is recorded in every row; on fewer cores
+  genuine process parallelism is physically unavailable and the ratio
+  is informational).
+
+Every pool response is verified byte-for-byte against a single
+in-process reference server over the same bundle before anything is
+timed — more workers must change throughput, never the wire.
+
+Run standalone::
+
+    python benchmarks/bench_perf_workers.py           # all sizes
+    python benchmarks/bench_perf_workers.py --quick   # smallest only
+    python benchmarks/bench_perf_workers.py --no-write  # CI bench job
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import tempfile
+import threading
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+#: (name, total keys per timed pass, keys per POST, concurrent connections).
+SIZES = [("quick", 8_000, 1_000, 8), ("default", 32_000, 1_000, 8)]
+
+#: Fleet sizes measured; the speedup bar applies to the largest.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Acceptance bar for the 4-worker fleet, enforced on >= 4 cores only.
+POOL_SPEEDUP_BAR = 1.8
+
+
+def _post(conn, body: bytes) -> bytes:
+    conn.request(
+        "POST",
+        "/v2/claims:batchScore",
+        body=body,
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    payload = response.read()
+    if response.status != 200:
+        raise AssertionError(
+            f"batchScore returned {response.status}: {payload[:200]!r}"
+        )
+    return payload
+
+
+def _drive(port: int, chunks: list[bytes], n_connections: int) -> None:
+    """POST every chunk, spread across ``n_connections`` keep-alive
+    connections driven by one thread each (the concurrent-client shape
+    that lets the kernel balance accepts across workers)."""
+    errors: list[BaseException] = []
+
+    def client(idx: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            for body in chunks[idx::n_connections]:
+                _post(conn, body)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(n_connections)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def run(quick: bool = False, service=None) -> list[dict]:
+    """The ``workers`` section rows.  ``service`` shares an already-built
+    world (see ``bench_perf_serve._build_service``); when omitted one is
+    built and closed locally."""
+    import bench_perf_serve
+
+    from repro.serve import AuditService, ClaimScoreStore, make_server
+    from repro.serve.workers import WorkerPool, WorkerVersionSpec
+
+    own_service = service is None
+    if own_service:
+        service, _build_s = bench_perf_serve._build_service()
+    cpu_count = os.cpu_count() or 1
+    results: list[dict] = []
+    try:
+        store = service.store
+        n_claims = len(store)
+        rng = np.random.default_rng(0)
+        with tempfile.TemporaryDirectory(prefix="bench-workers-") as td:
+            bundle = os.path.join(td, "bundle")
+            store.save_sharded(bundle, shards=1)
+            mapped = ClaimScoreStore.load_sharded(bundle, mmap=True)
+            specs = [WorkerVersionSpec(name="default", path=bundle)]
+
+            for name, n_keys, chunk_rows, n_connections in (
+                SIZES[:1] if quick else SIZES
+            ):
+                rows = rng.integers(0, n_claims, size=n_keys)
+                keys = [
+                    {
+                        "provider_id": int(p),
+                        "cell": int(c),
+                        "technology": int(t),
+                    }
+                    for p, c, t in zip(
+                        store.claims.provider_id[rows],
+                        store.claims.cell[rows],
+                        store.claims.technology[rows],
+                    )
+                ]
+                chunks = [
+                    json.dumps(
+                        {"claims": keys[start : start + chunk_rows]}
+                    ).encode()
+                    for start in range(0, n_keys, chunk_rows)
+                ]
+
+                # Reference bytes from one in-process server over the
+                # same mapped bundle: every pool response must match.
+                ref_service = AuditService(mapped, version_name="default")
+                ref_server = make_server(ref_service)
+                threading.Thread(
+                    target=ref_server.serve_forever, daemon=True
+                ).start()
+                try:
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", ref_server.server_address[1], timeout=120
+                    )
+                    expected = [_post(conn, body) for body in chunks[:2]]
+                    conn.close()
+                finally:
+                    ref_server.shutdown()
+                    ref_server.server_close()
+                    ref_service.close()
+
+                base_rows_per_s = None
+                for n_workers in WORKER_COUNTS:
+                    with WorkerPool(specs, n_workers=n_workers) as pool:
+                        conn = http.client.HTTPConnection(
+                            "127.0.0.1", pool.port, timeout=120
+                        )
+                        got = [_post(conn, body) for body in chunks[:2]]
+                        conn.close()
+                        if got != expected:
+                            raise AssertionError(
+                                f"{name}: {n_workers}-worker responses are "
+                                "not bitwise-identical to single-process"
+                            )
+                        _drive(pool.port, chunks, n_connections)  # warm
+                        seconds, _ = _perfutil.timed(
+                            lambda: _drive(pool.port, chunks, n_connections),
+                            repeats=3,
+                        )
+                    rows_per_s = n_keys / seconds
+                    if base_rows_per_s is None:
+                        base_rows_per_s = rows_per_s
+                    speedup = rows_per_s / base_rows_per_s
+                    row = {
+                        "size": name,
+                        "n_claims": n_claims,
+                        "n_keys": n_keys,
+                        "rows_per_post": chunk_rows,
+                        "n_connections": n_connections,
+                        "n_workers": n_workers,
+                        "cpu_count": cpu_count,
+                        "seconds": seconds,
+                        "rows_per_s": rows_per_s,
+                        "speedup_vs_1w": speedup,
+                    }
+                    results.append(row)
+                    print(
+                        f"{name:8s} keys={n_keys:6d}  workers={n_workers}  "
+                        f"{rows_per_s:10,.0f} rows/s  "
+                        f"({speedup:.2f}x vs 1w, {cpu_count} cpu)"
+                    )
+                    if (
+                        n_workers == max(WORKER_COUNTS)
+                        and cpu_count >= max(WORKER_COUNTS)
+                        and speedup < POOL_SPEEDUP_BAR
+                    ):
+                        raise AssertionError(
+                            f"{name}: {n_workers}-worker fleet only "
+                            f"{speedup:.2f}x the single worker on "
+                            f"{cpu_count} CPUs (acceptance bar is "
+                            f"{POOL_SPEEDUP_BAR}x)"
+                        )
+        return results
+    finally:
+        if own_service:
+            service.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smallest size only")
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="run the measurements and assertions without touching "
+        "BENCH_perf.json (CI's non-blocking multi-core job)",
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if args.no_write:
+        print(f"--no-write: skipped updating {_perfutil.BENCH_JSON}")
+        return 0
+    _perfutil.merge_section(
+        "workers",
+        _perfutil.round_floats({"results": results}),
+    )
+    print(
+        f"wrote section 'workers' ({len(results)} rows) to "
+        f"{_perfutil.BENCH_JSON}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,6 +120,20 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "histogram",
         "Per-shard build stage timings, by stage (split | write | load).",
     ),
+    # -- serve/workers.py (parent process of the pre-fork pool) ----------
+    "pool_workers": (
+        "gauge",
+        "Live worker processes in the pre-fork serving pool.",
+    ),
+    "pool_worker_restarts_total": (
+        "counter",
+        "Worker processes respawned by the pool monitor after a death.",
+    ),
+    "pool_swaps_total": (
+        "counter",
+        "Fleet-wide two-phase model swaps, by outcome "
+        "(committed | aborted).",
+    ),
     # -- store/ingest.py (process-wide) ----------------------------------
     "ingest_rows_total": (
         "counter",

@@ -46,6 +46,7 @@ __all__ = [
     "set_enabled",
     "metrics_enabled",
     "disabled",
+    "merge_states",
     "render_prometheus",
 ]
 
@@ -208,9 +209,42 @@ class Histogram:
         with self._lock:
             return self._sum
 
-    def _state(self) -> tuple[list[int], int, float, float]:
+    def _state(self) -> tuple[list[int], int, float, float, float]:
+        """One consistent ``(counts, count, sum, min, max)`` snapshot.
+
+        Taken under a single lock acquisition so renderers never see a
+        ``_sum`` torn from the bucket counts it belongs with.
+        """
         with self._lock:
-            return list(self._counts), self._count, self._min, self._max
+            return (
+                list(self._counts),
+                self._count,
+                self._sum,
+                self._min,
+                self._max,
+            )
+
+    def _restore(
+        self,
+        counts: Iterable[int],
+        sum_: float,
+        count: int,
+        min_: float | None,
+        max_: float | None,
+    ) -> None:
+        """Overwrite internals from an exported state (see ``from_state``)."""
+        counts = [int(c) for c in counts]
+        if len(counts) != len(self._bounds) + 1:
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets, "
+                f"bounds imply {len(self._bounds) + 1}"
+            )
+        with self._lock:
+            self._counts = counts
+            self._sum = float(sum_)
+            self._count = int(count)
+            self._min = math.inf if min_ is None else float(min_)
+            self._max = -math.inf if max_ is None else float(max_)
 
     def _bucket_edges(self, i: int, lo_clamp: float, hi_clamp: float) -> tuple[float, float]:
         lo = self._bounds[i - 1] if i > 0 else -math.inf
@@ -237,7 +271,7 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Estimate the q-th percentile (numpy ``linear`` rank semantics)."""
-        counts, n, lo_clamp, hi_clamp = self._state()
+        counts, n, _, lo_clamp, hi_clamp = self._state()
         if n == 0:
             return math.nan
         if n == 1:
@@ -392,6 +426,159 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         return render_prometheus(self)
 
+    # -- mergeable state (worker-pool aggregation) ------------------------
+
+    def export_state(self) -> dict:
+        """A JSON-safe, *mergeable* dump of every instrument.
+
+        Unlike :meth:`snapshot` (a human/JSON readout with derived
+        percentiles), the exported state keeps raw bucket counts so two
+        processes' registries can be combined loss-lessly: counters sum,
+        histograms add bucket-wise, gauges stay per-source.  Feed a list
+        of these to :func:`merge_states` and rebuild a registry with
+        :meth:`from_state`.
+        """
+        out: dict[str, dict] = {}
+        for name, family, series in self._items():
+            rows = []
+            for key, metric in series:
+                labels = dict(key)
+                if isinstance(metric, Histogram):
+                    counts, count, sum_, min_, max_ = metric._state()
+                    rows.append(
+                        {
+                            "labels": labels,
+                            "counts": counts,
+                            "count": count,
+                            "sum": sum_,
+                            "min": _finite(min_),
+                            "max": _finite(max_),
+                        }
+                    )
+                else:
+                    rows.append({"labels": labels, "value": metric.value})
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "bounds": list(family.bounds) if family.bounds else None,
+                "series": rows,
+            }
+        return out
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        """Rebuild a live registry from :meth:`export_state` output.
+
+        Names still go through the catalog check, so a merged fleet
+        state can only contain documented series.
+        """
+        registry = cls()
+        for name, family in state.items():
+            bounds = family.get("bounds")
+            for row in family["series"]:
+                labels = dict(row["labels"])
+                if family["kind"] == "histogram":
+                    hist = registry.histogram(name, bounds=bounds, **labels)
+                    hist._restore(
+                        row["counts"], row["sum"], row["count"],
+                        row.get("min"), row.get("max"),
+                    )
+                elif family["kind"] == "counter":
+                    registry.counter(name, **labels).inc(int(row["value"]))
+                else:
+                    registry.gauge(name, **labels).set(float(row["value"]))
+        return registry
+
+
+def merge_states(
+    states: Iterable[dict],
+    labels: Iterable[dict[str, object] | None] | None = None,
+) -> dict:
+    """Merge :meth:`MetricsRegistry.export_state` dumps from N processes.
+
+    ``labels`` — one extra label dict per state (e.g. ``{"worker": 0}``)
+    — is applied to **gauge** series only: a gauge is a point-in-time
+    per-process value, so each source keeps its own labelled series.
+    Counters and histograms are cumulative and merge by identical label
+    set: values sum, bucket counts add element-wise (bounds must match
+    across sources), min/max widen.  Gauge series that still collide
+    (no per-source labels given) keep the max, matching the high-water
+    semantics of every cataloged gauge.
+    """
+    states = list(states)
+    if labels is None:
+        extra_by_state: list[dict[str, object] | None] = [None] * len(states)
+    else:
+        extra_by_state = list(labels)
+        if len(extra_by_state) != len(states):
+            raise ValueError("labels must align one-to-one with states")
+    merged: dict[str, dict] = {}
+    for state, extra in zip(states, extra_by_state):
+        for name, family in state.items():
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {
+                    "kind": family["kind"],
+                    "help": family["help"],
+                    "bounds": (
+                        list(family["bounds"]) if family.get("bounds") else None
+                    ),
+                    "series": [],
+                }
+            elif target["kind"] != family["kind"]:
+                raise ValueError(
+                    f"metric {name!r} merges a {family['kind']} into a "
+                    f"{target['kind']}"
+                )
+            elif (
+                family["kind"] == "histogram"
+                and target["bounds"] != (
+                    list(family["bounds"]) if family.get("bounds") else None
+                )
+            ):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bounds across sources"
+                )
+            rows = {_label_key(r["labels"]): r for r in target["series"]}
+            for row in family["series"]:
+                row_labels = dict(row["labels"])
+                if family["kind"] == "gauge" and extra:
+                    row_labels.update({k: str(v) for k, v in extra.items()})
+                key = _label_key(row_labels)
+                into = rows.get(key)
+                if into is None:
+                    into = dict(row)
+                    into["labels"] = row_labels
+                    if family["kind"] == "histogram":
+                        into["counts"] = list(row["counts"])
+                    rows[key] = into
+                    target["series"].append(into)
+                elif family["kind"] == "counter":
+                    into["value"] += row["value"]
+                elif family["kind"] == "gauge":
+                    into["value"] = max(into["value"], row["value"])
+                else:
+                    if len(into["counts"]) != len(row["counts"]):
+                        raise ValueError(
+                            f"histogram {name!r} has mismatched bucket counts"
+                        )
+                    into["counts"] = [
+                        a + b for a, b in zip(into["counts"], row["counts"])
+                    ]
+                    into["count"] += row["count"]
+                    into["sum"] += row["sum"]
+                    into["min"] = _merge_extremum(min, into["min"], row["min"])
+                    into["max"] = _merge_extremum(max, into["max"], row["max"])
+    return merged
+
+
+def _merge_extremum(pick, a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return pick(a, b)
+
 
 def _finite(x: float) -> float | None:
     return x if math.isfinite(x) else None
@@ -411,9 +598,13 @@ def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> 
 
 
 def _fmt_value(v: float) -> str:
-    if v == math.inf:
-        return "+Inf"
     f = float(v)
+    if math.isnan(f):
+        return "NaN"
+    if f == math.inf:
+        return "+Inf"
+    if f == -math.inf:
+        return "-Inf"
     return repr(int(f)) if f.is_integer() else repr(f)
 
 
@@ -432,7 +623,7 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
                 labels = dict(key)
                 base = _fmt_labels(labels)
                 if isinstance(metric, Histogram):
-                    counts, total, _, _ = metric._state()
+                    counts, total, sum_, _, _ = metric._state()
                     cum = 0
                     for bound, c in zip(
                         list(metric.bounds) + [math.inf], counts
@@ -440,7 +631,7 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
                         cum += c
                         le = _fmt_labels(labels, {"le": _fmt_value(bound)})
                         lines.append(f"{name}_bucket{le} {cum}")
-                    lines.append(f"{name}_sum{base} {_fmt_value(metric.sum)}")
+                    lines.append(f"{name}_sum{base} {_fmt_value(sum_)}")
                     lines.append(f"{name}_count{base} {total}")
                 else:
                     lines.append(f"{name}{base} {_fmt_value(metric.value)}")

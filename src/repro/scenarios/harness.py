@@ -64,6 +64,7 @@ __all__ = [
     "run_suite",
     "check_invariants",
     "check_fault_invariants",
+    "check_pool_fault_invariants",
     "intensity_sweep",
 ]
 
@@ -589,6 +590,271 @@ def check_fault_invariants(
         failures.append(
             f"fault plan {plan_name!r} never fired — the chaos run was vacuous"
         )
+    return failures
+
+
+def check_pool_fault_invariants(
+    store: ClaimScoreStore,
+    workdir: str,
+    plan_name: str = "store_read_flaky",
+    n_workers: int = 2,
+    iterations: int = 15,
+    n_readers: int = 3,
+    n_swaps: int = 8,
+    n_kills: int = 2,
+) -> list[str]:
+    """The resilience invariant under a *multi-process* fleet.
+
+    :func:`check_fault_invariants` hammers one process; this serves
+    ``store`` (plus a sign-flipped shadow version) through a live
+    :class:`~repro.serve.workers.WorkerPool` — every worker running the
+    chaos plan at its serving seams under a tight admission gate — while
+    reader threads hammer the data routes, a swapper drives fleet-wide
+    two-phase swaps, and a killer SIGKILLs live workers mid-traffic.
+
+    Invariants, on top of everything the single-process check demands
+    (never a 500, sheds carry ``Retry-After``, every 200 internally
+    consistent with exactly the version in its envelope):
+
+    * a swap either commits on every worker or aborts on all of them —
+      an abort caused by a mid-swap worker death is acceptable, a mixed
+      response is not;
+    * every killed worker is respawned (the pool's restart counter
+      moves and the fleet answers with ``n_workers`` pids again), and
+      the respawn serves the *current* default;
+    * the chaos plans actually fired inside the workers (reported over
+      the control pipes — a fault plan's counters cannot cross a
+      process boundary on their own).
+
+    Returns violated invariants as messages (empty = pass).
+    """
+    import http.client as _http
+    import json as _json
+    import os as _os
+    import signal as _signal
+    import threading
+
+    from repro.serve.resilience import ResilienceConfig
+    from repro.serve.workers import WorkerPool, WorkerVersionSpec
+
+    failures: list[str] = []
+    flipped = ClaimScoreStore(store.claims, -store.margin)
+    default_dir = _os.path.join(workdir, "pool-default")
+    flipped_dir = _os.path.join(workdir, "pool-flipped")
+    store.save_sharded(default_dir, shards=1)
+    flipped.save_sharded(flipped_dir, shards=1)
+    specs = [
+        WorkerVersionSpec(
+            name="default", path=default_dir, chaos_plan=plan_name
+        ),
+        WorkerVersionSpec(
+            name="flipped", path=flipped_dir, chaos_plan=plan_name
+        ),
+    ]
+    pool = WorkerPool(
+        specs,
+        n_workers=n_workers,
+        resilience=ResilienceConfig(
+            max_concurrent=2,
+            max_queue=2,
+            max_queue_wait_s=0.05,
+            default_deadline_s=2.0,
+            socket_timeout_s=5.0,
+            retry_after_s=1.0,
+        ),
+    )
+    pool.start()
+    port = pool.port
+
+    margin_by_version = {"default": store.margin, "flipped": flipped.margin}
+    order_by_version = {
+        "default": store.sus_order,
+        "flipped": flipped.sus_order,
+    }
+    rows = [int(r) for r in np.linspace(0, len(store) - 1, 8).astype(int)]
+    keys = [store.claims.key_at(r) for r in rows]
+    batch_body = _json.dumps(
+        {
+            "claims": [
+                {"provider_id": int(p), "cell": int(c), "technology": int(t)}
+                for p, c, t in keys
+            ]
+        }
+    ).encode()
+
+    lock = threading.Lock()
+
+    def fail(message: str) -> None:
+        with lock:
+            if len(failures) < 20:
+                failures.append(message)
+
+    def classify(status: int, headers, doc, where: str) -> None:
+        if status in (429, 503):
+            if headers.get("Retry-After") is None:
+                fail(f"{where}: {status} response without Retry-After")
+        elif status == 408:
+            pass  # slow-client timeout: valid shed outcome
+        elif status != 200:
+            fail(f"{where}: unexpected status {status} ({doc})")
+
+    def request(conn, method, path, body=None):
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        if response.will_close:
+            conn.close()
+        try:
+            doc = _json.loads(raw) if raw else None
+        except _json.JSONDecodeError:
+            doc = None
+        return response.status, dict(response.getheaders()), doc
+
+    def reader() -> None:
+        conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for i in range(iterations):
+                try:
+                    p, c, t = keys[i % len(keys)]
+                    status, headers, doc = request(
+                        conn, "GET", f"/v2/claims/{int(p)}/{int(c)}/{int(t)}"
+                    )
+                    classify(status, headers, doc, "claim")
+                    if status == 200:
+                        version = doc["model_version"]
+                        row = rows[i % len(keys)]
+                        if doc["record"]["margin"] != float(
+                            margin_by_version[version][row]
+                        ):
+                            fail(
+                                f"claim: margin does not match version "
+                                f"{version!r}"
+                            )
+                    status, headers, doc = request(
+                        conn, "GET", "/v2/claims?limit=5"
+                    )
+                    classify(status, headers, doc, "page")
+                    if status == 200:
+                        version = doc["model_version"]
+                        expected = [
+                            float(margin_by_version[version][r])
+                            for r in order_by_version[version][:5]
+                        ]
+                        if [r["margin"] for r in doc["items"]] != expected:
+                            fail(f"page: items mix versions under {version!r}")
+                    status, headers, doc = request(
+                        conn, "POST", "/v2/claims:batchScore", batch_body
+                    )
+                    classify(status, headers, doc, "batch")
+                    if status == 200:
+                        version = doc["model_version"]
+                        margins = margin_by_version[version]
+                        for j, result in enumerate(doc["results"]):
+                            if result is None:
+                                fail("batch: precomputed slot came back null")
+                            elif result["margin"] != float(margins[rows[j]]):
+                                fail(
+                                    "batch: precomputed slot does not match "
+                                    f"version {version!r}"
+                                )
+                except (_http.HTTPException, OSError):
+                    # Worker killed under us / connection shed: reconnect
+                    # and keep hammering — not a correctness failure.
+                    conn.close()
+                    conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        finally:
+            conn.close()
+
+    def swapper() -> None:
+        for i in range(n_swaps):
+            target = "flipped" if i % 2 == 0 else "default"
+            try:
+                pool.activate(target)
+            except RuntimeError:
+                # A worker died mid-stage: the two-phase protocol aborts
+                # with the fleet untouched — acceptable under kill churn.
+                pass
+            time.sleep(0.01)
+
+    def killer() -> None:
+        for _ in range(n_kills):
+            time.sleep(0.15)
+            pids = pool.worker_pids()
+            if not pids:
+                continue
+            try:
+                _os.kill(pids[0], _signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    threads.append(threading.Thread(target=swapper))
+    threads.append(threading.Thread(target=killer))
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Respawn: every kill must be healed — the restart counter moved
+        # and the fleet answers with a full complement again.  The
+        # monitor detects deaths asynchronously, so wait for it.
+        restart_counter = pool.metrics.counter("pool_worker_restarts_total")
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if (
+                restart_counter.value >= n_kills
+                and len(pool.ping()) == n_workers
+            ):
+                break
+            time.sleep(0.05)
+        if restart_counter.value < n_kills:
+            failures.append(
+                f"only {restart_counter.value} worker respawns observed "
+                f"for {n_kills} kills"
+            )
+        if len(pool.ping()) != n_workers:
+            failures.append(
+                "fleet never returned to full strength after kill churn"
+            )
+        # Post-churn coherence: one more fleet swap commits cleanly and
+        # every worker serves the committed default.
+        try:
+            pool.activate("default")
+        except RuntimeError as exc:
+            failures.append(f"post-churn swap failed: {exc}")
+        else:
+            for desc in pool.describe():
+                if desc["default"] != "default":
+                    failures.append(
+                        f"worker {desc['index']} serves {desc['default']!r} "
+                        "after the post-churn swap"
+                    )
+        # Vacuousness check: the plans must verifiably fire *inside* the
+        # workers.  Counts die with a killed process, so drive a little
+        # fresh traffic at the healed fleet before reading them.
+        conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for _ in range(2 * n_workers):
+                try:
+                    request(conn, "POST", "/v2/claims:batchScore", batch_body)
+                except (_http.HTTPException, OSError):
+                    conn.close()
+                    conn = _http.HTTPConnection("127.0.0.1", port, timeout=10)
+        finally:
+            conn.close()
+        fired = sum(
+            seam["fired"]
+            for seams in pool.chaos_counts().values()
+            for seam in seams.values()
+        )
+        if fired == 0:
+            failures.append(
+                f"fault plan {plan_name!r} never fired in any worker — "
+                "the chaos run was vacuous"
+            )
+    finally:
+        pool.stop()
     return failures
 
 

@@ -38,6 +38,11 @@ Module                   Role
 :mod:`~repro.serve.http`       stdlib JSON HTTP API: versioned ``/v2``
                                resource routes + frozen ``/v1`` adapters,
                                behind the admission gate
+:mod:`~repro.serve.workers`    :class:`WorkerPool` — pre-fork multi-process
+                               serving over shared mmap'd stores
+                               (``SO_REUSEPORT`` accept balancing, two-phase
+                               fleet hot-swap, respawn supervision, merged
+                               fleet ``/metrics``)
 =======================  ====================================================
 
 The matching client SDK lives in :mod:`repro.client`.
@@ -97,6 +102,7 @@ from repro.serve.schemas import (
 )
 from repro.serve.service import AuditService
 from repro.serve.store import ClaimScoreStore
+from repro.serve.workers import WorkerPool, WorkerVersionSpec, reuse_port_available
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -145,4 +151,7 @@ __all__ = [
     "encode_cursor",
     "AuditService",
     "ClaimScoreStore",
+    "WorkerPool",
+    "WorkerVersionSpec",
+    "reuse_port_available",
 ]

@@ -258,12 +258,19 @@ class MicroBatcher:
                 self._timer = None
         # Shed expired slots before scoring: their waiters have already
         # given up, so the scorer's time belongs to the live ones.
-        if any(d is not None and d.expired for d in deadlines):
-            live = [i for i, d in enumerate(deadlines) if d is None or not d.expired]
+        # ``expired`` is sampled exactly once per slot: a deadline that
+        # expires between an expiry scan and the score call must be
+        # classified the same way everywhere, or a slot could both get
+        # ``set_exception`` here and stay in the live batch (whose later
+        # ``set_result`` would raise InvalidStateError) while the drop
+        # counter misses it.
+        expired = [d is not None and d.expired for d in deadlines]
+        if any(expired):
+            live = [i for i, e in enumerate(expired) if not e]
             dropped = len(payloads) - len(live)
             exc = DeadlineExceeded("request deadline expired before scoring")
-            for i, d in enumerate(deadlines):
-                if not (d is None or not d.expired):
+            for i, e in enumerate(expired):
+                if e:
                     for fut in futures[i]:
                         fut.set_exception(exc)
             payloads = [payloads[i] for i in live]

@@ -95,13 +95,15 @@ Example session (see ``examples/audit_service.py`` for a scripted one)::
 from __future__ import annotations
 
 import json
+import math
+import socket
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.obs.metrics import get_metrics, render_prometheus
+from repro.obs.metrics import MetricsRegistry, get_metrics, render_prometheus
 from repro.obs.trace import activate as activate_trace, new_request_id
 from repro.obs.trace import span as obs_span
 from repro.serve.registry import ModelVersion, state_index, validate_key_range
@@ -178,6 +180,10 @@ class RequestContext:
     #: The server's admission controller (None when admission is off);
     #: here only so /healthz can report queue depths and shed counts.
     admission: AdmissionController | None = None
+    #: Fleet metrics hook (pre-fork pool): a zero-arg callable returning
+    #: merged ``MetricsRegistry.export_state`` dumps for every worker, or
+    #: ``None`` when aggregation is unavailable (fall back to local).
+    metrics_view: Callable[[], dict | None] | None = None
     _version: ModelVersion | None = field(default=None, repr=False)
 
     @property
@@ -268,20 +274,37 @@ def _metrics_endpoint(ctx: RequestContext):
     """``GET /metrics`` — the service registry (per-version serving
     series) merged with the process-wide registry (store/pipeline/ingest
     series), as JSON by default or Prometheus text with
-    ``?format=prometheus``."""
+    ``?format=prometheus``.
+
+    Under a pre-fork pool, ``ctx.metrics_view`` supplies the *fleet*
+    aggregate (counters summed, histograms merged bucket-wise, gauges
+    per-worker-labelled); when the view is unset or momentarily fails,
+    the response degrades to this worker's local registries."""
     fmt = ctx.query["format"] or "json"
-    service_metrics = ctx.service.registry.metrics
+    if fmt not in ("json", "prometheus"):
+        raise BadRequest("format must be 'json' or 'prometheus'")
+    extra: dict = {}
+    view = ctx.metrics_view() if ctx.metrics_view is not None else None
+    if view is not None:
+        service_metrics = MetricsRegistry.from_state(view["service"])
+        process_metrics = MetricsRegistry.from_state(view["process"])
+        extra = {
+            k: v for k, v in view.items() if k not in ("service", "process")
+        }
+    else:
+        service_metrics = ctx.service.registry.metrics
+        process_metrics = get_metrics()
     if fmt == "prometheus":
         return PlainTextResult(
-            render_prometheus(service_metrics, get_metrics()),
+            render_prometheus(service_metrics, process_metrics),
             content_type=PROMETHEUS_CONTENT_TYPE,
         )
-    if fmt != "json":
-        raise BadRequest("format must be 'json' or 'prometheus'")
-    return {
+    doc = {
         "service": service_metrics.snapshot(),
-        "process": get_metrics().snapshot(),
+        "process": process_metrics.snapshot(),
     }
+    doc.update(extra)
+    return doc
 
 
 def _readyz(ctx: RequestContext):
@@ -575,6 +598,9 @@ class AuditHTTPServer(ThreadingHTTPServer):
         verbose: bool = False,
         resilience: ResilienceConfig | None = None,
         access_log: Callable[[dict], None] | None = None,
+        reuse_port: bool = False,
+        bind_and_activate: bool = True,
+        metrics_view: Callable[[], dict | None] | None = None,
     ):
         self.service = service
         self.router = build_router()
@@ -588,7 +614,35 @@ class AuditHTTPServer(ThreadingHTTPServer):
         #: Optional structured access-log sink: called with one dict per
         #: completed request (also logged as a JSON line when verbose).
         self.access_log = access_log
-        super().__init__(address, _AuditRequestHandler)
+        #: Pre-fork pool hooks: ``reuse_port`` lets N workers each bind a
+        #: listening socket on one shared port; ``metrics_view`` (a
+        #: zero-arg callable returning merged ``export_state`` dumps, or
+        #: None on failure) makes ``GET /metrics`` answer for the whole
+        #: fleet instead of just this process.
+        self.reuse_port = reuse_port
+        self.metrics_view = metrics_view
+        super().__init__(
+            address, _AuditRequestHandler, bind_and_activate=bind_and_activate
+        )
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def adopt_socket(self, sock: socket.socket) -> None:
+        """Serve on an inherited, already-listening socket.
+
+        The pre-fork fallback when ``SO_REUSEPORT`` is unavailable: the
+        parent binds + listens once and every forked worker adopts the
+        same socket.  Construct with ``bind_and_activate=False``; the
+        adopted socket replaces the unbound placeholder."""
+        self.socket.close()
+        self.socket = sock
+        self.server_address = sock.getsockname()
+        host, port = self.server_address[:2]
+        self.server_name = host
+        self.server_port = port
 
 
 class _AuditRequestHandler(BaseHTTPRequestHandler):
@@ -658,12 +712,18 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
         self._send_json(status, payload, headers=headers)
 
     def _retry_after(self, exc: Exception | None = None) -> dict:
-        """``Retry-After`` header for shed/unavailable responses."""
+        """``Retry-After`` header for shed/unavailable responses.
+
+        RFC 9110 §10.2.3 only allows integer delta-seconds, so the
+        configured float is *ceiled*: rounding 2.5s down to 2 (banker's
+        rounding) would invite clients back before the window the server
+        asked for has passed.
+        """
         seconds = getattr(exc, "retry_after_s", None)
         if seconds is None:
             cfg = getattr(self.server, "resilience", None)
             seconds = cfg.retry_after_s if cfg is not None else 1.0
-        return {"Retry-After": str(max(1, round(seconds)))}
+        return {"Retry-After": str(max(1, math.ceil(seconds)))}
 
     def _request_deadline(self) -> Deadline | None:
         """This request's budget: the ``X-Request-Deadline-Ms`` header
@@ -820,6 +880,7 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
                             body=body,
                             deadline=deadline,
                             admission=getattr(self.server, "admission", None),
+                            metrics_view=getattr(self.server, "metrics_view", None),
                         )
                         with obs_span("handler", route=route.name):
                             result = route.handler(ctx)

@@ -574,6 +574,23 @@ class ModelRegistry:
 
     # -- hot swap -----------------------------------------------------------
 
+    def stage(self, name: str) -> dict:
+        """Phase one of a two-phase (fleet-wide) swap: validate and warm
+        ``name`` without flipping the default.
+
+        Touches the version's store so the swap's first requests don't
+        pay the cold cost, and returns an identity descriptor the pool
+        coordinator compares across workers — every member must have
+        staged a byte-identical store (same ``etag``) before any of them
+        is told to commit, or the swap aborts with no default changed.
+        """
+        version = self.get(name)
+        return {
+            "name": version.name,
+            "n_claims": len(version.store),
+            "etag": version.store.etag,
+        }
+
     def activate(self, name: str) -> ModelVersion:
         """Atomically make ``name`` the default version.
 

@@ -138,6 +138,58 @@ class ClaimScoreStore:
             arr.setflags(write=False)
         self._etag: str | None = None
 
+    #: Derived arrays persisted by ``save_sharded`` so a single-shard
+    #: bundle can serve without recomputing them per process (key ->
+    #: required dtype).  All are deterministic functions of the margins.
+    _DERIVED_SPECS = {
+        "score": np.float64,
+        "sus_order": np.int64,
+        "sus_rank": np.int64,
+        "sorted_margin": np.float64,
+        "percentile": np.float64,
+    }
+
+    @classmethod
+    def _from_saved_arrays(
+        cls, claims: ClaimColumns, margin: np.ndarray, derived: dict
+    ) -> "ClaimScoreStore":
+        """Construct from persisted derived arrays, skipping recompute.
+
+        The zero-copy pre-fork path: with an mmap-backed single-shard
+        bundle every array — claims, margin, *and* the derived orderings
+        — stays a read-only mapped page shared by all worker processes,
+        instead of each fork rebuilding ~40 bytes/claim of private heap.
+        """
+        obj = cls.__new__(cls)
+        margin = np.asarray(margin, dtype=np.float64)
+        if margin.ndim != 1 or margin.size != len(claims):
+            raise ValueError(
+                f"margin must be 1-D with {len(claims)} entries, "
+                f"got shape {margin.shape}"
+            )
+        obj.claims = claims
+        obj.margin = margin
+        arrays = {}
+        for key, dtype in cls._DERIVED_SPECS.items():
+            arr = np.asarray(derived[key], dtype=dtype)
+            if arr.shape != margin.shape:
+                raise ValueError(
+                    f"derived array {key!r} has shape {arr.shape}, "
+                    f"expected {margin.shape}"
+                )
+            arrays[key] = arr
+        obj.score = arrays["score"]
+        obj.sus_order = arrays["sus_order"]
+        obj.sus_rank = arrays["sus_rank"]
+        obj._sorted_margin = arrays["sorted_margin"]
+        obj.percentile = arrays["percentile"]
+        for arr in (obj.margin, obj.score, obj.sus_order, obj.sus_rank,
+                    obj.percentile, obj._sorted_margin):
+            if arr.flags.writeable:
+                arr.setflags(write=False)
+        obj._etag = None
+        return obj
+
     def __len__(self) -> int:
         return int(self.margin.size)
 
@@ -449,27 +501,49 @@ class ClaimScoreStore:
             raise ValueError(f"{arrays_path} is missing the margin array")
         return cls(ClaimColumns.from_arrays(claim_arrays), margin)
 
-    def save_sharded(self, path: str, shards=None) -> str:
+    def save_sharded(
+        self, path: str, shards=None, include_derived: bool = True
+    ) -> str:
         """Write the store as a per-state sharded bundle (raw-mmap files).
 
         The claim columns shard through
         :class:`repro.store.sharded.ShardedClaimColumns` (``shards``
         picks the layout) and each shard carries its slice of the margin
-        array; derived arrays are recomputed on load, exactly as in
-        :meth:`save`.
+        array.  A *single-shard* bundle additionally persists the
+        derived arrays (score, orderings, percentiles) so
+        :meth:`load_sharded` can serve them straight off the mapped
+        pages — the pre-fork worker pool shares one page-cache copy
+        instead of recomputing per process.  Multi-shard bundles skip
+        them (the orderings are global, not per-shard) and recompute on
+        load; ``include_derived=False`` forces the lean layout.
         """
         from repro.store.sharded import ShardedClaimColumns
 
         sharded = ShardedClaimColumns.from_claims(self.claims, shards=shards)
-        margins = {
-            name: self.margin[sharded.global_rows(name)]
+        extra_shard_arrays = {
+            name: {"margin": self.margin[sharded.global_rows(name)]}
             for name in sharded.shard_names
         }
+        names = sharded.shard_names
+        if include_derived and len(names) == 1:
+            rows = sharded.global_rows(names[0])
+            # Shard row i holds global row rows[i]; sus_order/sus_rank
+            # speak in row indices, so they only persist unchanged when
+            # the mapping is the identity (always true for one shard of
+            # canonically sorted claims — guarded, not assumed).
+            if np.array_equal(rows, np.arange(rows.size, dtype=rows.dtype)):
+                extra_shard_arrays[names[0]].update(
+                    {
+                        "score": self.score,
+                        "sus_order": self.sus_order,
+                        "sus_rank": self.sus_rank,
+                        "sorted_margin": self._sorted_margin,
+                        "percentile": self.percentile,
+                    }
+                )
         return sharded.save(
             path,
-            extra_shard_arrays={
-                name: {"margin": margin} for name, margin in margins.items()
-            },
+            extra_shard_arrays=extra_shard_arrays,
             extra_manifest={"store": {"kind": "claim-score-store"}},
         )
 
@@ -506,7 +580,12 @@ class ClaimScoreStore:
         names = sharded.shard_names
         if len(names) == 1:
             name = names[0]
-            return cls(sharded.shard(name), sharded.extra_arrays[name]["margin"])
+            extra = sharded.extra_arrays[name]
+            if all(key in extra for key in cls._DERIVED_SPECS):
+                return cls._from_saved_arrays(
+                    sharded.shard(name), extra["margin"], extra
+                )
+            return cls(sharded.shard(name), extra["margin"])
         margin = np.empty(len(sharded))
         for name in names:
             margin[sharded.global_rows(name)] = sharded.extra_arrays[name][

@@ -73,6 +73,24 @@ def _sha256_file(path: str) -> str:
     return digest.hexdigest()
 
 
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Platforms that cannot open a directory for fsync (Windows) get the
+    old best-effort behaviour instead of an error.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _resolve_state_map(shards) -> dict[str, str]:
     """Normalize a shard layout spec into a full state->shard-name map.
 
@@ -284,11 +302,19 @@ class ShardedClaimColumns:
             if key in manifest:
                 raise ValueError(f"extra manifest key {key!r} is reserved")
             manifest[key] = value
+        # Durable commit: the rename is the commit point, so the tmp
+        # file's *contents* must reach disk before it, and the directory
+        # entry after it — otherwise a crash can surface a committed but
+        # empty/torn manifest over intact data files.
         tmp = os.path.join(root, SHARD_MANIFEST_NAME + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fsync_dir(root)
         os.replace(tmp, os.path.join(root, SHARD_MANIFEST_NAME))
+        _fsync_dir(root)
         self._collect_garbage(root, keep=generation)
         return root
 

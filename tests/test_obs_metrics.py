@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     disabled,
     get_metrics,
+    merge_states,
     metrics_enabled,
     render_prometheus,
 )
@@ -248,6 +249,53 @@ def test_prometheus_rendering():
     assert "http_request_seconds_count{route=\"/v2/claims\"} 4" in lines
 
 
+def test_prometheus_inf_bucket_is_emitted_and_equals_count():
+    """Every histogram series must end with an explicit ``le="+Inf"``
+    bucket line whose cumulative value equals ``_count`` — scrapers
+    reject expositions where they disagree."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("http_request_seconds", route="/v2/claims")
+    for v in (0.002, 0.2, 999.0):  # 999 only lands in the overflow bucket
+        hist.observe(v)
+    lines = registry.render_prometheus().splitlines()
+    inf_lines = [
+        line
+        for line in lines
+        if line.startswith("http_request_seconds_bucket") and 'le="+Inf"' in line
+    ]
+    count_lines = [
+        line for line in lines if line.startswith("http_request_seconds_count")
+    ]
+    assert len(inf_lines) == 1 and len(count_lines) == 1
+    assert inf_lines[0].rsplit(" ", 1)[1] == "3"
+    assert count_lines[0].rsplit(" ", 1)[1] == "3"
+    # +Inf is the *last* bucket line of the series.
+    bucket_lines = [
+        line for line in lines if line.startswith("http_request_seconds_bucket")
+    ]
+    assert bucket_lines[-1] == inf_lines[0]
+
+
+def test_prometheus_escapes_label_values():
+    r"""Backslashes, double quotes, and newlines in label values must be
+    escaped (`\\`, `\"`, `\n`) or the exposition is unparseable."""
+    registry = MetricsRegistry()
+    registry.counter("http_requests_total", route='/a\\b"c\nd').inc(2)
+    text = registry.render_prometheus()
+    assert '\n' not in text.split("http_requests_total{", 1)[1].split("}", 1)[0]
+    assert 'route="/a\\\\b\\"c\\nd"' in text
+    assert text.count("http_requests_total{") == 1
+
+
+def test_prometheus_nonfinite_values():
+    registry = MetricsRegistry()
+    registry.gauge("pool_workers").set(float("-inf"))
+    registry.gauge("admission_peak_running").set(float("nan"))
+    text = registry.render_prometheus()
+    assert "pool_workers -Inf" in text
+    assert "admission_peak_running NaN" in text
+
+
 def test_prometheus_merge_skips_duplicate_families():
     first = _populated_registry()
     second = MetricsRegistry()
@@ -265,3 +313,68 @@ def test_every_catalog_entry_has_kind_and_help():
     for name, (kind, help_) in METRIC_CATALOG.items():
         assert kind in ("counter", "gauge", "histogram"), name
         assert help_.strip(), name
+
+
+# -- mergeable state (worker-pool aggregation) --------------------------------
+
+
+def _worker_like_registry(n_requests, latencies, peak):
+    registry = MetricsRegistry()
+    registry.counter("http_requests_total", route="/v2/claims", status="200").inc(
+        n_requests
+    )
+    hist = registry.histogram("http_request_seconds", route="/v2/claims")
+    for v in latencies:
+        hist.observe(v)
+    registry.gauge("admission_peak_running").set(peak)
+    return registry
+
+
+def test_merge_states_sums_counters_and_histograms_bucket_wise():
+    a = _worker_like_registry(4, (0.002, 0.004), peak=3)
+    b = _worker_like_registry(2, (0.004, 0.2, 0.4), peak=5)
+    merged = merge_states(
+        [a.export_state(), b.export_state()],
+        labels=[{"worker": 0}, {"worker": 1}],
+    )
+    agg = MetricsRegistry.from_state(merged)
+    assert agg.total("http_requests_total") == 6
+    hist = agg.histogram("http_request_seconds", route="/v2/claims")
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(0.002 + 0.004 + 0.004 + 0.2 + 0.4)
+    # Bucket-wise: the merged cumulative +Inf bucket equals the total.
+    lines = agg.render_prometheus().splitlines()
+    inf = [l for l in lines if "http_request_seconds_bucket" in l and "+Inf" in l]
+    assert inf[0].rsplit(" ", 1)[1] == "5"
+    # Gauges stay per-source, tagged with the worker label.
+    assert 'admission_peak_running{worker="0"} 3' in lines
+    assert 'admission_peak_running{worker="1"} 5' in lines
+
+
+def test_merge_states_gauge_collision_keeps_max():
+    a = _worker_like_registry(1, (), peak=3)
+    b = _worker_like_registry(1, (), peak=7)
+    merged = merge_states([a.export_state(), b.export_state()])  # no labels
+    agg = MetricsRegistry.from_state(merged)
+    assert agg.gauge("admission_peak_running").value == 7
+
+
+def test_merge_states_rejects_mismatched_bounds():
+    a = MetricsRegistry()
+    a.histogram("batcher_batch_size", bounds=(1, 2, 4)).observe(1)
+    b = MetricsRegistry()
+    b.histogram("batcher_batch_size", bounds=(1, 2, 8)).observe(1)
+    with pytest.raises(ValueError, match="mismatched bounds"):
+        merge_states([a.export_state(), b.export_state()])
+
+
+def test_export_state_round_trips_through_from_state():
+    registry = _populated_registry()
+    clone = MetricsRegistry.from_state(registry.export_state())
+    assert clone.snapshot() == registry.snapshot()
+    assert clone.render_prometheus() == registry.render_prometheus()
+
+
+def test_merge_states_requires_aligned_labels():
+    with pytest.raises(ValueError, match="one-to-one"):
+        merge_states([{}, {}], labels=[{"worker": 0}])

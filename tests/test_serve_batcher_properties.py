@@ -18,6 +18,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.resilience import Deadline, DeadlineExceeded
 
 
 class _RecordingScorer:
@@ -138,6 +139,74 @@ def test_poisoned_payload_never_leaks_to_batchmates(payloads, data):
                 fut.result(timeout=0)
         else:
             assert fut.result(timeout=0) == ("ok", payload)
+    batcher.close()
+
+
+class _TickingClock:
+    """Injectable monotonic clock that advances on *every* read.
+
+    Each ``Deadline.expired`` check observes a strictly later time, so a
+    deadline can flip from live to expired *between* two checks inside
+    one ``flush()`` — the exact race a wall clock only produces under
+    load.  A flush that samples expiry more than once per slot will,
+    for some drawn expiry offset, classify the same slot both ways.
+    """
+
+    def __init__(self, start=0.0, tick=1.0):
+        self.now = float(start)
+        self.tick = float(tick)
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            t = self.now
+            self.now += self.tick
+            return t
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    offsets=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+        min_size=1,
+        max_size=12,
+    ),
+    tick=st.sampled_from([0.0, 0.5, 1.0, 3.0]),
+)
+def test_deadline_expiring_mid_flush_is_dropped_exactly_once(offsets, tick):
+    """A slot whose deadline expires between the expiry scan and the
+    score call is counted exactly once in ``batcher_deadline_drops_total``:
+    no double-drop, no stranded/InvalidState future, and the scorer never
+    sees a dropped payload."""
+    clock = _TickingClock(start=0.0, tick=tick)
+    scorer = _RecordingScorer()
+    batcher = MicroBatcher(scorer, max_batch=len(offsets) + 1, max_delay_s=0.0)
+    futures = {}
+    for i, offset in enumerate(offsets):
+        deadline = (
+            None if offset is None else Deadline(float(offset), clock=clock)
+        )
+        futures[i] = batcher.submit(i, cache_key=i, deadline=deadline)
+    # flush() must never leak InvalidStateError from settling a slot it
+    # already failed — the signature of double-classifying one slot.
+    batcher.flush()
+
+    dropped, served = set(), set()
+    for i, fut in futures.items():
+        assert fut.done(), f"slot {i} stranded with a pending Future"
+        exc = fut.exception(timeout=0)
+        if exc is not None:
+            assert isinstance(exc, DeadlineExceeded)
+            dropped.add(i)
+        else:
+            assert fut.result(timeout=0) == ("ok", i)
+            served.add(i)
+    # Slots with no deadline can never be dropped.
+    assert all(offsets[i] is not None for i in dropped)
+    # The scorer saw exactly the served payloads, each exactly once.
+    assert sorted(scorer.scored) == sorted(served)
+    # The drop counter agrees exactly with the delivered exceptions.
+    assert batcher.stats.deadline_drops == len(dropped)
     batcher.close()
 
 

@@ -17,7 +17,10 @@ suite.
 
 import pytest
 
-from repro.scenarios.harness import check_fault_invariants
+from repro.scenarios.harness import (
+    check_fault_invariants,
+    check_pool_fault_invariants,
+)
 from repro.serve import chaos_plan_names
 
 
@@ -57,6 +60,16 @@ def test_chaos_store_read_faults_on_mmap_backed_store(
     store = ClaimScoreStore.load_sharded(root, mmap=True)
     assert mmap_backed(store.claims.provider_id)
     failures = check_fault_invariants(store, plan_name="store_read_flaky")
+    assert failures == []
+
+
+def test_pool_chaos_swap_and_kill_churn(tmp_path, tiny_score_store):
+    """The multi-worker chaos run: a pre-fork fleet under injected store
+    faults, fleet-wide two-phase swaps, and SIGKILL churn.  Responses
+    stay version-consistent, sheds carry Retry-After, killed workers
+    respawn onto the current default, and the fault plans verifiably
+    fired inside the workers."""
+    failures = check_pool_fault_invariants(tiny_score_store, str(tmp_path))
     assert failures == []
 
 

@@ -349,6 +349,29 @@ def test_shed_response_is_429_with_retry_after(tiny_score_store, ephemeral_serve
     assert slow_result["response"][0] == 200
 
 
+def test_retry_after_is_integer_delta_seconds(tiny_score_store, ephemeral_server):
+    """RFC 9110 §10.2.3 allows only integer delta-seconds in Retry-After.
+
+    A fractional ``retry_after_s`` must be *ceiled* on the wire: 2.5
+    becomes ``"3"``, never banker's-rounded down to ``"2"`` (which would
+    invite the client back inside the shed window)."""
+    service = AuditService(tiny_score_store)
+    config = ResilienceConfig(max_concurrent=1, max_queue=0, retry_after_s=2.5)
+    pid, cell, tech = tiny_score_store.claims.key_at(0)
+    with ephemeral_server(service, resilience=config) as server:
+        gate = server.admission
+        ticket = gate.admit(service.registry.default_name)
+        try:
+            status, headers, _doc = _raw(
+                server, "GET", f"/v2/claims/{pid}/{cell}/{tech}"
+            )
+        finally:
+            ticket.release()
+    service.close()
+    assert status == 429
+    assert headers.get("Retry-After") == "3"
+
+
 def test_healthz_bypasses_a_saturated_gate(tiny_score_store, ephemeral_server):
     service = AuditService(tiny_score_store)
     config = ResilienceConfig(max_concurrent=1, max_queue=0)

@@ -225,6 +225,42 @@ def test_generations_are_garbage_collected(tmp_path):
     assert_claims_bitwise(ShardedClaimColumns.load(root).to_claims(), claims)
 
 
+def test_manifest_commit_fsyncs_before_and_after_rename(tmp_path, monkeypatch):
+    """The rename is the commit point: the tmp manifest's bytes must be
+    fsynced before ``os.replace`` and the directory entry after it, or a
+    crash can surface a committed-but-torn manifest."""
+    import repro.store.sharded as sharded_mod
+
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+
+    def spy_fsync(fd):
+        events.append(("fsync", "dir" if _fd_is_dir(fd) else "file"))
+        real_fsync(fd)
+
+    def _fd_is_dir(fd):
+        import stat
+
+        return stat.S_ISDIR(os.fstat(fd).st_mode)
+
+    def spy_replace(src, dst):
+        events.append(("replace", os.path.basename(dst)))
+        real_replace(src, dst)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(sharded_mod.os, "replace", spy_replace)
+    claims = make_random_claims(15, n=120)
+    root = str(tmp_path / "bundle")
+    ShardedClaimColumns.from_claims(claims, shards=2).save(root)
+
+    commit = events.index(("replace", "manifest.json"))
+    before, after = events[:commit], events[commit + 1 :]
+    assert ("fsync", "file") in before  # tmp manifest contents on disk
+    assert ("fsync", "dir") in before  # tmp entry durable pre-rename
+    assert ("fsync", "dir") in after  # the rename itself durable
+    assert_claims_bitwise(ShardedClaimColumns.load(root).to_claims(), claims)
+
+
 def test_empty_table_round_trips(tmp_path):
     claims = make_random_claims(0, n=0)
     root = str(tmp_path / "bundle")
@@ -391,6 +427,39 @@ def test_single_shard_store_serves_mmap_backed(tmp_path, tiny_score_store):
     eager = ClaimScoreStore.load_sharded(root, mmap=False)
     assert not mmap_backed(eager.claims.provider_id)
     assert np.array_equal(eager.margin, tiny_score_store.margin)
+
+
+def test_single_shard_bundle_persists_derived_arrays(tmp_path, tiny_score_store):
+    """One-shard bundles carry the derived serving arrays (score, ranks,
+    percentiles) so a forked worker pool shares the mapped pages instead
+    of each process recomputing a private heap copy — and the persisted
+    arrays are bitwise what the constructor would have derived."""
+    root = str(tmp_path / "store")
+    tiny_score_store.save_sharded(root, shards=1)
+    back = ClaimScoreStore.load_sharded(root, mmap=True)
+    # All five derived arrays came off the map, not a recompute.
+    assert mmap_backed(back.score)
+    assert mmap_backed(back.sus_order)
+    assert mmap_backed(back.sus_rank)
+    assert mmap_backed(back.percentile)
+    assert mmap_backed(back._sorted_margin)
+    for name in ClaimScoreStore._DERIVED_SPECS:
+        a = getattr(back, "_sorted_margin" if name == "sorted_margin" else name)
+        b = getattr(
+            tiny_score_store,
+            "_sorted_margin" if name == "sorted_margin" else name,
+        )
+        assert np.array_equal(a, b), name
+        assert a.dtype == b.dtype, name
+    # The loaded store serves identically (etag included).
+    assert back.etag == tiny_score_store.etag
+    # include_derived=False keeps the lean layout: load still works, via
+    # the recompute path.
+    lean_root = str(tmp_path / "lean")
+    tiny_score_store.save_sharded(lean_root, shards=1, include_derived=False)
+    lean = ClaimScoreStore.load_sharded(lean_root, mmap=True)
+    assert not mmap_backed(lean.score)
+    assert np.array_equal(lean.score, tiny_score_store.score)
 
 
 def test_load_sharded_rejects_claims_only_bundle(tmp_path, tiny_claims):
