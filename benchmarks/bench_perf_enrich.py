@@ -1,0 +1,124 @@
+"""Enrichment benchmark: truth-map build throughput and vectorize overhead.
+
+Builds the ``tiny`` simulated world once, times the truth-map
+aggregation (attributed MLab tests -> per-(provider, cell) tiles) in
+rows/s, then times ``FeatureBuilder.vectorize`` with and without the
+enrichment block on observation batches of two sizes.  The enriched
+path must stay within 15% of the base builder — the feature block is a
+single indexed gather over the truth map, not a per-row join — and the
+``base_vs_enriched`` time ratio is committed to ``BENCH_perf.json`` so
+``check_perf_regression.py`` catches the gather path regressing.
+
+Run standalone::
+
+    python benchmarks/bench_perf_enrich.py           # both sizes
+    python benchmarks/bench_perf_enrich.py --quick   # smallest only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import _perfutil
+
+_perfutil.ensure_src_on_path()
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    build_dataset,
+    build_world,
+    enrichment_from_world,
+    make_feature_builder,
+    tiny,
+)
+
+#: Batch-size multipliers over the tiny world's labelled dataset.
+MULTIPLIERS = [("x1", 1), ("x3", 3)]
+
+#: Acceptance bar: enriched vectorize within this fraction of base.
+MAX_OVERHEAD = 0.15
+
+
+def run(quick: bool = False) -> list[dict]:
+    world = build_world(tiny(seed=7))
+    dataset = build_dataset(world)
+
+    build_s, enrichment = _perfutil.timed(
+        lambda: enrichment_from_world(world), repeats=1
+    )
+    truthmap_rows = len(enrichment.truthmap)
+    truthmap_rows_per_s = truthmap_rows / build_s
+    print(
+        f"truthmap: {truthmap_rows} tiles from {len(world.mlab_tests)} tests "
+        f"in {build_s:.3f}s ({truthmap_rows_per_s:,.0f} rows/s)"
+    )
+
+    base_builder = make_feature_builder(world)
+    enriched_builder = make_feature_builder(world, enrichment=enrichment)
+    base = list(dataset)
+    # Warm both builders' centroid/embedding caches (and the truth-map
+    # index) before timing so neither path pays one-time costs.
+    base_builder.vectorize(base)
+    enriched_builder.vectorize(base)
+
+    results = []
+    for name, mult in MULTIPLIERS[:1] if quick else MULTIPLIERS:
+        observations = base * mult
+        repeats = 5 if mult == 1 else 3
+        base_s, X_base = _perfutil.timed(
+            lambda: base_builder.vectorize(observations), repeats=repeats
+        )
+        enr_s, X_enr = _perfutil.timed(
+            lambda: enriched_builder.vectorize(observations), repeats=repeats
+        )
+        if not np.array_equal(X_enr[:, : base_builder.n_features], X_base):
+            raise AssertionError(f"{name}: enrichment perturbed base columns")
+        overhead = enr_s / base_s - 1.0
+        if overhead > MAX_OVERHEAD:
+            raise AssertionError(
+                f"{name}: enriched vectorize overhead {overhead:.1%} exceeds "
+                f"the {MAX_OVERHEAD:.0%} bar ({base_s:.3f}s -> {enr_s:.3f}s)"
+            )
+        row = {
+            "size": name,
+            "n_observations": len(observations),
+            "n_features_base": base_builder.n_features,
+            "n_features_enriched": enriched_builder.n_features,
+            "truthmap_rows": truthmap_rows,
+            "truthmap_build_seconds": build_s,
+            "truthmap_rows_per_s": truthmap_rows_per_s,
+            "vectorize_seconds_base": base_s,
+            "vectorize_seconds_enriched": enr_s,
+            "enriched_overhead_pct": 100.0 * overhead,
+            "base_vs_enriched": base_s / enr_s,
+        }
+        results.append(row)
+        print(
+            f"{name:3s} n={len(observations):6d} "
+            f"d={base_builder.n_features}->{enriched_builder.n_features}  "
+            f"vectorize {base_s:6.3f}s base, {enr_s:6.3f}s enriched "
+            f"({overhead:+.1%} overhead)"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smallest batch"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip updating BENCH_perf.json"
+    )
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    if not args.no_write:
+        _perfutil.merge_section(
+            "enrich", _perfutil.round_floats({"results": results})
+        )
+        print(f"wrote enrich section to {_perfutil.BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,8 @@
 Replays the quick variants of ``bench_perf_gbdt.py``,
 ``bench_perf_vectorize.py``, ``bench_perf_bayesopt.py``,
 ``bench_perf_serve.py``, ``bench_perf_latency.py``,
-``bench_perf_shard.py``, and ``bench_perf_obs.py`` on the current
+``bench_perf_shard.py``, ``bench_perf_obs.py``, and
+``bench_perf_enrich.py`` on the current
 machine and compares the
 *speedup ratios* (vectorized kernel vs. seed reference, shared-binning
 tuning vs. per-trial binning, micro-batched vs. single-claim serving
@@ -34,6 +35,7 @@ import sys
 
 import _perfutil
 import bench_perf_bayesopt
+import bench_perf_enrich
 import bench_perf_gbdt
 import bench_perf_latency
 import bench_perf_obs
@@ -56,6 +58,7 @@ REQUIRED_SECTIONS = {
     "serve_latency": ("shed_containment", "python benchmarks/bench_perf_latency.py"),
     "shard": ("parallel_build_speedup", "python benchmarks/bench_perf_shard.py"),
     "obs": ("bare_vs_instrumented", "python benchmarks/bench_perf_obs.py"),
+    "enrich": ("base_vs_enriched", "python benchmarks/bench_perf_enrich.py"),
 }
 
 
@@ -125,6 +128,16 @@ def main() -> int:
         if expected is not None:
             checks.append(
                 ("bayesopt", row["size"], expected, row["tuning_speedup"])
+            )
+    enrich_base = _baseline_speedups(baseline, "enrich", "base_vs_enriched")
+    # The enrich replay also re-asserts the absolute acceptance bar
+    # (enriched vectorize overhead <= 15% vs. the base builder) inside
+    # bench_perf_enrich.run() itself.
+    for row in bench_perf_enrich.run(quick=True):
+        expected = enrich_base.get(row["size"])
+        if expected is not None:
+            checks.append(
+                ("enrich", row["size"], expected, row["base_vs_enriched"])
             )
     serve_base = _baseline_speedups(baseline, "serve", "lookup_speedup")
     http_base = _baseline_speedups(baseline, "serve_http", "batch_v2_vs_v1")

@@ -15,6 +15,7 @@ from repro.core.pipeline import (
     SimulationWorld,
     build_dataset,
     build_world,
+    enrichment_from_world,
     make_feature_builder,
 )
 from repro.core.reports import (
@@ -40,6 +41,7 @@ __all__ = [
     "SimulationWorld",
     "build_dataset",
     "build_world",
+    "enrichment_from_world",
     "make_feature_builder",
     "SliceReport",
     "provider_reports",

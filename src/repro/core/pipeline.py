@@ -56,6 +56,7 @@ __all__ = [
     "build_world",
     "build_dataset",
     "make_feature_builder",
+    "enrichment_from_world",
 ]
 
 
@@ -273,12 +274,17 @@ def build_dataset(
     return dataset
 
 
-def make_feature_builder(world: SimulationWorld) -> FeatureBuilder:
+def make_feature_builder(
+    world: SimulationWorld, enrichment=None
+) -> FeatureBuilder:
     """Wire the Table-4 feature builder for a world.
 
     The returned builder vectorizes observation batches columnarly (one
     preallocated matrix, grouped centroid/embedding fills) — the intended
-    entry point for model training and batch scoring alike.
+    entry point for model training and batch scoring alike.  Passing an
+    :class:`repro.enrich.Enrichment` (see :func:`enrichment_from_world`)
+    appends the measured-truth feature block and bumps the builder's
+    feature-set version.
     """
     return FeatureBuilder(
         fabric=world.fabric,
@@ -287,4 +293,28 @@ def make_feature_builder(world: SimulationWorld) -> FeatureBuilder:
         coverage_scores=world.coverage_scores,
         localization=world.localization,
         embedding_dim=world.config.embedding_dim,
+        enrichment=enrichment,
     )
+
+
+def enrichment_from_world(world: SimulationWorld):
+    """Build the measured-truth enrichment join for a simulated world.
+
+    Re-runs the MLab attribution over the world's tests to aggregate
+    measured throughputs per (provider, cell) tile, and joins the
+    simulated challenge outcomes at the same grain.
+    """
+    from repro.enrich import ChallengeJoin, Enrichment, build_truth_map
+
+    claimed_by_provider = {
+        p.provider_id: world.universe.claimed_cells(p.provider_id)
+        for p in world.universe.providers
+    }
+    truthmap = build_truth_map(
+        world.mlab_tests,
+        world.crosswalk,
+        claimed_by_provider,
+        res=world.fabric.config.hex_resolution,
+    )
+    challenges = ChallengeJoin.from_records(world.challenges)
+    return Enrichment(truthmap, challenges=challenges)

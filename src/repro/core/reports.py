@@ -17,7 +17,14 @@ from repro.dataset.observations import LabelledDataset, Observation
 from repro.dataset.splits import Split
 from repro.fcc.providers import TECHNOLOGY_NAMES
 
-__all__ = ["SliceReport", "slice_report", "technology_reports", "state_reports", "provider_reports"]
+__all__ = [
+    "SliceReport",
+    "slice_report",
+    "technology_reports",
+    "state_reports",
+    "provider_reports",
+    "audit_priority_report",
+]
 
 #: Outcome classes in paper order.
 _CLASSES = ("TN", "TP", "FN", "FP")
@@ -149,3 +156,21 @@ def provider_reports(
             continue
         out.append(slice_report(model, rows, provider_ids[pid]))
     return out
+
+
+def audit_priority_report(
+    store, enrichment=None, top: int = 25
+) -> list[dict]:
+    """Top audit-priority (state, provider) groups as report rows.
+
+    The report-surface view of :func:`repro.enrich.build_priority`: the
+    composite of suspicion percentile, measured overstatement, and
+    challenge density, materialized from a built score store.  Returns
+    the ``top`` highest-priority rows as the same record dicts the
+    ``/v2/analytics/priority`` endpoint pages through.
+    """
+    from repro.enrich.priority import build_priority
+
+    table = build_priority(store, enrichment=enrichment)
+    records, _, _ = table.page(after_rank=0, limit=top)
+    return records

@@ -1,0 +1,47 @@
+"""Measured-truth enrichment: joining what was *measured* against what
+was *claimed*.
+
+The base feature set (paper Table 4) deliberately uses only the
+*presence* of speed tests; this subsystem surfaces the strongest
+external signal the paper leaves on the table — the **overstatement
+ratio** (claimed ÷ measured speed per cell × provider, the number the
+Texas truth map is built on) — plus challenge-outcome joins, and turns
+both into model features and audit-priority report surfaces.
+
+=====================  ======================================================
+Module                 Contents
+=====================  ======================================================
+``enrich.truthmap``    tile-level measured-speed aggregates per
+                       (provider, cell) from attributed MLab tests,
+                       persisted as an mmap-loadable columnar bundle
+``enrich.overstatement``  vectorized per-claim overstatement ratios with
+                       explicit missing-tile/zero-measurement semantics,
+                       challenge filed/upheld joins, and the enriched
+                       feature block ``FeatureBuilder`` appends behind a
+                       feature-set version bump
+``enrich.priority``    composite audit-priority scores (suspicion +
+                       overstatement + challenge density, each
+                       percentile-ranked), paginated for
+                       ``GET /v2/analytics/priority``
+=====================  ======================================================
+"""
+
+from repro.enrich.overstatement import (
+    ENRICHED_FEATURE_SET_VERSION,
+    ChallengeJoin,
+    Enrichment,
+    overstatement_ratios,
+)
+from repro.enrich.priority import PriorityTable, build_priority
+from repro.enrich.truthmap import TruthMap, build_truth_map
+
+__all__ = [
+    "ENRICHED_FEATURE_SET_VERSION",
+    "ChallengeJoin",
+    "Enrichment",
+    "overstatement_ratios",
+    "PriorityTable",
+    "build_priority",
+    "TruthMap",
+    "build_truth_map",
+]

@@ -1,0 +1,213 @@
+"""Per-claim overstatement ratios and challenge-outcome join features.
+
+Two joins against the claim grain, both vectorized:
+
+* **Overstatement** — claimed ÷ measured speed against the truth map's
+  per-(provider, cell) tiles, with the semantics spelled out instead of
+  folded into a sentinel: a claim whose tile (or direction) was never
+  measured has a ``NaN`` *ratio* (no evidence), a measured ``0.0`` also
+  yields ``NaN`` (the ratio is undefined; the *feature* path never
+  produces it because non-positive samples are excluded upstream), and
+  only a positive measurement yields a finite ratio.
+* **Challenges** — filed / upheld counts per (provider, cell) from the
+  simulated BDC challenge process (``upheld`` = outcomes whose
+  ``succeeded`` flag is set: conceded, service changed, or FCC upheld).
+
+:class:`Enrichment` packages both into the feature block
+``FeatureBuilder`` appends after its embedding columns, behind a
+feature-set version bump (base = 1, enriched = 2).  Feature columns are
+always finite: missing evidence contributes ``0.0`` alongside an
+explicit tile-present indicator, so the model can tell "no tile" from
+"tile says the claim holds".  The log ratios use ``log2((c+1)/(m+1))``
+— symmetric around 0, finite for zero speeds, monotone in the raw ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.enrich.truthmap import TruthMap
+from repro.fcc.challenges import ChallengeRecord
+from repro.utils.indexing import MultiColumnIndex
+
+__all__ = [
+    "ENRICH_FEATURES",
+    "ENRICHED_FEATURE_SET_VERSION",
+    "BASE_FEATURE_SET_VERSION",
+    "ChallengeJoin",
+    "Enrichment",
+    "overstatement_ratios",
+]
+
+#: Feature-set versions stamped into encoder manifests: bundles and
+#: artifacts refuse to restore across a version mismatch.
+BASE_FEATURE_SET_VERSION = 1
+ENRICHED_FEATURE_SET_VERSION = 2
+
+#: Names of the enrichment feature columns, in order.
+ENRICH_FEATURES = (
+    "Overstatement Log2 (DL)",
+    "Overstatement Log2 (UL)",
+    "Measured Median DL (Mbps)",
+    "Truth Tile Tests",
+    "Truth Tile Present",
+    "Challenges Filed",
+    "Challenges Upheld",
+)
+
+
+def overstatement_ratios(claimed, measured) -> np.ndarray:
+    """Raw claimed ÷ measured ratios with explicit missing semantics.
+
+    ``NaN`` marks *no evidence*: a ``NaN`` measurement (unmeasured tile
+    or direction) and a non-positive measurement (the ratio is
+    undefined) both yield ``NaN`` — never ``inf`` and never a silent
+    ``0.0``.  A zero claim against a positive measurement is a genuine
+    ``0.0`` ratio (understatement).
+    """
+    claimed = np.asarray(claimed, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        ratio = claimed / measured
+    ratio = np.where(np.isfinite(measured) & (measured > 0.0), ratio, np.nan)
+    return ratio
+
+
+@dataclass(frozen=True)
+class ChallengeJoin:
+    """Filed / upheld challenge counts per (provider, cell)."""
+
+    provider_id: np.ndarray  # int64
+    cell: np.ndarray  # uint64
+    filed: np.ndarray  # int64 — challenges filed against the pair
+    upheld: np.ndarray  # int64 — of those, outcomes with succeeded=True
+    _index: MultiColumnIndex | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return int(self.provider_id.size)
+
+    @classmethod
+    def from_records(cls, records: list[ChallengeRecord]) -> "ChallengeJoin":
+        """Aggregate resolved challenges to the (provider, cell) grain.
+
+        Technology-agnostic by design, matching the truth map's grain: a
+        challenge proving a cell unservable is evidence against every
+        technology the provider claims there.
+        """
+        filed: dict[tuple[int, int], int] = {}
+        upheld: dict[tuple[int, int], int] = {}
+        for record in records:
+            key = (record.provider_id, record.cell)
+            filed[key] = filed.get(key, 0) + 1
+            if record.succeeded:
+                upheld[key] = upheld.get(key, 0) + 1
+        keys = sorted(filed)
+        n = len(keys)
+        provider_id = np.empty(n, dtype=np.int64)
+        cell = np.empty(n, dtype=np.uint64)
+        filed_arr = np.empty(n, dtype=np.int64)
+        upheld_arr = np.empty(n, dtype=np.int64)
+        for i, key in enumerate(keys):
+            provider_id[i] = key[0]
+            cell[i] = key[1]
+            filed_arr[i] = filed[key]
+            upheld_arr[i] = upheld.get(key, 0)
+        return cls(
+            provider_id=provider_id,
+            cell=cell,
+            filed=filed_arr,
+            upheld=upheld_arr,
+        )
+
+    @property
+    def index(self) -> MultiColumnIndex:
+        if self._index is None:
+            object.__setattr__(
+                self, "_index", MultiColumnIndex(self.provider_id, self.cell)
+            )
+        return self._index
+
+    def counts(self, provider_id, cell) -> tuple[np.ndarray, np.ndarray]:
+        """(filed, upheld) per queried (provider, cell); zeros on miss."""
+        provider_id = np.asarray(provider_id, dtype=np.int64)
+        if not len(self):
+            zeros = np.zeros(provider_id.size, dtype=np.int64)
+            return zeros, zeros.copy()
+        pos = self.index.positions(
+            provider_id,
+            np.asarray(cell, dtype=np.uint64),
+        )
+        found = pos >= 0
+        safe = np.where(found, pos, 0)
+        filed = np.where(found, self.filed[safe], 0)
+        upheld = np.where(found, self.upheld[safe], 0)
+        return filed, upheld
+
+
+@dataclass(frozen=True)
+class Enrichment:
+    """The measured-truth join a ``FeatureBuilder`` vectorizes from.
+
+    Bundles the truth map with an optional challenge join; either part
+    can be absent at the claim level (missing tiles, unchallenged
+    pairs), and every output column stays finite.
+    """
+
+    truthmap: TruthMap
+    challenges: ChallengeJoin | None = None
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(ENRICH_FEATURES)
+
+    @property
+    def dim(self) -> int:
+        return len(ENRICH_FEATURES)
+
+    def feature_columns(
+        self, provider_id, cell, claimed_down, claimed_up
+    ) -> np.ndarray:
+        """The (n, 7) enrichment block for a claim batch.
+
+        ``claimed_down`` / ``claimed_up`` are the published claim speeds
+        the caller already gathered (the builder's claim columns).  Log
+        ratios are 0.0 where the direction is unmeasured; the explicit
+        ``Truth Tile Present`` indicator (plus the test count) lets the
+        model distinguish "no tile" from "measured, claim plausible".
+        """
+        provider_id = np.asarray(provider_id, dtype=np.int64)
+        cell = np.asarray(cell, dtype=np.uint64)
+        claimed_down = np.asarray(claimed_down, dtype=np.float64)
+        claimed_up = np.asarray(claimed_up, dtype=np.float64)
+        n = provider_id.size
+        X = np.zeros((n, self.dim))
+        tm = self.truthmap
+        pos = tm.positions(provider_id, cell)
+        present = pos >= 0
+        safe = np.where(present, pos, 0)
+
+        med_down = tm.median_down[safe]
+        med_up = tm.median_up[safe]
+        down_ok = present & np.isfinite(med_down)
+        up_ok = present & np.isfinite(med_up)
+        # Fill unmeasured slots before the log so NaN never propagates.
+        med_down_f = np.where(down_ok, med_down, 1.0)
+        med_up_f = np.where(up_ok, med_up, 1.0)
+        X[:, 0] = np.where(
+            down_ok, np.log2((claimed_down + 1.0) / (med_down_f + 1.0)), 0.0
+        )
+        X[:, 1] = np.where(
+            up_ok, np.log2((claimed_up + 1.0) / (med_up_f + 1.0)), 0.0
+        )
+        X[:, 2] = np.where(down_ok, med_down_f, 0.0)
+        X[:, 3] = np.where(present, tm.n_tests[safe], 0).astype(np.float64)
+        X[:, 4] = present.astype(np.float64)
+        if self.challenges is not None and len(self.challenges):
+            filed, upheld = self.challenges.counts(provider_id, cell)
+            X[:, 5] = filed.astype(np.float64)
+            X[:, 6] = upheld.astype(np.float64)
+        return X

@@ -1,0 +1,193 @@
+"""Composite audit-priority scores (fiber-opportunity-map style).
+
+Ranks (state, provider) groups by how much an auditor should care:
+three component signals — mean suspicion percentile from the score
+store, mean download overstatement from the enrichment join, and
+challenge density (filed + upheld per claim) — are each
+percentile-ranked to a common 0–100 scale across groups and combined
+with fixed weights.  Components whose inputs are unavailable (no
+enrichment, no challenge join) drop out and the remaining weights
+renormalize, so a store-only service still serves a suspicion-ranked
+priority surface.
+
+:func:`build_priority` materializes the whole table once per store
+build (every input is already columnar, so it is a handful of
+``bincount`` group-bys); :meth:`PriorityTable.page` serves the
+``GET /v2/analytics/priority`` walk in descending-priority rank order
+with the same after-rank cursor shape as the claims walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fcc.states import STATES
+from repro.obs.metrics import get_metrics
+
+__all__ = ["PriorityTable", "build_priority", "PRIORITY_WEIGHTS"]
+
+#: Component weights of the composite score, renormalized over the
+#: components actually available for a given build.
+PRIORITY_WEIGHTS = {
+    "suspicion": 0.5,
+    "overstatement": 0.3,
+    "challenges": 0.2,
+}
+
+
+def _percentile_rank(values: np.ndarray) -> np.ndarray:
+    """Each value's percentile (0–100] among ``values`` (ties share)."""
+    sorted_values = np.sort(values)
+    return (
+        100.0
+        * np.searchsorted(sorted_values, values, side="right")
+        / values.size
+    )
+
+
+@dataclass(frozen=True)
+class PriorityTable:
+    """Audit-priority rows in descending-priority order (rank 1 = first).
+
+    Parallel arrays, one row per (state, provider) group present in the
+    score store, pre-sorted by descending composite priority (ties break
+    on ascending (state, provider) — the group enumeration order — so
+    the ranking is deterministic).
+    """
+
+    state_idx: np.ndarray  # int16
+    provider_id: np.ndarray  # int64
+    n_claims: np.ndarray  # int64
+    mean_suspicion_percentile: np.ndarray  # float64
+    mean_overstatement_log2: np.ndarray  # float64 (0.0 without enrichment)
+    challenges_filed: np.ndarray  # int64
+    challenges_upheld: np.ndarray  # int64
+    priority: np.ndarray  # float64, 0-100 composite
+    #: Which components contributed (doc/debug surface for responses).
+    components: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return int(self.priority.size)
+
+    def record(self, row: int) -> dict:
+        """One priority row as a JSON-safe record dict."""
+        return {
+            "state": STATES[int(self.state_idx[row])].abbr,
+            "provider_id": int(self.provider_id[row]),
+            "n_claims": int(self.n_claims[row]),
+            "mean_suspicion_percentile": float(
+                self.mean_suspicion_percentile[row]
+            ),
+            "mean_overstatement_log2": float(
+                self.mean_overstatement_log2[row]
+            ),
+            "challenges_filed": int(self.challenges_filed[row]),
+            "challenges_upheld": int(self.challenges_upheld[row]),
+            "priority": float(self.priority[row]),
+            "rank": int(row + 1),
+        }
+
+    def page(
+        self,
+        after_rank: int = 0,
+        limit: int = 100,
+        state_idx: int | None = None,
+    ) -> tuple[list[dict], int | None, int]:
+        """One page of the descending-priority walk.
+
+        Ranks are positions in the *unfiltered* priority order (1-based),
+        so a cursor stays valid across filtered and unfiltered walks of
+        the same build.  Returns ``(records, next_rank, total)`` with
+        ``next_rank=None`` on the last page.
+        """
+        if state_idx is None:
+            mask = np.ones(len(self), dtype=bool)
+        else:
+            mask = self.state_idx == np.int16(state_idx)
+        rows = np.flatnonzero(mask)
+        total = int(rows.size)
+        rows = rows[rows >= after_rank]
+        page_rows = rows[:limit]
+        next_rank = (
+            int(page_rows[-1]) + 1
+            if page_rows.size and rows.size > page_rows.size
+            else None
+        )
+        return [self.record(int(r)) for r in page_rows], next_rank, total
+
+
+def build_priority(store, enrichment=None, weights=None) -> PriorityTable:
+    """Materialize the priority table for one score store build.
+
+    ``store`` is a :class:`repro.serve.store.ClaimScoreStore`;
+    ``enrichment`` (optional) supplies the overstatement and challenge
+    components.  All group-bys run over the store's columnar claims, so
+    the build is vectorized end to end.
+    """
+    with get_metrics().histogram("enrich_build_seconds", stage="priority").time():
+        return _build_priority(store, enrichment, weights)
+
+
+def _build_priority(store, enrichment, weights) -> PriorityTable:
+    claims = store.claims
+    weights = dict(PRIORITY_WEIGHTS if weights is None else weights)
+    group_keys = np.stack(
+        [claims.state_idx.astype(np.int64), claims.provider_id], axis=1
+    )
+    uniq, inverse = np.unique(group_keys, axis=0, return_inverse=True)
+    n_groups = uniq.shape[0]
+    n_claims = np.bincount(inverse, minlength=n_groups).astype(np.int64)
+    denom = n_claims.astype(np.float64)
+    mean_pct = (
+        np.bincount(inverse, weights=store.percentile, minlength=n_groups)
+        / denom
+    )
+
+    over_mean = np.zeros(n_groups)
+    filed = np.zeros(n_groups, dtype=np.int64)
+    upheld = np.zeros(n_groups, dtype=np.int64)
+    components = ["suspicion"]
+    parts = {"suspicion": _percentile_rank(mean_pct)}
+    if enrichment is not None:
+        enriched = enrichment.feature_columns(
+            claims.provider_id,
+            claims.cell,
+            claims.max_download_mbps,
+            claims.max_upload_mbps,
+        )
+        over_mean = (
+            np.bincount(inverse, weights=enriched[:, 0], minlength=n_groups)
+            / denom
+        )
+        components.append("overstatement")
+        parts["overstatement"] = _percentile_rank(over_mean)
+        if enrichment.challenges is not None and len(enrichment.challenges):
+            filed = np.bincount(
+                inverse, weights=enriched[:, 5], minlength=n_groups
+            ).astype(np.int64)
+            upheld = np.bincount(
+                inverse, weights=enriched[:, 6], minlength=n_groups
+            ).astype(np.int64)
+            density = (filed + upheld).astype(np.float64) / denom
+            components.append("challenges")
+            parts["challenges"] = _percentile_rank(density)
+
+    total_weight = sum(weights[name] for name in components)
+    priority = np.zeros(n_groups)
+    for name in components:
+        priority += (weights[name] / total_weight) * parts[name]
+
+    order = np.argsort(-priority, kind="stable")
+    return PriorityTable(
+        state_idx=uniq[order, 0].astype(np.int16),
+        provider_id=uniq[order, 1].astype(np.int64),
+        n_claims=n_claims[order],
+        mean_suspicion_percentile=mean_pct[order],
+        mean_overstatement_log2=over_mean[order],
+        challenges_filed=filed[order],
+        challenges_upheld=upheld[order],
+        priority=priority[order],
+        components=tuple(components),
+    )

@@ -52,6 +52,11 @@ import numpy as np
 
 from repro.dataset.likely_served import MLabLocalization
 from repro.dataset.observations import Observation, observation_columns
+from repro.enrich.overstatement import (
+    BASE_FEATURE_SET_VERSION,
+    ENRICHED_FEATURE_SET_VERSION,
+    Enrichment,
+)
 from repro.fcc.bdc import AvailabilityTable, ClaimKey
 from repro.fcc.fabric import Fabric
 from repro.fcc.providers import ProviderUniverse
@@ -87,11 +92,13 @@ class FeatureBuilder:
         localization: MLabLocalization,
         embedder: TextEmbedder | None = None,
         embedding_dim: int = 32,
+        enrichment: Enrichment | None = None,
     ):
         self.fabric = fabric
         self.universe = universe
         self.coverage_scores = coverage_scores
         self.localization = localization
+        self.enrichment = enrichment
         self.embedder = embedder or TextEmbedder(dim=embedding_dim)
         self._state_encoder = StateOneHot()
         self._tech_encoder = TechnologyOneHot()
@@ -106,6 +113,11 @@ class FeatureBuilder:
         self._claim_attrs_cache: (
             dict[ClaimKey, tuple[int, float, float, bool]] | None
         ) = None
+        # Enrichment feature block per claim-table row, computed lazily on
+        # the first enriched batch: the block is a pure elementwise
+        # function of the claim row, so batches gather cached rows instead
+        # of re-running the truth-map and challenge joins every call.
+        self._enrich_rows: np.ndarray | None = None
         # Coverage scores as a columnar (cell -> score) table.
         cov_cells = np.fromiter(
             coverage_scores.keys(), dtype=np.uint64, count=len(coverage_scores)
@@ -173,12 +185,15 @@ class FeatureBuilder:
 
     @property
     def feature_names(self) -> list[str]:
-        return (
+        names = (
             list(CORE_FEATURES)
             + self._state_encoder.feature_names
             + self._tech_encoder.feature_names
             + [f"Methodology_Emb_{i}" for i in range(self.embedder.dim)]
         )
+        if self.enrichment is not None:
+            names += list(self.enrichment.feature_names)
+        return names
 
     @property
     def n_features(self) -> int:
@@ -187,6 +202,21 @@ class FeatureBuilder:
             + self._state_encoder.dim
             + self._tech_encoder.dim
             + self.embedder.dim
+            + (self.enrichment.dim if self.enrichment is not None else 0)
+        )
+
+    @property
+    def feature_set_version(self) -> int:
+        """Version stamped into encoder manifests (base = 1, enriched = 2).
+
+        Persisted artifacts refuse to restore across a mismatch: a model
+        trained on the enriched feature block must never score through a
+        base builder, and vice versa.
+        """
+        return (
+            ENRICHED_FEATURE_SET_VERSION
+            if self.enrichment is not None
+            else BASE_FEATURE_SET_VERSION
         )
 
     def vectorize_one(self, obs: Observation) -> np.ndarray:
@@ -207,14 +237,24 @@ class FeatureBuilder:
                 float(self.localization.provider_test_count(obs.provider_id, obs.cell)),
             ]
         )
-        return np.concatenate(
-            [
-                core,
-                self._state_encoder.encode(obs.state),
-                self._tech_encoder.encode(obs.technology),
-                self._embedding_for(obs.provider_id),
-            ]
-        )
+        parts = [
+            core,
+            self._state_encoder.encode(obs.state),
+            self._tech_encoder.encode(obs.technology),
+            self._embedding_for(obs.provider_id),
+        ]
+        if self.enrichment is not None:
+            # Length-1-batch call into the same columnar path, so the
+            # row-at-a-time reference stays bitwise-equal to vectorize.
+            parts.append(
+                self.enrichment.feature_columns(
+                    np.array([obs.provider_id], dtype=np.int64),
+                    np.array([obs.cell], dtype=np.uint64),
+                    np.array([down], dtype=np.float64),
+                    np.array([up], dtype=np.float64),
+                )[0]
+            )
+        return np.concatenate(parts)
 
     @property
     def _claim_attrs(self) -> dict[ClaimKey, tuple[int, float, float, bool]]:
@@ -249,13 +289,14 @@ class FeatureBuilder:
 
     def _claim_columns(
         self, provider_id: np.ndarray, cell: np.ndarray, technology: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Batched :meth:`_claim_scalars`: (count, down, up, lowlat) arrays.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`_claim_scalars`: (count, down, up, lowlat, pos).
 
         Claims present in the filing table resolve through one vectorized
-        :meth:`~repro.fcc.bdc.ClaimColumns.positions` lookup; absent ones
-        fall back to provider tier attributes, computed once per distinct
-        missing (provider, technology) pair.
+        :meth:`~repro.fcc.bdc.ClaimColumns.positions` lookup (``pos`` is
+        that lookup's result, ``-1`` = absent); absent ones fall back to
+        provider tier attributes, computed once per distinct missing
+        (provider, technology) pair.
         """
         claims = self._claims
         pos = claims.positions(provider_id, cell, technology)
@@ -286,7 +327,7 @@ class FeatureBuilder:
             down[miss] = fb[inv, 0]
             up[miss] = fb[inv, 1]
             lowlat[miss] = fb[inv, 2] != 0.0
-        return n_claimed, down, up, lowlat
+        return n_claimed, down, up, lowlat, pos
 
     @property
     def claims(self):
@@ -329,7 +370,7 @@ class FeatureBuilder:
         emb_off = tech_off + self._tech_encoder.dim
         X = np.zeros((n, self.n_features))
 
-        n_claimed, down, up, lowlat = self._claim_columns(
+        n_claimed, down, up, lowlat, claim_pos = self._claim_columns(
             cols.provider_id, cols.cell, cols.technology
         )
         X[:, 0] = down
@@ -373,8 +414,35 @@ class FeatureBuilder:
         embeddings = np.vstack(
             [self._embedding_for(int(p)) for p in uniq_providers]
         )
-        X[:, emb_off:] = embeddings[provider_inv]
+        emb_end = emb_off + self.embedder.dim
+        X[:, emb_off:emb_end] = embeddings[provider_inv]
+
+        if self.enrichment is not None:
+            # Rows backed by a filing-table claim gather the per-claim
+            # cached block (the block is elementwise in the claim row, so
+            # the gather is bitwise-identical to recomputing); only
+            # hypothetical claims run the joins.
+            found = claim_pos >= 0
+            block = self._enrichment_rows()[np.where(found, claim_pos, 0)]
+            if not found.all():
+                miss = np.flatnonzero(~found)
+                block[miss] = self.enrichment.feature_columns(
+                    cols.provider_id[miss], cols.cell[miss], down[miss], up[miss]
+                )
+            X[:, emb_end:] = block
         return X
+
+    def _enrichment_rows(self) -> np.ndarray:
+        """The (n_claims, enrichment.dim) block for every claim-table row."""
+        if self._enrich_rows is None:
+            claims = self._claims
+            self._enrich_rows = self.enrichment.feature_columns(
+                claims.provider_id,
+                claims.cell,
+                claims.max_download_mbps,
+                claims.max_upload_mbps,
+            )
+        return self._enrich_rows
 
     def labels(self, observations: list[Observation]) -> np.ndarray:
         """Binary label vector (1 = unserved/suspicious)."""
@@ -399,6 +467,7 @@ class FeatureBuilder:
         """
         manifest = {
             "embedder": self.embedder.spec(),
+            "feature_set_version": self.feature_set_version,
             "state_categories": list(self._state_encoder.categories),
             "technology_categories": [
                 int(c) for c in self._tech_encoder.categories
@@ -441,6 +510,15 @@ class FeatureBuilder:
             raise ValueError(
                 f"stored embedder spec {manifest['embedder']} does not match "
                 f"this builder's {self.embedder.spec()}"
+            )
+        # Manifests written before the enrichment layer carry no version
+        # stamp and are by construction base-feature (version 1).
+        stored_version = int(manifest.get("feature_set_version", 1))
+        if stored_version != self.feature_set_version:
+            raise ValueError(
+                f"stored feature-set version {stored_version} does not match "
+                f"this builder's {self.feature_set_version} — a model "
+                "trained on one feature set cannot score through the other"
             )
         if tuple(manifest["state_categories"]) != self._state_encoder.categories:
             raise ValueError("stored state categories do not match this builder")

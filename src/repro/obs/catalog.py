@@ -152,6 +152,11 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "histogram",
         "Wall time per build_world pipeline stage.",
     ),
+    # -- enrich/truthmap.py + enrich/priority.py (process-wide) ----------
+    "enrich_build_seconds": (
+        "histogram",
+        "Wall time per enrichment build stage (truthmap | priority).",
+    ),
     "model_fit_seconds": (
         "histogram",
         "Wall time per NBMIntegrityModel.fit stage "

@@ -39,6 +39,8 @@ TOLERANCES: dict[str, float] = {
     "percentile_separation": 2.0,
     "ref_target_mean_percentile": 1.5,
     "baseline_target_mean_percentile": 1.5,
+    "base_auc_injected": 0.02,
+    "enrichment_margin": 0.04,
 }
 
 #: Metrics excluded from the golden document (machine-dependent).

@@ -43,7 +43,13 @@ import numpy as np
 
 from repro.core.config import ScenarioConfig
 from repro.core.model import NBMIntegrityModel
-from repro.core.pipeline import SimulationWorld, build_dataset, build_world, make_feature_builder
+from repro.core.pipeline import (
+    SimulationWorld,
+    build_dataset,
+    build_world,
+    enrichment_from_world,
+    make_feature_builder,
+)
 from repro.dataset.splits import Split, random_observation_split
 from repro.fcc.fabric import FabricConfig
 from repro.fcc.providers import ProviderConfig
@@ -124,9 +130,20 @@ class ScenarioMetrics:
     binned_equals_float: bool
     #: Store-build throughput (claims scored per second; not goldened).
     claims_per_s: float
+    #: "enriched" scenarios only: AUC of a base-feature control model
+    #: trained on the same scenario world, and the margin the enrichment
+    #: block adds over it (``auc_injected - base_auc_injected``).  None
+    #: for base-feature scenarios — and *omitted* from :meth:`as_dict`,
+    #: so pre-enrichment golden entries compare unchanged.
+    base_auc_injected: float | None = None
+    enrichment_margin: float | None = None
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        doc = asdict(self)
+        for optional in ("base_auc_injected", "enrichment_margin"):
+            if doc[optional] is None:
+                del doc[optional]
+        return doc
 
 
 @dataclass
@@ -182,7 +199,14 @@ def run_scenario(
     scenario = registry.build_scenario(name, baseline.config, intensity)
     world = scenario.world
     dataset = build_dataset(world)
-    builder = make_feature_builder(world)
+    # "enriched" scenarios train on the measured-truth feature block; the
+    # fixed-reference scoring (and the base-feature control model) go
+    # through a plain base builder — the baseline classifier was trained
+    # on base features and must never see the wider matrix.
+    enriched = "enriched" in spec.tags
+    enrichment = enrichment_from_world(world) if enriched else None
+    builder = make_feature_builder(world, enrichment=enrichment)
+    base_builder = make_feature_builder(world) if enriched else builder
     split = random_observation_split(dataset, seed=1)
     model = NBMIntegrityModel(builder, params=baseline.config.model).fit(
         dataset, split.train_idx
@@ -190,9 +214,13 @@ def run_scenario(
     t0 = time.perf_counter()
     store = ClaimScoreStore.build(model.classifier, builder)
     build_s = time.perf_counter() - t0
-    ref_store = ClaimScoreStore.build(baseline.model.classifier, builder)
+    ref_store = ClaimScoreStore.build(baseline.model.classifier, base_builder)
     service = AuditService(
-        store, classifier=model.classifier, builder=builder, model=model
+        store,
+        classifier=model.classifier,
+        builder=builder,
+        model=model,
+        enrichment=enrichment,
     )
 
     mask = scenario.injected_mask()
@@ -208,6 +236,18 @@ def run_scenario(
     baseline_target = _provider_mean_percentile(
         baseline.store, scenario.target_provider_ids
     )
+    base_auc = None
+    enrichment_margin = None
+    if enriched and both_classes:
+        # The control: the same GBDT recipe on the same scenario world,
+        # minus the enrichment block.  The margin this leaves proves the
+        # enriched features add separation the base set cannot achieve.
+        base_model = NBMIntegrityModel(
+            base_builder, params=baseline.config.model
+        ).fit(dataset, split.train_idx)
+        base_store = ClaimScoreStore.build(base_model.classifier, base_builder)
+        base_auc = float(roc_auc_score(labels, base_store.margin))
+        enrichment_margin = float(auc) - base_auc
     metrics = ScenarioMetrics(
         name=name,
         intensity=float(intensity),
@@ -227,6 +267,8 @@ def run_scenario(
         baseline_target_mean_percentile=baseline_target,
         binned_equals_float=binned_ok,
         claims_per_s=float(len(store) / build_s) if build_s > 0 else float("inf"),
+        base_auc_injected=base_auc,
+        enrichment_margin=enrichment_margin,
     )
     return ScenarioRun(
         scenario=scenario,
@@ -260,6 +302,19 @@ def check_invariants(run: ScenarioRun, baseline: HarnessBaseline) -> list[str]:
             f"percentile separation {m.percentile_separation:.1f} below "
             f"floor {spec.min_separation:.1f}"
         )
+    if spec.min_enrichment_margin is not None:
+        if m.enrichment_margin is None:
+            failures.append(
+                "scenario declares min_enrichment_margin but the run "
+                "produced no enrichment margin (missing 'enriched' tag?)"
+            )
+        elif not m.enrichment_margin >= spec.min_enrichment_margin:
+            failures.append(
+                f"enrichment margin {m.enrichment_margin:.3f} "
+                f"(AUC {m.auc_injected:.3f} enriched vs "
+                f"{m.base_auc_injected:.3f} base) below floor "
+                f"{spec.min_enrichment_margin:.2f}"
+            )
     if m.baseline_target_mean_percentile is not None:
         if m.ref_target_mean_percentile < (
             m.baseline_target_mean_percentile - MONOTONICITY_TOL

@@ -35,6 +35,12 @@ Name                            Pathology
                                 consultant text plus buffered overclaims
 ``overclaim_surge``             every terrestrial provider's overclaim rate
                                 surges at once (the worst-map regime)
+``speed_overstatement_gradient`` fast-tier claims spread over cells served
+                                only by slow plant — just the measured-speed
+                                enrichment sees the gap
+``challenge_validated_overclaim`` overclaims into a provider's own served
+                                cells, later conceded under challenge — the
+                                challenge-join features carry the signal
 ==============================  ==============================================
 
 All randomness is drawn from ``stream_rng(config.seed, "scenario", name,
@@ -51,6 +57,7 @@ import numpy as np
 from repro.core.config import ScenarioConfig
 from repro.core.pipeline import PipelineHooks, SimulationWorld, build_world
 from repro.fcc.bdc import AvailabilityTable, ClaimKey
+from repro.fcc.challenges import ChallengeOutcome, ChallengeReason, ChallengeRecord
 from repro.fcc.providers import (
     FootprintPair,
     Methodology,
@@ -717,6 +724,254 @@ def stale_release_carryover(
         config,
         intensity,
         PipelineHooks(post_timeline=post_timeline),
+        candidates,
+        targets,
+    )
+
+
+# -- measured-truth (enriched) scenarios --------------------------------------
+
+
+@register(
+    "speed_overstatement_gradient",
+    description=(
+        "Multi-tier providers extend their fast tech's claimed footprint "
+        "over cells only their slow plant truly serves.  The claims are "
+        "indistinguishable from the provider's legitimate fast filings "
+        "in every base feature — only the measured-truth overstatement "
+        "gradient exposes the gap between the 500+ Mbps claim and the "
+        "~10 Mbps the plant actually delivers there."
+    ),
+    auc_floor=0.72,
+    min_separation=10.0,
+    tags=("filing", "enriched"),
+    min_enrichment_margin=0.02,
+)
+def speed_overstatement_gradient(
+    config: ScenarioConfig, intensity: float = 1.0
+) -> ScenarioWorld:
+    candidates: list[ClaimKey] = []
+    targets: set[int] = set()
+    claim_state: dict[ClaimKey, str] = {}
+    rng = _rng(config, "speed_overstatement_gradient")
+
+    def post_universe(fabric, universe):
+        # Each chosen provider already sells a fast tier (cable/fiber-class
+        # speeds) alongside a slow one, and quietly extends the *fast*
+        # tech's claimed footprint over cells only its slow plant truly
+        # serves.  The injected claims share provider, technology, and
+        # advertised speeds with thousands of that provider's legitimate
+        # filings — and their cells have devices and attributed tests —
+        # so no base feature separates them.  Only the measured-truth
+        # tiles (~10 Mbps medians under a 500+ Mbps claim) carry the
+        # gradient.
+        expansions = []  # (pool_size, pid, fast_key, pool)
+        for provider in universe.providers:
+            pid = provider.provider_id
+            fast_techs = {
+                t.technology
+                for t in provider.tiers
+                if t.technology != 60 and t.max_download_mbps >= 300.0
+            }
+            slow_techs = {
+                t.technology
+                for t in provider.tiers
+                if t.technology != 60 and t.max_download_mbps <= 100.0
+            }
+            if not fast_techs or not slow_techs:
+                continue
+            for key in sorted(k for k in universe.footprints if k[0] == pid):
+                _pid, abbr, tech = key
+                if tech not in fast_techs:
+                    continue
+                slow_served: set[int] = set()
+                for s_tech in slow_techs:
+                    fp = universe.footprints.get((pid, abbr, s_tech))
+                    if fp is not None:
+                        slow_served |= set(fp.true_cells)
+                pool = slow_served - universe.footprints[key].claimed_cells
+                if pool:
+                    expansions.append((len(pool), pid, key, pool))
+        expansions.sort(key=lambda e: (-e[0], e[1], e[2]))
+        budget = max(50, _scale(intensity, 2500))
+        for _size, pid, key, pool in expansions:
+            if budget <= 0:
+                break
+            extra = _sample_cells(
+                rng, pool, min(budget, _scale(intensity, len(pool)))
+            )
+            if not extra:
+                continue
+            budget -= len(extra)
+            _extend_claimed(universe, key, extra)
+            targets.add(pid)
+            _pid, abbr, tech = key
+            for cell in extra:
+                claim = (pid, cell, tech)
+                candidates.append(claim)
+                claim_state[claim] = abbr
+
+    def post_challenges(table, universe, challenges):
+        # Subscribers on the slow plant notice the fast-tier claim: a
+        # speed-challenge wave hits a fifth of the extended filings.
+        # The rest stay unlabelled — the model has to carry the measured
+        # gradient from the challenged fifth to the quiet majority.
+        keys = sorted(set(candidates))
+        if not keys:
+            return challenges
+        claims = table.columnar()
+        pos = claims.positions(
+            np.array([k[0] for k in keys], dtype=np.int64),
+            np.array([k[1] for k in keys], dtype=np.uint64),
+            np.array([k[2] for k in keys], dtype=np.int64),
+        )
+        materialized = [k for k, p in zip(keys, pos) if p >= 0]
+        next_id = max((r.challenge_id for r in challenges), default=0) + 1
+        appended = []
+        for claim in materialized:
+            if rng.random() >= 0.2:
+                continue
+            pid, cell, tech = claim
+            conceded = bool(rng.random() < 0.75)
+            appended.append(
+                ChallengeRecord(
+                    challenge_id=next_id,
+                    provider_id=pid,
+                    cell=cell,
+                    technology=tech,
+                    state=claim_state[claim],
+                    n_bsls=int(rng.integers(1, 4)),
+                    reason=ChallengeReason.SPEEDS_UNAVAILABLE,
+                    outcome=(
+                        ChallengeOutcome.PROVIDER_CONCEDED
+                        if conceded
+                        else ChallengeOutcome.FCC_UPHELD
+                    ),
+                    fcc_adjudicated=not conceded,
+                    resolved_release=int(
+                        rng.integers(1, 5) if conceded else rng.integers(8, 15)
+                    ),
+                    major_release=0,
+                )
+            )
+            next_id += 1
+        return list(challenges) + appended
+
+    return _world(
+        "speed_overstatement_gradient",
+        config,
+        intensity,
+        PipelineHooks(post_universe=post_universe, post_challenges=post_challenges),
+        candidates,
+        targets,
+    )
+
+
+@register(
+    "challenge_validated_overclaim",
+    description=(
+        "Multi-technology providers quietly extend one technology's "
+        "claimed footprint into cells their other plant already serves, "
+        "then concede when challenged.  The cells look served to every "
+        "base feature; the conceded/upheld challenge records joined by "
+        "the enrichment layer are the only durable fingerprint."
+    ),
+    auc_floor=0.70,
+    min_separation=10.0,
+    tags=("filing", "challenge", "enriched"),
+    min_enrichment_margin=0.08,
+)
+def challenge_validated_overclaim(
+    config: ScenarioConfig, intensity: float = 1.0
+) -> ScenarioWorld:
+    candidates: list[ClaimKey] = []
+    targets: set[int] = set()
+    claim_state: dict[ClaimKey, str] = {}
+    rng = _rng(config, "challenge_validated_overclaim")
+
+    def post_universe(fabric, universe):
+        multi = sorted(
+            {
+                pid
+                for (pid, _a, _t) in universe.footprints
+                if len({t for (p, _s, t) in universe.footprints if p == pid and t != 60})
+                >= 2
+            }
+        )
+        chosen = multi[: max(2, _scale(intensity, 6))]
+        for pid in chosen:
+            keys = sorted(
+                k for k in universe.footprints if k[0] == pid and k[2] != 60
+            )
+            for key in keys:
+                _pid, abbr, tech = key
+                # Cells the provider truly serves through *other* plant in
+                # the same state but has never claimed under this tech.
+                served_elsewhere: set[int] = set()
+                for other in keys:
+                    if other[1] == abbr and other[2] != tech:
+                        served_elsewhere |= set(universe.footprints[other].true_cells)
+                pool = served_elsewhere - universe.footprints[key].claimed_cells
+                extra = _sample_cells(
+                    rng, pool, _scale(intensity, len(pool), fraction=0.75)
+                )
+                if not extra:
+                    continue
+                _extend_claimed(universe, key, extra)
+                targets.add(pid)
+                for cell in extra:
+                    claim = (pid, cell, tech)
+                    candidates.append(claim)
+                    claim_state[claim] = abbr
+
+    def post_challenges(table, universe, challenges):
+        keys = sorted(set(candidates))
+        if not keys:
+            return challenges
+        claims = table.columnar()
+        pos = claims.positions(
+            np.array([k[0] for k in keys], dtype=np.int64),
+            np.array([k[1] for k in keys], dtype=np.uint64),
+            np.array([k[2] for k in keys], dtype=np.int64),
+        )
+        materialized = [k for k, p in zip(keys, pos) if p >= 0]
+        next_id = max((r.challenge_id for r in challenges), default=0) + 1
+        appended = []
+        for claim in materialized:
+            pid, cell, tech = claim
+            conceded = bool(rng.random() < 0.7)
+            outcome = (
+                ChallengeOutcome.PROVIDER_CONCEDED
+                if conceded
+                else ChallengeOutcome.FCC_UPHELD
+            )
+            appended.append(
+                ChallengeRecord(
+                    challenge_id=next_id,
+                    provider_id=pid,
+                    cell=cell,
+                    technology=tech,
+                    state=claim_state[claim],
+                    n_bsls=int(rng.integers(1, 4)),
+                    reason=(
+                        ChallengeReason.TECHNOLOGY_UNAVAILABLE
+                        if rng.random() < 0.55
+                        else ChallengeReason.SPEEDS_UNAVAILABLE
+                    ),
+                    outcome=outcome,
+                    fcc_adjudicated=not conceded,
+                    resolved_release=int(rng.integers(1, 5) if conceded else rng.integers(8, 15)),
+                    major_release=0,
+                )
+            )
+            next_id += 1
+        return list(challenges) + appended
+
+    return _world(
+        "challenge_validated_overclaim",
+        config,
+        intensity,
+        PipelineHooks(post_universe=post_universe, post_challenges=post_challenges),
         candidates,
         targets,
     )

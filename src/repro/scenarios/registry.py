@@ -57,8 +57,14 @@ class ScenarioSpec:
     auc_floor: float = 0.65
     #: Harness floor for mean injected-minus-clean percentile separation.
     min_separation: float = 5.0
-    #: Free-form tags ("filing", "challenge", "release", ...).
+    #: Free-form tags ("filing", "challenge", "release", "enriched", ...).
+    #: The "enriched" tag makes the harness train with the measured-truth
+    #: enrichment features and also fit a base-feature control model.
     tags: tuple[str, ...] = ()
+    #: For "enriched" scenarios: floor on ``auc_injected`` minus the
+    #: base-feature control's AUC — the separation the enrichment block
+    #: must add beyond what the base feature set can achieve.
+    min_enrichment_margin: float | None = None
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,7 @@ def register(
     auc_floor: float = 0.65,
     min_separation: float = 5.0,
     tags: tuple[str, ...] = (),
+    min_enrichment_margin: float | None = None,
 ):
     """Decorator registering a ``(config, intensity) -> ScenarioWorld`` builder."""
 
@@ -119,6 +126,7 @@ def register(
             auc_floor=auc_floor,
             min_separation=min_separation,
             tags=tags,
+            min_enrichment_margin=min_enrichment_margin,
         )
         return fn
 

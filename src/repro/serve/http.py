@@ -28,6 +28,11 @@ Route                                                 Response
                                                       cell)
 ``POST /v2/claims:batchScore``                        bulk scoring; body
                                                       ``{"claims": [...]}``
+``GET /v2/analytics/priority?[state=XX]&limit=``      cursor-paginated audit-
+``&cursor=``                                          priority walk (composite
+                                                      suspicion/overstatement/
+                                                      challenge ranking per
+                                                      state × provider)
 ``GET /v2/providers/{provider_id}``                   provider score profile
 ``GET /v2/states/{abbr}``                             state score profile
 ``GET /v2/models``                                    registry versions +
@@ -136,7 +141,13 @@ from repro.serve.schemas import (
 )
 from repro.serve.service import AuditService
 
-__all__ = ["AuditHTTPServer", "PlainTextResult", "make_server", "build_router"]
+__all__ = [
+    "AuditHTTPServer",
+    "PlainTextResult",
+    "RawJsonResult",
+    "make_server",
+    "build_router",
+]
 
 #: Cap on top-k, page limits, and bulk-scoring request size — enforced
 #: uniformly across the v1 and v2 read/score endpoints.
@@ -167,6 +178,39 @@ class PlainTextResult:
         self.content_type = content_type
 
 
+class RawJsonResult:
+    """Marker return type for handlers that already hold the response as
+    encoded JSON bytes (the paginated-walk fast path, which splices
+    cached per-record fragments instead of re-encoding every page)."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: bytes):
+        self.body = body
+
+
+def page_envelope_json(
+    item_fragments: list[bytes],
+    next_cursor: str | None,
+    total: int,
+    model_version: str,
+) -> bytes:
+    """Splice pre-encoded item fragments into the canonical v2 page
+    envelope, byte-identical to ``json.dumps`` of the equivalent dict
+    (``{"items": [...], "next_cursor": ..., "total": ...,
+    "model_version": ...}`` with default separators)."""
+    return (
+        b'{"items": ['
+        + b", ".join(item_fragments)
+        + b"], "
+        + (
+            f'"next_cursor": {json.dumps(next_cursor)}, '
+            f'"total": {int(total)}, '
+            f'"model_version": {json.dumps(model_version)}}}'
+        ).encode("utf-8")
+    )
+
+
 @dataclass
 class RequestContext:
     """Everything one matched request needs, version-snapshotted."""
@@ -184,6 +228,10 @@ class RequestContext:
     #: merged ``MetricsRegistry.export_state`` dumps for every worker, or
     #: ``None`` when aggregation is unavailable (fall back to local).
     metrics_view: Callable[[], dict | None] | None = None
+    #: True when ``?trace=1`` activated request tracing: handlers with a
+    #: pre-encoded fast path must return a plain dict instead so the span
+    #: tree can be attached to the response.
+    tracing: bool = False
     _version: ModelVersion | None = field(default=None, repr=False)
 
     @property
@@ -458,6 +506,15 @@ def _v2_claims_list(ctx: RequestContext):
         if next_rank is None
         else encode_cursor(version.name, next_rank, fingerprint, store.etag)
     )
+    if not ctx.tracing:
+        # Hot path at full-walk scale: record fragments are invariant for
+        # a given store build, so each is JSON-encoded once (store-level
+        # cache) and pages splice bytes instead of re-encoding rows.
+        return RawJsonResult(
+            page_envelope_json(
+                store.records_json(rows), next_cursor, total, version.name
+            )
+        )
     # The canonical Page shape (schemas.Page.to_dict), assembled from the
     # store's record dicts directly — this is a hot path at full-walk
     # scale, so no dataclass round-trip per row.
@@ -481,6 +538,58 @@ def _v2_batch_score(ctx: RequestContext):
         "results": results,
         "model_version": ctx.version.name,
         "degraded": degraded,
+    }
+
+
+def _v2_priority(ctx: RequestContext):
+    """``GET /v2/analytics/priority`` — the audit-priority walk.
+
+    Pages the composite (suspicion + overstatement + challenge-density)
+    ranking of (state, provider) groups in descending priority, with the
+    same cursor contract as the claims walk: cursors bind to the model
+    version, the store build (etag), and the filter fingerprint.
+    """
+    limit = ctx.query["limit"]
+    if not 1 <= limit <= MAX_RESULT_ROWS:
+        raise BadRequest(f"limit must be in [1, {MAX_RESULT_ROWS}]")
+    state = ctx.query["state"]
+    state_idx = state_index(state) if state is not None else None
+    version = ctx.version
+    store = version.store
+    # "resource" keys the fingerprint so a claims-walk cursor carrying
+    # only a state filter can never validate against this route.
+    fingerprint = filter_fingerprint(resource="priority", state_idx=state_idx)
+    after_rank = 0
+    token = ctx.query["cursor"]
+    if token is not None:
+        cursor = decode_cursor(token)
+        if cursor.version != version.name:
+            raise BadRequest(
+                f"cursor was issued for model version {cursor.version!r} "
+                f"but the current default is {version.name!r}; restart "
+                "the walk"
+            )
+        if cursor.etag != store.etag:
+            raise BadRequest(
+                f"cursor was issued for a different build of model "
+                f"version {version.name!r}; restart the walk"
+            )
+        if cursor.fingerprint != fingerprint:
+            raise BadRequest("cursor does not match the request filters")
+        after_rank = cursor.rank
+    records, next_rank, total = ctx.service.priority_page(
+        after_rank=after_rank, limit=limit, state=state, version=version.name
+    )
+    next_cursor = (
+        None
+        if next_rank is None
+        else encode_cursor(version.name, next_rank, fingerprint, store.etag)
+    )
+    return {
+        "items": records,
+        "next_cursor": next_cursor,
+        "total": total,
+        "model_version": version.name,
     }
 
 
@@ -539,6 +648,16 @@ def build_router() -> Router:
         ),
     )
     router.add("POST", "/v2/claims:batchScore", _v2_batch_score)
+    router.add(
+        "GET",
+        "/v2/analytics/priority",
+        _v2_priority,
+        query=(
+            QueryParam("state"),
+            QueryParam("limit", "int", default=DEFAULT_PAGE_LIMIT),
+            QueryParam("cursor"),
+        ),
+    )
     router.add("GET", "/v2/providers/{provider_id}", _v2_provider)
     router.add("GET", "/v2/states/{abbr}", _v2_state)
     router.add("GET", "/v2/models", _v2_models, admit=False)
@@ -881,6 +1000,7 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
                             deadline=deadline,
                             admission=getattr(self.server, "admission", None),
                             metrics_view=getattr(self.server, "metrics_view", None),
+                            tracing=tracer is not None,
                         )
                         with obs_span("handler", route=route.name):
                             result = route.handler(ctx)
@@ -895,6 +1015,8 @@ class _AuditRequestHandler(BaseHTTPRequestHandler):
                         tracing.__exit__(None, None, None)
                 if isinstance(result, PlainTextResult):
                     self._send_text(200, result)
+                elif isinstance(result, RawJsonResult):
+                    self._send_bytes(200, result.body, "application/json", None)
                 else:
                     self._send_json(200, result)
             finally:

@@ -56,8 +56,15 @@ class AuditService:
         cache_size: int | None = None,
         registry: ModelRegistry | None = None,
         version_name: str | None = None,
+        enrichment=None,
     ):
         self.threshold = float(threshold)
+        # Service-level (not per-version): the measured-truth join is an
+        # attribute of the world the claims came from, shared by every
+        # version serving those claims.  Optional — without it the
+        # priority surface degrades to its suspicion-only composite.
+        self.enrichment = enrichment
+        self._priority_cache: dict[tuple[str, str], object] = {}
         batcher_config = {
             key: value
             for key, value in (
@@ -335,6 +342,45 @@ class AuditService:
         store = self._resolve(version).store
         mask = store.claims.state_idx == np.int16(idx)
         return self._summary(store, mask, {"state": STATES[idx].abbr}, top_k)
+
+    # -- audit-priority surface (repro.enrich.priority) -----------------------
+
+    def priority_table(self, version: str | None = None):
+        """The audit-priority table for a version's store, built lazily.
+
+        Materialized once per (version, store etag) — a hot-swap or
+        rebuild invalidates the cached table automatically because the
+        new store carries a new etag.
+        """
+        resolved = self._resolve(version)
+        store = resolved.store
+        key = (resolved.name, store.etag)
+        table = self._priority_cache.get(key)
+        if table is None:
+            from repro.enrich.priority import build_priority
+
+            table = build_priority(store, enrichment=self.enrichment)
+            self._priority_cache = {key: table}
+        return table
+
+    def priority_page(
+        self,
+        after_rank: int = 0,
+        limit: int = 100,
+        state: str | None = None,
+        version: str | None = None,
+    ) -> tuple[list[dict], int | None, int]:
+        """One page of the descending audit-priority walk.
+
+        Returns ``(records, next_rank, total)`` exactly like the store's
+        suspicion pagination, with ranks in the unfiltered priority
+        order.
+        """
+        table = self.priority_table(version)
+        state_idx = state_index(state) if state is not None else None
+        return table.page(
+            after_rank=after_rank, limit=limit, state_idx=state_idx
+        )
 
     # -- labelled reports (reuse repro.core.reports) ------------------------
 

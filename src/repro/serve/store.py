@@ -137,6 +137,7 @@ class ClaimScoreStore:
                     self.percentile, self._sorted_margin):
             arr.setflags(write=False)
         self._etag: str | None = None
+        self._record_json_cache: dict[int, bytes] = {}
 
     #: Derived arrays persisted by ``save_sharded`` so a single-shard
     #: bundle can serve without recomputing them per process (key ->
@@ -188,6 +189,7 @@ class ClaimScoreStore:
             if arr.flags.writeable:
                 arr.setflags(write=False)
         obj._etag = None
+        obj._record_json_cache = {}
         return obj
 
     def __len__(self) -> int:
@@ -324,6 +326,29 @@ class ClaimScoreStore:
 
     def records(self, rows: np.ndarray) -> list[dict]:
         return [self.record(int(r)) for r in np.asarray(rows, dtype=np.int64)]
+
+    def record_json(self, row: int) -> bytes:
+        """One claim's record pre-encoded as a JSON fragment (cached).
+
+        A store's records are frozen for its lifetime, so each row is
+        encoded at most once and paginated walks splice the cached bytes
+        into the response envelope instead of re-serializing the dict on
+        every page.  The fragment is byte-identical to ``json.dumps`` of
+        :meth:`record` with default separators (a unit test pins it).
+        Concurrent first encodes of the same row are benign: both threads
+        compute identical bytes.
+        """
+        cached = self._record_json_cache.get(row)
+        if cached is None:
+            cached = json.dumps(self.record(row)).encode("utf-8")
+            self._record_json_cache[row] = cached
+        return cached
+
+    def records_json(self, rows: np.ndarray) -> list[bytes]:
+        """Pre-encoded JSON fragments for a batch of rows."""
+        return [
+            self.record_json(int(r)) for r in np.asarray(rows, dtype=np.int64)
+        ]
 
     def margin_percentile(self, margin) -> np.ndarray:
         """Percentile of arbitrary margins against the stored distribution.

@@ -1,11 +1,20 @@
 """Crowdsourced speed-test substrate (simulated): Ookla open-data tiles,
-MLab NDT7 test rows, and the IP-geolocation error model."""
+MLab NDT7 test rows, the IP-geolocation error model, and the directional
+sample aggregation the enrichment layer builds truth maps from."""
 
+from repro.speedtests.aggregate import (
+    DirectionalSummary,
+    directional_summary,
+    valid_samples,
+)
 from repro.speedtests.geolocation import GeolocationEstimate, GeolocationModel
 from repro.speedtests.mlab import MLabConfig, MLabTest, generate_mlab_tests
 from repro.speedtests.ookla import OoklaConfig, generate_ookla_tiles
 
 __all__ = [
+    "DirectionalSummary",
+    "directional_summary",
+    "valid_samples",
     "GeolocationEstimate",
     "GeolocationModel",
     "MLabConfig",

@@ -333,6 +333,66 @@ def test_v2_models_and_activate(served):
         _json(server, "POST", "/v2/models/default:activate")
 
 
+# -- pre-encoded JSON fast path ----------------------------------------------
+
+
+def test_record_json_matches_json_dumps(served, tiny_score_store):
+    """Cached fragments are byte-identical to json.dumps of the record."""
+    store = tiny_score_store
+    rows = [0, 1, len(store) - 1]
+    for row in rows:
+        assert store.record_json(row) == json.dumps(store.record(row)).encode(
+            "utf-8"
+        )
+        # Second call returns the cached object, not a re-encode.
+        assert store.record_json(row) is store.record_json(row)
+    assert store.records_json(np.array(rows)) == [
+        store.record_json(r) for r in rows
+    ]
+
+
+def test_page_envelope_json_matches_json_dumps(served, tiny_score_store):
+    """The spliced envelope parses and re-encodes to the same bytes as
+    building the dict and json.dumps-ing it — the v2 wire contract the
+    fast path must never drift from."""
+    from repro.serve.http import page_envelope_json
+
+    store = tiny_score_store
+    rows = store.sus_order[:5]
+    for next_cursor in ("abc123", None):
+        body = page_envelope_json(
+            store.records_json(rows), next_cursor, len(store), "default"
+        )
+        expected = json.dumps(
+            {
+                "items": store.records(rows),
+                "next_cursor": next_cursor,
+                "total": len(store),
+                "model_version": "default",
+            }
+        ).encode("utf-8")
+        assert body == expected
+
+
+def test_v2_list_page_bytes_equal_dict_encoding(served, tiny_score_store):
+    """The served page body (spliced fragments) is exactly what encoding
+    the equivalent response dict would produce."""
+    server, _service = served
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("GET", "/v2/claims?limit=4")
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    assert raw == json.dumps(json.loads(raw)).encode("utf-8")
+    doc = json.loads(raw)
+    assert doc["items"] == tiny_score_store.records(
+        tiny_score_store.sus_order[:4]
+    )
+
+
 def test_v2_request_counters_attributed_to_version(served):
     server, service = served
     before = service.registry.get("default").requests

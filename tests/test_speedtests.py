@@ -163,3 +163,37 @@ def test_mlab_determinism(small_fabric, small_filings, registry):
 def test_mlab_config_validation():
     with pytest.raises(ValueError):
         MLabConfig(tests_per_served_claim=0).validate()
+
+
+# -- directional aggregation (repro.speedtests.aggregate) ---------------------
+
+
+def test_directional_summary_down_only_codes_up_as_nan():
+    from repro.speedtests import directional_summary
+
+    s = directional_summary([10.0, 30.0, 20.0], [])
+    assert s.n_down == 3 and s.median_down == 20.0 and s.p90_down > 0
+    # No upload samples: NaN statistics, never a fabricated 0.0 and
+    # never a divide-by-zero on a shared denominator.
+    assert s.n_up == 0
+    assert np.isnan(s.median_up) and np.isnan(s.p90_up)
+
+
+def test_directional_summary_both_empty():
+    from repro.speedtests import directional_summary
+
+    s = directional_summary([], [])
+    assert s.n_down == 0 and s.n_up == 0
+    assert all(np.isnan(v) for v in (s.median_down, s.p90_down, s.median_up, s.p90_up))
+
+
+def test_directional_summary_filters_invalid_samples():
+    from repro.speedtests import directional_summary, valid_samples
+
+    # Zero, negative, NaN, and inf throughputs are failed measurement
+    # legs, not speeds: they drop before aggregation.
+    down = [0.0, -4.0, float("nan"), float("inf"), 50.0]
+    assert valid_samples(down).tolist() == [50.0]
+    s = directional_summary(down, [0.0, float("nan")])
+    assert s.n_down == 1 and s.median_down == 50.0
+    assert s.n_up == 0 and np.isnan(s.median_up)

@@ -8,8 +8,10 @@ Seven checks:
    real file or directory relative to the linking document — anchors
    (``file.md#section``) are checked against the file only;
 3. every public module under ``src/repro`` (non-underscore ``.py``
-   files) is mentioned by name somewhere in the combined docs, so new
-   subsystems cannot land undocumented;
+   files) is mentioned by name somewhere in the combined docs, and every
+   *package* (directory with an ``__init__.py``) is mentioned by its
+   full dotted name (``repro.enrich``), so new subsystems cannot land
+   undocumented;
 4. every HTTP route pattern registered in ``repro.serve.http`` (scanned
    textually, so this script stays dependency-free for the CI docs job)
    appears in the combined docs — a new endpoint cannot land without an
@@ -77,6 +79,32 @@ def _undocumented_modules(docs_text: str) -> list[str]:
         if not re.search(rf"\b{re.escape(basename)}\b", docs_text):
             missing.append(module)
     return missing
+
+
+def _package_names() -> list[str]:
+    """Dotted names of every package under ``src/repro``."""
+    out = ["repro"]
+    for dirpath, dirnames, _filenames in os.walk(SRC_ROOT):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("__"))
+        for name in dirnames:
+            if os.path.exists(os.path.join(dirpath, name, "__init__.py")):
+                rel = os.path.relpath(os.path.join(dirpath, name), SRC_ROOT)
+                out.append("repro." + rel.replace(os.sep, "."))
+    return sorted(out)
+
+
+def _undocumented_packages(docs_text: str) -> list[str]:
+    """Packages whose *dotted* name never appears in the combined docs.
+
+    Module basenames can collide with prose words; the dotted form
+    (``repro.enrich``) is unambiguous, so a whole new subsystem package
+    must be introduced by name, not just have its files mentioned.
+    """
+    return [
+        package
+        for package in _package_names()
+        if not re.search(rf"\b{re.escape(package)}\b", docs_text)
+    ]
 
 
 #: Route patterns inside router.add("METHOD", "/path", ...) calls.
@@ -235,6 +263,13 @@ def main() -> int:
             f"module {module} is not mentioned in README.md/ROADMAP.md/docs/*.md"
         )
 
+    n_packages = len(_package_names())
+    for package in _undocumented_packages(combined):
+        problems.append(
+            f"package {package} is not mentioned by dotted name in "
+            "README.md/ROADMAP.md/docs/*.md"
+        )
+
     n_routes = len(_route_patterns())
     for pattern in _undocumented_routes(combined):
         problems.append(
@@ -269,7 +304,8 @@ def main() -> int:
         return 1
     print(
         f"docs ok: {len(REQUIRED)} required files, {n_links} local links "
-        f"resolve, {n_modules} public modules documented, "
+        f"resolve, {n_modules} public modules and {n_packages} packages "
+        f"documented, "
         f"{n_routes} HTTP routes documented, "
         f"{n_sections} bench sections documented, "
         f"{n_obs} obs catalog entries documented and consistent"
